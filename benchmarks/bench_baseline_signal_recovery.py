@@ -1,0 +1,103 @@
+"""Baseline comparison — exclusiveness vs the related-work detectors.
+
+The paper's argument against prior art (§1.2, §6): raw strength measures
+and context-free multi-item methods surface combinations whose ADRs are
+really single-drug effects. With planted ground truth this becomes
+measurable: rank the mined multi-drug rules with each method and score
+**precision@k** against the genuine planted interactions, counting a
+hit when a top-k rule's drug set is exactly a genuine planted
+combination and its consequent carries a planted ADR. Expected shape:
+exclusiveness ≥ improvement > confidence/lift, and the Harpaz RRR
+baseline (no context filtering) below exclusiveness.
+"""
+
+from __future__ import annotations
+
+from repro.core import RankingMethod
+from repro.core.ranking import rank_clusters
+from repro.signals import harpaz_multi_item_signals
+
+from benchmarks.conftest import write_artifact
+
+K = 40
+
+
+def genuine_keys(generator, catalog):
+    keys = set()
+    for spec in generator.ground_truth():
+        if not spec.is_genuine:
+            continue
+        drug_ids = {catalog.get_id(d) for d in spec.drugs}
+        adr_ids = {catalog.get_id(a) for a in spec.adrs}
+        if None in drug_ids or None in adr_ids:
+            continue
+        keys.add((frozenset(drug_ids), frozenset(adr_ids)))
+    return keys
+
+
+def hits_at_k(rules, keys, k):
+    count = 0
+    for rule in rules[:k]:
+        for drug_ids, adr_ids in keys:
+            if rule.antecedent == drug_ids and rule.consequent & adr_ids:
+                count += 1
+                break
+    return count
+
+
+def test_baseline_recovery(benchmark, generators, mined_q1):
+    generator = generators["2014Q1"]
+    catalog = mined_q1.catalog
+    keys = genuine_keys(generator, catalog)
+    assert len(keys) >= 5
+
+    methods = {
+        "exclusiveness(conf)": RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+        "exclusiveness(lift)": RankingMethod.EXCLUSIVENESS_LIFT,
+        "improvement": RankingMethod.IMPROVEMENT,
+        "confidence": RankingMethod.CONFIDENCE,
+        "lift": RankingMethod.LIFT,
+    }
+    benchmark(
+        lambda: rank_clusters(
+            mined_q1.clusters, RankingMethod.EXCLUSIVENESS_CONFIDENCE
+        )
+    )
+
+    hits = {}
+    for name, method in methods.items():
+        ranked = rank_clusters(mined_q1.clusters, method)
+        hits[name] = hits_at_k(
+            [entry.cluster.target for entry in ranked], keys, K
+        )
+
+    harpaz = harpaz_multi_item_signals(
+        mined_q1.encoded.database, min_support=5, max_itemset_len=6
+    )
+    hits["harpaz-RRR"] = hits_at_k([signal.rule for signal in harpaz], keys, K)
+
+    lines = [
+        f"Baseline comparison — planted genuine interactions in top-{K}",
+        f"{'method':>22s} {'hits@%d' % K:>8s}",
+    ]
+    for name, count in sorted(hits.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{name:>22s} {count:>8d}")
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("baseline_recovery.txt", artifact)
+
+    # Shape claims, measure-matched (the paper's argument is that the
+    # *context* around a measure improves it, not that one raw measure
+    # beats another): exclusiveness-with-X recovers at least as many
+    # planted signals as raw X, strictly more for confidence; and the
+    # context-aware family is no worse than the context-free RRR
+    # baseline.
+    assert hits["exclusiveness(conf)"] > hits["confidence"]
+    assert hits["exclusiveness(lift)"] >= hits["lift"]
+    context_best = max(
+        hits["exclusiveness(conf)"],
+        hits["exclusiveness(lift)"],
+        hits["improvement"],
+    )
+    assert context_best >= hits["harpaz-RRR"]
+    assert hits["exclusiveness(conf)"] >= 3

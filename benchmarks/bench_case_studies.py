@@ -1,0 +1,85 @@
+"""§5.4 case studies — recovery and validation of known interactions.
+
+The paper validates three top-ranked Q1/Q2 interactions against the
+literature: ibuprofen+metamizole → acute renal failure (WHO newsletter),
+methotrexate+tacrolimus → drug ineffective (Drugs.com/DrugBank), and
+Prevacid+Nexium → osteoporosis (therapeutic duplication). The synthetic
+quarters plant exactly those signals, so the reproduction can check
+*quantitatively* what the paper argues qualitatively:
+
+- each planted genuine interaction is mined and ranks high under
+  exclusiveness;
+- the single-drug-dominated plants (the Table 3.1 asthma cluster,
+  Tums+Zantac) rank markedly lower;
+- the knowledge reference classifies the recovered case studies as
+  known interactions, mirroring the paper's validation step.
+"""
+
+from __future__ import annotations
+
+from repro.core import RankingMethod
+from repro.knowledge import default_reference
+
+from benchmarks.conftest import write_artifact
+
+CASE_STUDIES = {
+    ("IBUPROFEN", "METAMIZOLE"): "Case I  (WHO 2014)",
+    ("METHOTREXATE", "PROGRAF"): "Case II (Drugs.com/DrugBank)",
+    ("NEXIUM", "PREVACID"): "Case III (therapeutic duplication)",
+}
+
+
+def planted_rank_index(result, generator, spec, ranked):
+    """Best normalized rank of the cluster matching a planted spec."""
+    catalog = result.catalog
+    drug_ids = {catalog.get_id(d) for d in spec.drugs}
+    adr_ids = {catalog.get_id(a) for a in spec.adrs}
+    if None in drug_ids or None in adr_ids:
+        return None
+    best = None
+    for entry in ranked:
+        target = entry.cluster.target
+        if target.antecedent == frozenset(drug_ids) and (
+            frozenset(adr_ids) & target.consequent
+        ):
+            best = entry.rank if best is None else min(best, entry.rank)
+    return None if best is None else best / len(ranked)
+
+
+def test_case_studies(benchmark, generators, mined_q1):
+    generator = generators["2014Q1"]
+    ranked = benchmark(
+        lambda: mined_q1.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE)
+    )
+
+    reference = default_reference()
+    lines = ["§5.4 case studies — planted-signal recovery (2014 Q1 synthetic)"]
+    genuine_ranks, confounded_ranks = [], []
+    for spec in generator.ground_truth():
+        rank = planted_rank_index(mined_q1, generator, spec, ranked)
+        label = CASE_STUDIES.get(tuple(sorted(spec.drugs)), "")
+        novelty = reference.classify(spec.drugs, spec.adrs)
+        lines.append(
+            f"  {'GENUINE   ' if spec.is_genuine else 'CONFOUNDED'} "
+            f"{'+'.join(spec.drugs):46s} "
+            f"rank={'%5.1f%%' % (rank * 100) if rank is not None else ' none'} "
+            f"[{novelty}] {label}"
+        )
+        if rank is not None:
+            (genuine_ranks if spec.is_genuine else confounded_ranks).append(rank)
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("case_studies.txt", artifact)
+
+    # Most genuine plants are mined and concentrated near the top.
+    assert len(genuine_ranks) >= 4
+    assert sum(1 for r in genuine_ranks if r < 1 / 3) >= len(genuine_ranks) / 2
+    # Genuine interactions rank better on average than confounded ones.
+    if confounded_ranks:
+        mean_genuine = sum(genuine_ranks) / len(genuine_ranks)
+        mean_confounded = sum(confounded_ranks) / len(confounded_ranks)
+        assert mean_genuine < mean_confounded
+
+    # The paper's validation step: the three case studies are known DDIs.
+    for drugs in CASE_STUDIES:
+        assert reference.is_known_combination(drugs)

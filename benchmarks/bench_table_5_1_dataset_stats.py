@@ -1,0 +1,54 @@
+"""Table 5.1 — FAERS 2014 per-quarter statistics (reports / drugs / ADRs).
+
+Paper (full-scale FAERS 2014 EXP extracts):
+
+    =========  =======  =======  =======  =======
+    ..          Q1       Q2       Q3       Q4
+    Reports    126,755  138,278  121,725  121,490
+    Drugs       37,661   37,780   33,133   32,721
+    ADRs         9,079    9,324    9,418    9,234
+    =========  =======  =======  =======  =======
+
+This reproduction generates synthetic quarters scaled by ``SCALE``; the
+shape claims that must hold at any scale: report counts track the
+paper's quarter ratios, and distinct drugs ≫ distinct ADRs in every
+quarter (FAERS's verbatim drug strings vastly outnumber MedDRA PTs).
+"""
+
+from __future__ import annotations
+
+from repro.faers import SyntheticFAERSGenerator, quarter_config
+from repro.faers.synthetic import PAPER_QUARTER_REPORTS
+
+from benchmarks.conftest import QUARTERS, SCALE, write_artifact
+
+
+def test_table_5_1(benchmark, quarter_datasets):
+    # Benchmark the data-generation step for one quarter.
+    config = quarter_config("2014Q1", scale=SCALE)
+    benchmark(lambda: SyntheticFAERSGenerator(config).generate())
+
+    rows = {quarter: ds.stats() for quarter, ds in quarter_datasets.items()}
+    lines = [
+        "Table 5.1 (synthetic, scale=%.3f) — paper counts in brackets" % SCALE,
+        f"{'':10s}" + "".join(f"{q:>18s}" for q in QUARTERS),
+        f"{'Reports':10s}"
+        + "".join(
+            f"{rows[q].n_reports:>8,d} [{PAPER_QUARTER_REPORTS[q]:,d}]"
+            for q in QUARTERS
+        ),
+        f"{'Drugs':10s}" + "".join(f"{rows[q].n_drugs:>18,d}" for q in QUARTERS),
+        f"{'ADRs':10s}" + "".join(f"{rows[q].n_adrs:>18,d}" for q in QUARTERS),
+    ]
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("table_5_1.txt", artifact)
+
+    # Shape assertions.
+    for quarter in QUARTERS:
+        stats = rows[quarter]
+        expected = round(PAPER_QUARTER_REPORTS[quarter] * SCALE)
+        assert stats.n_reports == expected
+        assert stats.n_drugs > 2 * stats.n_adrs
+    # Q2 is the biggest quarter in the paper; the scaled data preserves that.
+    assert rows["2014Q2"].n_reports == max(r.n_reports for r in rows.values())

@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+synthetic quarters stand in for the FAERS 2014 extracts (see DESIGN.md);
+they are scaled down with ``SCALE`` so the whole harness runs on a
+laptop in a couple of minutes. Regenerated artifacts are printed and
+also written under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.faers.synthetic import PAPER_QUARTER_REPORTS
+
+# 0.02 → roughly 2.4-2.8k reports per quarter.
+SCALE = 0.02
+QUARTERS = tuple(sorted(PAPER_QUARTER_REPORTS))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/out/."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def generators():
+    """One seeded generator per 2014 quarter."""
+    return {
+        quarter: SyntheticFAERSGenerator(quarter_config(quarter, scale=SCALE))
+        for quarter in QUARTERS
+    }
+
+
+@pytest.fixture(scope="session")
+def quarter_datasets(generators):
+    """Quarter label → ReportDataset (generated once per session)."""
+    return {
+        quarter: ReportDataset(generator.generate())
+        for quarter, generator in generators.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def mined_q1(quarter_datasets):
+    """Q1 through the full pipeline (the Table 5.2 / case-study workload)."""
+    return Maras(MarasConfig(min_support=5, clean=False)).run(
+        quarter_datasets["2014Q1"]
+    )
+
+
+@pytest.fixture(scope="session")
+def mined_study():
+    """A larger Q1 (double scale) for the user study: Fig 5.2 needs
+    enough 4-drug clusters to build 4-drug questions."""
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=2 * SCALE))
+    return Maras(MarasConfig(min_support=5, clean=False)).run(
+        ReportDataset(generator.generate())
+    )
+
+
+@pytest.fixture(scope="session")
+def mined_all(quarter_datasets):
+    """All four quarters through the pipeline with rule-space counting
+    enabled (the Fig 5.1 workload)."""
+    maras = Maras(MarasConfig(min_support=5, clean=False, count_rule_space=True))
+    return {
+        quarter: maras.run(dataset)
+        for quarter, dataset in quarter_datasets.items()
+    }

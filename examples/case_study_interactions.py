@@ -1,0 +1,102 @@
+"""Case-study workflow: validate top-ranked interactions (§5.4).
+
+The drug-safety evaluator's loop, as the paper describes it:
+
+1. rank the quarter's multi-drug clusters by exclusiveness;
+2. search for specific drugs of interest (§4.1 highlighting);
+3. validate candidates against the domain-knowledge reference
+   (the Drugs.com/DrugBank stand-in) and classify novelty;
+4. filter for severe reactions that need immediate action;
+5. pull the supporting raw reports for investigation.
+
+    python examples/case_study_interactions.py
+"""
+
+from __future__ import annotations
+
+from repro import Maras, MarasConfig, RankingMethod
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.knowledge import default_reference, default_severity_index
+from repro.viz import cluster_detail
+
+CASE_DRUGS = ("IBUPROFEN", "METAMIZOLE", "METHOTREXATE", "PROGRAF", "NEXIUM", "PREVACID")
+
+
+def main() -> None:
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q2", scale=0.04))
+    result = Maras(MarasConfig(min_support=5, clean=False)).run(
+        ReportDataset(generator.generate())
+    )
+    catalog = result.catalog
+    reference = default_reference()
+    severity = default_severity_index()
+
+    # 1-2. Rank, then highlight clusters mentioning the case-study drugs.
+    print("=== clusters mentioning the paper's case-study drugs ===")
+    ranked = result.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE)
+    rank_of = {id(entry.cluster): entry.rank for entry in ranked}
+    for drug in CASE_DRUGS:
+        matches = result.search(drug=drug)
+        if not matches:
+            continue
+        best = min(matches, key=lambda c: rank_of[id(c)])
+        drugs = " + ".join(catalog.labels(best.target.antecedent))
+        adrs = ", ".join(catalog.labels(best.target.consequent))
+        print(
+            f"  {drug:14s} best cluster #{rank_of[id(best)]:<4d} "
+            f"{drugs} => {adrs}"
+        )
+
+    # 3. Novelty classification of the overall top 10.
+    print("\n=== top 10 by exclusiveness, validated against the DDI reference ===")
+    for entry in ranked[:10]:
+        drugs = catalog.labels(entry.cluster.target.antecedent)
+        adrs = catalog.labels(entry.cluster.target.consequent)
+        novelty = reference.classify(drugs, adrs)
+        flag = {"known": "KNOWN  ", "known-combination-new-adr": "NEW-ADR"}.get(
+            novelty, "UNKNOWN"
+        )
+        print(f"  #{entry.rank:<3d} [{flag}] {' + '.join(drugs)} => {', '.join(adrs)}")
+
+    # 4. Severe-reaction filter (§4.1's "immediate action" view).
+    severe = [
+        entry
+        for entry in ranked[:50]
+        if severity.is_severe(catalog.labels(entry.cluster.target.consequent))
+    ]
+    print(f"\n=== {len(severe)} of the top 50 carry severe reactions ===")
+    for entry in severe[:5]:
+        print(f"  {entry.describe(catalog)}")
+
+    # 5. Investigate the best severe cluster: context + raw reports.
+    if severe:
+        cluster = severe[0].cluster
+        print("\n=== investigation view ===")
+        print(cluster_detail(cluster, catalog))
+        reports = result.supporting_reports(cluster)
+        ages = [r.age for r in reports if r.age is not None]
+        print(
+            f"\n{len(reports)} supporting reports; "
+            f"median age {sorted(ages)[len(ages) // 2]:.0f}, "
+            f"{sum(1 for r in reports if r.sex == 'F')} female"
+        )
+
+        # 6. §4.1's similar-interaction highlighting: the clusters an
+        # analyst should review next to this one.
+        from repro.core.similarity import similar_clusters
+
+        print("\n=== similar interactions ===")
+        for neighbor in similar_clusters(
+            result.clusters, cluster, catalog, top_k=3
+        ):
+            drugs = " + ".join(catalog.labels(neighbor.cluster.target.antecedent))
+            adrs = ", ".join(catalog.labels(neighbor.cluster.target.consequent))
+            print(
+                f"  sim={neighbor.similarity:.2f} "
+                f"(content {neighbor.content:.2f} / shape {neighbor.shape:.2f})  "
+                f"{drugs} => {adrs}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Render the paper's visual artifacts (Figs 4.1, 4.2, 4.3, 5.3) as SVG.
+
+Writes to ``examples/out/``:
+
+- ``glyph_top1.svg`` — one contextual glyph (Fig 4.1);
+- ``glyph_zoom.svg`` — the labelled zoom view (Fig 4.3);
+- ``panorama.svg`` — the ranked glyph panoramagram (Fig 4.2);
+- ``barchart.svg`` — the bar-chart alternative (Fig 5.3);
+- one glyph/bar-chart pair per drug count, the user-study stimuli.
+
+    python examples/glyph_gallery.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import Maras, MarasConfig, RankingMethod
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.viz import (
+    render_barchart,
+    render_glyph,
+    render_panorama,
+    render_zoom_view,
+)
+
+OUT = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=0.04))
+    result = Maras(MarasConfig(min_support=5, clean=False)).run(
+        ReportDataset(generator.generate())
+    )
+    catalog = result.catalog
+    ranked = result.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE, top_k=25)
+
+    top = ranked[0].cluster
+    paths = [
+        render_glyph(top).save(OUT / "glyph_top1.svg"),
+        render_zoom_view(top, catalog).save(OUT / "glyph_zoom.svg"),
+        render_panorama(ranked, catalog, columns=5).save(OUT / "panorama.svg"),
+        render_barchart(top, catalog).save(OUT / "barchart.svg"),
+    ]
+
+    # User-study stimuli: the best cluster of each drug count, rendered
+    # in both encodings side by side (Appendix A's samples).
+    for n_drugs in (2, 3, 4):
+        candidates = [e for e in ranked if e.cluster.n_drugs == n_drugs]
+        if not candidates:
+            continue
+        cluster = candidates[0].cluster
+        paths.append(
+            render_glyph(cluster).save(OUT / f"stimulus_{n_drugs}drugs_glyph.svg")
+        )
+        paths.append(
+            render_barchart(cluster).save(OUT / f"stimulus_{n_drugs}drugs_bar.svg")
+        )
+
+    # Appendix A stimulus sheets: each question in both encodings.
+    from repro.userstudy import build_questions, render_study_sheets
+
+    questions = build_questions(
+        result.clusters, drug_counts=(2, 3), questions_per_count=2
+    )
+    paths.extend(render_study_sheets(questions, OUT / "stimuli", show_answers=True))
+
+    for path in paths:
+        print(f"wrote {path} ({path.stat().st_size:,d} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Compare signal-detection methods on data with known ground truth.
+
+Runs every detector in the repository — MeDIAR's exclusiveness, the
+improvement baseline, raw confidence/lift, Harpaz's multi-item RRR,
+the Ω interaction contrast, EBGM, IC025, and age/sex-stratified ROR —
+against one synthetic quarter whose genuine interactions are planted
+and therefore known. Prints per-method hits on the planted signals and
+a per-case detail table, including the confounding check (crude vs
+Mantel-Haenszel ROR).
+
+    python examples/signal_methods_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import Maras, MarasConfig, RankingMethod
+from repro.core.ranking import rank_clusters
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.signals import (
+    EBGMScorer,
+    contingency_for,
+    harpaz_multi_item_signals,
+    ic025,
+    omega_shrinkage,
+    stratified_signal,
+)
+
+TOP_K = 40
+
+
+def main() -> None:
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=0.04))
+    dataset = ReportDataset(generator.generate())
+    result = Maras(MarasConfig(min_support=5, clean=False)).run(dataset)
+    catalog = result.catalog
+    database = result.encoded.database
+
+    genuine = {
+        (tuple(sorted(spec.drugs)), spec.adrs[0]): spec
+        for spec in generator.genuine_interactions()
+    }
+    print(f"{len(result.clusters)} clusters mined; "
+          f"{len(genuine)} genuine interactions planted\n")
+
+    # --- ranking methods over MCACs ---
+    def hits(ranked_targets):
+        count = 0
+        for target in ranked_targets[:TOP_K]:
+            drugs = tuple(catalog.labels(target.antecedent))
+            adrs = set(catalog.labels(target.consequent))
+            if any(
+                drugs == key[0] and key[1] in adrs for key in genuine
+            ):
+                count += 1
+        return count
+
+    print(f"planted-signal hits in the top {TOP_K}:")
+    for method in (
+        RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+        RankingMethod.EXCLUSIVENESS_LIFT,
+        RankingMethod.IMPROVEMENT,
+        RankingMethod.CONFIDENCE,
+        RankingMethod.LIFT,
+    ):
+        ranked = rank_clusters(result.clusters, method)
+        print(f"  {method.value:28s} {hits([e.cluster.target for e in ranked])}")
+    harpaz = harpaz_multi_item_signals(database, min_support=5, max_itemset_len=6)
+    print(f"  {'harpaz multi-item RRR':28s} {hits([s.rule for s in harpaz])}")
+
+    # --- per-case detail with pairwise statistics ---
+    print("\nper-planted-interaction statistics (2-drug cases):")
+    print(
+        f"{'interaction':42s} {'omega':>7s} {'IC025':>7s} {'EBGM':>7s} "
+        f"{'crude ROR':>10s} {'MH ROR':>8s}"
+    )
+    pair_candidates = []
+    for (drugs, adr), spec in genuine.items():
+        if len(drugs) != 2:
+            continue
+        ids = [catalog.get_id(d) for d in drugs]
+        adr_id = catalog.get_id(adr)
+        if None in ids or adr_id is None:
+            continue
+        pair_candidates.append((drugs, adr, ids, adr_id))
+    scorer = EBGMScorer.fit(
+        database,
+        [
+            (frozenset(ids), frozenset({adr_id}))
+            for _, _, ids, adr_id in pair_candidates
+        ],
+    )
+    for drugs, adr, ids, adr_id in pair_candidates:
+        exposure = frozenset(ids)
+        outcome = frozenset({adr_id})
+        omega = omega_shrinkage(database, ids[0], ids[1], outcome)
+        table = contingency_for(database, exposure, outcome)
+        ebgm = scorer.score(exposure, outcome).ebgm
+        strat = stratified_signal(
+            list(dataset), frozenset(drugs), frozenset({adr})
+        )
+        print(
+            f"{' + '.join(drugs):42s} {omega:>7.2f} {ic025(table):>7.2f} "
+            f"{ebgm:>7.2f} {strat.crude:>10.2f} {strat.adjusted:>8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

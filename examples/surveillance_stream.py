@@ -1,0 +1,108 @@
+"""Streaming surveillance: batches, change feeds, and yearly trends.
+
+Two workflows beyond a single static quarter:
+
+1. **within-quarter stream** — feed one quarter to the
+   :class:`SurveillanceMonitor` in weekly-sized batches and print the
+   per-batch change feed (new clusters, risers, rank stability);
+2. **cross-quarter trends** — run all four 2014 quarters and print the
+   emerging-signal watchlist plus trend classes.
+
+    python examples/surveillance_stream.py
+"""
+
+from __future__ import annotations
+
+from repro import Maras, MarasConfig
+from repro.core.incremental import SurveillanceMonitor
+from repro.core.trends import TrendKind, build_trends, emerging_signals
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+
+N_BATCHES = 5
+
+
+def stream_one_quarter() -> None:
+    print("=== within-quarter stream (2014Q1, 5 batches) ===")
+    reports = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=0.02)).generate()
+    size = len(reports) // N_BATCHES
+    monitor = SurveillanceMonitor(
+        MarasConfig(min_support=5, clean=False), riser_threshold=5
+    )
+    print(f"{'batch':>6s} {'reports':>9s} {'new':>5s} {'risers':>7s} {'stability':>10s}")
+    for index in range(N_BATCHES):
+        start = index * size
+        end = (index + 1) * size if index < N_BATCHES - 1 else len(reports)
+        delta = monitor.ingest(reports[start:end])
+        stability = (
+            "" if delta.rank_correlation is None else f"{delta.rank_correlation:.2f}"
+        )
+        print(
+            f"{delta.batch_index:>6d} {delta.n_reports_total:>9,d} "
+            f"{len(delta.newly_surfaced):>5d} {len(delta.risers):>7d} "
+            f"{stability:>10s}"
+        )
+    print("\ncurrent watchlist:")
+    for (drugs, adrs), rank in monitor.watchlist(top_k=5):
+        print(f"  #{rank}  {' + '.join(drugs)} => {', '.join(adrs)}")
+
+
+def yearly_trends() -> None:
+    print("\n=== cross-quarter trends (2014Q1-Q4) ===")
+    maras = Maras(MarasConfig(min_support=5, clean=False))
+    # Simulate a mid-year market introduction: the ibuprofen+metamizole
+    # interaction is absent from the Q1/Q2 stream and appears in Q3/Q4 —
+    # the emergence the trend classifier is built to flag.
+    from dataclasses import replace
+
+    results = {}
+    for index, quarter in enumerate(("2014Q1", "2014Q2", "2014Q3", "2014Q4")):
+        config = quarter_config(quarter, scale=0.02)
+        if index < 2:
+            config = replace(
+                config,
+                interactions=tuple(
+                    spec
+                    for spec in config.interactions
+                    if spec.drugs != ("IBUPROFEN", "METAMIZOLE")
+                ),
+            )
+        reports = SyntheticFAERSGenerator(config).generate()
+        results[quarter] = maras.run(ReportDataset(reports))
+    trends = build_trends(results)
+    by_kind = {}
+    for trend in trends:
+        by_kind[trend.kind] = by_kind.get(trend.kind, 0) + 1
+    print("trend classes:", {kind.value: n for kind, n in sorted(
+        by_kind.items(), key=lambda kv: kv[0].value)})
+
+    watchlist = emerging_signals(results)[:5]
+    print(f"\ntop emerging signals ({len(watchlist)} shown):")
+    for trend in watchlist:
+        print(f"  {trend.describe()}")
+
+    persistent = [
+        trend
+        for trend in trends
+        if trend.quarters_present == 4 and trend.kind is TrendKind.STABLE
+    ]
+    print(f"\n{len(persistent)} clusters persist across all four quarters")
+
+    # Trajectory chart of the watchlist + the most persistent clusters.
+    from pathlib import Path
+
+    from repro.viz import render_trend_chart
+
+    interesting = watchlist + persistent[: max(0, 5 - len(watchlist))]
+    if interesting:
+        out = Path(__file__).parent / "out" / "trend_chart.svg"
+        render_trend_chart(interesting).save(out)
+        print(f"wrote {out}")
+
+
+def main() -> None:
+    stream_one_quarter()
+    yearly_trends()
+
+
+if __name__ == "__main__":
+    main()

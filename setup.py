@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network, so PEP 660
+editable installs (which require ``bdist_wheel``) fail. Installing with
+``pip install -e . --no-use-pep517 --no-build-isolation`` goes through
+this shim instead; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

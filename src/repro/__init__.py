@@ -1,0 +1,73 @@
+"""MeDIAR/MARAS: multi-drug adverse reaction analytics.
+
+A from-scratch reproduction of the MeDIAR system (ICDE 2018 demo; MARAS
+thesis, WPI 2016): mining non-spurious drug→ADR association rules from
+spontaneous-report data via closed itemsets, clustering each multi-drug
+rule with its contextual sub-rules (MCAC), ranking clusters with the
+exclusiveness measure, and rendering them as contextual glyphs.
+
+Quick start::
+
+    from repro import Maras, MarasConfig, RankingMethod
+    from repro.faers import SyntheticConfig, SyntheticFAERSGenerator
+
+    reports = SyntheticFAERSGenerator(SyntheticConfig(n_reports=2000)).generate()
+    result = Maras(MarasConfig(min_support=5, clean=False)).run(reports)
+    for entry in result.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE, top_k=5):
+        print(entry.describe(result.catalog))
+
+Subpackages: :mod:`repro.mining` (itemset substrate),
+:mod:`repro.faers` (data substrate), :mod:`repro.core` (the paper's
+contribution), :mod:`repro.signals` (baselines), :mod:`repro.knowledge`
+(DDI reference), :mod:`repro.viz` (SVG glyphs), :mod:`repro.userstudy`
+(simulated study).
+"""
+
+from repro.core import (
+    MCAC,
+    ExclusivenessConfig,
+    Maras,
+    MarasConfig,
+    MarasResult,
+    RankingMethod,
+    exclusiveness,
+    improvement,
+)
+from repro.errors import (
+    ConfigError,
+    MiningError,
+    ParseError,
+    ReproError,
+    ValidationError,
+)
+from repro.faers import (
+    CaseReport,
+    ReportCleaner,
+    ReportDataset,
+    SyntheticConfig,
+    SyntheticFAERSGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaseReport",
+    "ConfigError",
+    "ExclusivenessConfig",
+    "MCAC",
+    "Maras",
+    "MarasConfig",
+    "MarasResult",
+    "MiningError",
+    "ParseError",
+    "RankingMethod",
+    "ReportCleaner",
+    "ReportDataset",
+    "ReproError",
+    "SyntheticConfig",
+    "SyntheticFAERSGenerator",
+    "ValidationError",
+    "__version__",
+    "exclusiveness",
+    "improvement",
+]

@@ -1,0 +1,318 @@
+"""Command-line interface: the MeDIAR system as a tool.
+
+Installed as the ``mediar`` console script; also runnable as
+``python -m repro.cli``. Subcommands mirror the workflows of Chapter 5:
+
+- ``generate`` — write a synthetic quarter as FAERS-format ASCII files;
+- ``stats``    — Table 5.1-style statistics of a quarter;
+- ``mine``     — run the pipeline and print the top-ranked interactions;
+- ``render``   — write the ranked glyph panorama / zoom views as SVG;
+- ``study``    — run the simulated user study (Fig 5.2);
+- ``validate`` — classify top-ranked interactions against the DDI
+  reference and flag severe ones.
+
+``mine``, ``render``, ``validate`` and ``stats`` accept either
+``--synthetic QUARTER`` (e.g. 2014Q1) or ``--demo/--drug/--reac`` file
+paths for real extracts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import Maras, MarasConfig, MarasResult, RankingMethod
+from repro.errors import ReproError
+from repro.faers import (
+    ReportCleaner,
+    ReportDataset,
+    SyntheticFAERSGenerator,
+    parse_quarter,
+    quarter_config,
+)
+from repro.faers.schema import ReportType
+from repro.knowledge import default_reference, default_severity_index
+from repro.userstudy import UserStudy, build_questions
+from repro.viz import render_panorama, render_zoom_view
+
+RANKING_BY_NAME = {method.value: method for method in RankingMethod}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mediar",
+        description="MeDIAR: multi-drug adverse reaction analytics",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic quarter as FAERS ASCII files"
+    )
+    generate.add_argument("quarter", help="one of 2014Q1..2014Q4")
+    generate.add_argument("--scale", type=float, default=0.02)
+    generate.add_argument("--out", type=Path, default=Path("faers_out"))
+
+    for name, help_text in (
+        ("stats", "Table 5.1-style statistics of a quarter"),
+        ("mine", "mine and rank multi-drug interactions"),
+        ("render", "write ranked glyphs as SVG"),
+        ("validate", "validate top interactions against the DDI reference"),
+        ("study", "run the simulated user study"),
+        ("report", "write the quarterly markdown surveillance report"),
+        ("export", "write the mined result as JSON"),
+        ("dashboard", "write the self-contained HTML dashboard"),
+        ("profile", "drug-centric risk profile"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_input_arguments(sub)
+        if name in (
+            "mine", "render", "validate", "study", "report", "export",
+            "dashboard", "profile",
+        ):
+            sub.add_argument("--min-support", type=int, default=5)
+            sub.add_argument("--max-drugs", type=int, default=4)
+        if name == "profile":
+            sub.add_argument("drug", help="canonical drug name to profile")
+        if name in ("mine", "render", "validate", "report", "dashboard"):
+            sub.add_argument(
+                "--method",
+                choices=sorted(RANKING_BY_NAME),
+                default=RankingMethod.EXCLUSIVENESS_CONFIDENCE.value,
+            )
+            sub.add_argument("--top", type=int, default=10)
+        if name == "report":
+            sub.add_argument("--out", type=Path, default=Path("quarter_report.md"))
+        if name == "export":
+            sub.add_argument("--out", type=Path, default=Path("result.json"))
+        if name == "dashboard":
+            sub.add_argument("--out", type=Path, default=Path("dashboard.html"))
+        if name == "mine":
+            sub.add_argument("--drug", help="restrict to clusters mentioning this drug")
+            sub.add_argument("--adr", help="restrict to clusters mentioning this ADR")
+            sub.add_argument(
+                "--show-context",
+                action="store_true",
+                help="print each cluster's contextual rules",
+            )
+        if name == "render":
+            sub.add_argument("--out", type=Path, default=Path("glyphs"))
+        if name == "study":
+            sub.add_argument("--annotators", type=int, default=50)
+    return parser
+
+
+def _add_input_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--synthetic",
+        metavar="QUARTER",
+        help="use a synthetic quarter (2014Q1..2014Q4)",
+    )
+    sub.add_argument("--scale", type=float, default=0.02, help="synthetic scale")
+    sub.add_argument("--demo", type=Path, help="DEMO file of a real extract")
+    sub.add_argument("--drug-file", type=Path, help="DRUG file of a real extract")
+    sub.add_argument("--reac", type=Path, help="REAC file of a real extract")
+    sub.add_argument(
+        "--no-clean", action="store_true", help="skip the cleaning pass"
+    )
+
+
+def load_dataset(args: argparse.Namespace) -> ReportDataset:
+    """Resolve the input arguments to a report dataset."""
+    if args.synthetic:
+        config = quarter_config(args.synthetic, scale=args.scale)
+        reports = SyntheticFAERSGenerator(config).generate()
+        return ReportDataset(reports)
+    if args.demo and args.drug_file and args.reac:
+        reports, _ = parse_quarter(
+            args.demo,
+            args.drug_file,
+            args.reac,
+            report_types=frozenset({ReportType.EXPEDITED}),
+        )
+        if not args.no_clean:
+            reports, _ = ReportCleaner().clean(reports)
+        return ReportDataset(reports)
+    raise SystemExit(
+        "error: provide --synthetic QUARTER or all of --demo/--drug-file/--reac"
+    )
+
+
+def run_pipeline(args: argparse.Namespace) -> MarasResult:
+    config = MarasConfig(
+        min_support=args.min_support,
+        max_drugs=args.max_drugs,
+        clean=False,  # load_dataset already cleaned when asked to
+    )
+    return Maras(config).run(load_dataset(args))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.faers.writer import write_quarter_files
+
+    config = quarter_config(args.quarter, scale=args.scale)
+    reports = SyntheticFAERSGenerator(config).generate()
+    files = write_quarter_files(reports, args.out, quarter=args.quarter)
+    for path in files.as_tuple():
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    stats = load_dataset(args).stats()
+    print(f"quarter:  {stats.quarter or '(unlabelled)'}")
+    print(f"reports:  {stats.n_reports:,d}")
+    print(f"drugs:    {stats.n_drugs:,d}")
+    print(f"ADRs:     {stats.n_adrs:,d}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    from repro.viz import cluster_detail
+
+    result = run_pipeline(args)
+    method = RANKING_BY_NAME[args.method]
+    clusters = result.clusters
+    if args.drug or args.adr:
+        clusters = result.search(drug=args.drug, adr=args.adr)
+        if not clusters:
+            print("no clusters match the search criteria")
+            return 1
+    from repro.core.ranking import rank_clusters
+
+    ranked = rank_clusters(clusters, method, top_k=args.top)
+    print(f"{len(result.clusters)} clusters mined; top {len(ranked)} by {args.method}:")
+    for entry in ranked:
+        print(f"  {entry.describe(result.catalog)}")
+        if args.show_context:
+            detail = cluster_detail(entry.cluster, result.catalog)
+            for line in detail.splitlines()[1:]:
+                print(f"      {line}")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    result = run_pipeline(args)
+    method = RANKING_BY_NAME[args.method]
+    ranked = result.rank(method, top_k=args.top)
+    if not ranked:
+        print("nothing to render: no clusters mined")
+        return 1
+    args.out.mkdir(parents=True, exist_ok=True)
+    panorama = render_panorama(ranked, result.catalog).save(args.out / "panorama.svg")
+    zoom = render_zoom_view(ranked[0].cluster, result.catalog).save(
+        args.out / "top1_zoom.svg"
+    )
+    print(f"wrote {panorama}")
+    print(f"wrote {zoom}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    result = run_pipeline(args)
+    method = RANKING_BY_NAME[args.method]
+    reference = default_reference()
+    severity = default_severity_index()
+    catalog = result.catalog
+    print(f"top {args.top} by {args.method}, validated:")
+    for entry in result.rank(method, top_k=args.top):
+        drugs = catalog.labels(entry.cluster.target.antecedent)
+        adrs = catalog.labels(entry.cluster.target.consequent)
+        novelty = reference.classify(drugs, adrs)
+        severe = "SEVERE" if severity.is_severe(adrs) else "      "
+        print(
+            f"  #{entry.rank:<3d} [{novelty:>26s}] [{severe}] "
+            f"{' + '.join(drugs)} => {', '.join(adrs)}"
+        )
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    result = run_pipeline(args)
+    questions = build_questions(result.clusters)
+    outcome = UserStudy(n_annotators=args.annotators).run(questions)
+    print(
+        f"simulated user study: {outcome.n_annotators} annotators, "
+        f"{outcome.n_questions} questions"
+    )
+    print(f"{'#drugs':>8s} {'glyph':>8s} {'barchart':>10s}")
+    glyph = outcome.series("contextual-glyph")
+    barchart = outcome.series("bar-chart")
+    for n_drugs in sorted(glyph):
+        print(f"{n_drugs:>8d} {glyph[n_drugs]:>8.0%} {barchart[n_drugs]:>10.0%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report_builder import write_quarter_report
+
+    result = run_pipeline(args)
+    path = write_quarter_report(
+        result,
+        args.out,
+        method=RANKING_BY_NAME[args.method],
+        top_k=args.top,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import write_export
+
+    result = run_pipeline(args)
+    path = write_export(result, args.out)
+    print(f"wrote {path} ({len(result.clusters)} clusters)")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.viz.dashboard import write_dashboard
+
+    result = run_pipeline(args)
+    path = write_dashboard(
+        result,
+        args.out,
+        method=RANKING_BY_NAME[args.method],
+        top_k=args.top,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.profile import build_drug_profile
+    from repro.faers.cleaning import normalize_drug_name
+
+    result = run_pipeline(args)
+    profile = build_drug_profile(result, normalize_drug_name(args.drug))
+    print(profile.describe(result.catalog))
+    print("body systems:", "; ".join(sorted(profile.body_systems)) or "none")
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "stats": cmd_stats,
+    "mine": cmd_mine,
+    "render": cmd_render,
+    "validate": cmd_validate,
+    "study": cmd_study,
+    "report": cmd_report,
+    "export": cmd_export,
+    "dashboard": cmd_dashboard,
+    "profile": cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

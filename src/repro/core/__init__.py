@@ -1,0 +1,91 @@
+"""The MeDIAR/MARAS core: the paper's contribution.
+
+- :mod:`repro.core.association` — drug-ADR association model and the
+  explicit / implicit / unsupported taxonomy of §3.3.
+- :mod:`repro.core.context` — contextual rules and the Multi-level
+  Contextual Association Cluster (MCAC) of §3.5.
+- :mod:`repro.core.exclusiveness` — the exclusiveness score of §3.6 in
+  its three refinements, plus decay functions.
+- :mod:`repro.core.improvement` — Bayardo's improvement baseline
+  (Eq. 3.2).
+- :mod:`repro.core.ranking` — ranking strategies (confidence, lift,
+  exclusiveness-with-confidence, exclusiveness-with-lift, improvement)
+  and the Table 5.2 side-by-side comparison.
+- :mod:`repro.core.pipeline` — the end-to-end :class:`Maras` system:
+  reports → cleaning → closed mining → drug→ADR rules → MCACs →
+  exclusiveness ranking → report linkage.
+"""
+
+from repro.core.association import (
+    DrugADRAssociation,
+    SupportType,
+    classify_support,
+    is_pairwise_implicit,
+)
+from repro.core.context import MCAC, ContextualRule, build_cluster, build_clusters
+from repro.core.exclusiveness import (
+    DECAY_FUNCTIONS,
+    ExclusivenessConfig,
+    exclusiveness,
+    exclusiveness_cv,
+    exclusiveness_simple,
+)
+from repro.core.export import export_result, load_export, write_export
+from repro.core.improvement import improvement
+from repro.core.incremental import BatchDelta, SurveillanceMonitor
+from repro.core.pipeline import Maras, MarasConfig, MarasResult
+from repro.core.profile import DrugProfile, build_drug_profile
+from repro.core.ranking import RankedCluster, RankingMethod, rank_clusters, ranking_table
+from repro.core.report_builder import build_quarter_report, write_quarter_report
+from repro.core.similarity import (
+    SimilarCluster,
+    content_similarity,
+    shape_similarity,
+    similar_clusters,
+)
+from repro.core.trends import SignalTrend, TrendKind, build_trends, emerging_signals
+from repro.core.uncertainty import ScoreInterval, bootstrap_exclusiveness, score_intervals
+
+__all__ = [
+    "BatchDelta",
+    "DECAY_FUNCTIONS",
+    "ContextualRule",
+    "DrugProfile",
+    "build_drug_profile",
+    "DrugADRAssociation",
+    "ExclusivenessConfig",
+    "MCAC",
+    "Maras",
+    "MarasConfig",
+    "MarasResult",
+    "RankedCluster",
+    "RankingMethod",
+    "ScoreInterval",
+    "SignalTrend",
+    "SimilarCluster",
+    "SupportType",
+    "SurveillanceMonitor",
+    "TrendKind",
+    "bootstrap_exclusiveness",
+    "build_cluster",
+    "build_clusters",
+    "build_quarter_report",
+    "build_trends",
+    "classify_support",
+    "content_similarity",
+    "emerging_signals",
+    "exclusiveness",
+    "exclusiveness_cv",
+    "exclusiveness_simple",
+    "export_result",
+    "improvement",
+    "is_pairwise_implicit",
+    "load_export",
+    "rank_clusters",
+    "ranking_table",
+    "score_intervals",
+    "shape_similarity",
+    "similar_clusters",
+    "write_export",
+    "write_quarter_report",
+]

@@ -1,0 +1,147 @@
+"""Contextual rules and Multi-level Contextual Association Clusters (§3.5).
+
+A *contextual rule* of a target drug-ADR rule ``A ⇒ B`` is any rule
+``X ⇒ B`` with ``X`` a proper non-empty subset of ``A`` (Def. 3.5.1);
+the *context* is the complete set of them, one per element of
+``P(A) − {A, ∅}`` (Def. 3.5.2). An :class:`MCAC` bundles the target with
+its context, grouped by the cardinality of the contextual antecedent —
+exactly Table 3.1's layout.
+
+Contextual rules are *measurements*, not mined discoveries: their
+metrics are computed directly from the database even when the
+corresponding itemset is not closed, because the exclusiveness score
+needs the strength of every subset regardless of whether the subset
+would have survived mining on its own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import ConfigError
+from repro.mining.measures import RuleMetrics
+from repro.mining.rules import AssociationRule
+from repro.mining.transactions import Itemset, TransactionDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class ContextualRule:
+    """One sub-rule ``X ⇒ B`` of a target's context.
+
+    ``cardinality`` is |X| — the grouping key of the MCAC display and
+    the level index ``k`` of the exclusiveness decay.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    metrics: RuleMetrics
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.antecedent)
+
+    def describe(self, catalog) -> str:
+        left = " ".join(f"[{label}]" for label in catalog.labels(self.antecedent))
+        right = " ".join(f"[{label}]" for label in catalog.labels(self.consequent))
+        return f"{left} => {right}"
+
+
+@dataclass(frozen=True, slots=True)
+class MCAC:
+    """A target drug-ADR rule plus its complete multi-level context.
+
+    ``levels`` maps antecedent cardinality ``k`` (1 ≤ k < n_drugs) to
+    that level's contextual rules, each level sorted by descending
+    confidence (the order the glyph renders them in).
+    """
+
+    target: AssociationRule
+    levels: dict[int, tuple[ContextualRule, ...]]
+
+    @property
+    def n_drugs(self) -> int:
+        return len(self.target.antecedent)
+
+    @property
+    def context_size(self) -> int:
+        """|P(A)| − 2 = 2^n − 2 contextual rules in a complete context."""
+        return sum(len(rules) for rules in self.levels.values())
+
+    def context_values(self, measure: str = "confidence") -> dict[int, list[float]]:
+        """Per-level measure values v_k, in the stored (descending) order."""
+        return {
+            k: [rule.metrics.value(measure) for rule in rules]
+            for k, rules in self.levels.items()
+        }
+
+    def all_context_rules(self) -> list[ContextualRule]:
+        """Every contextual rule, deepest level first (Table 3.1 order)."""
+        rules: list[ContextualRule] = []
+        for level in sorted(self.levels, reverse=True):
+            rules.extend(self.levels[level])
+        return rules
+
+    def describe(self, catalog) -> str:
+        """Render in the layout of Table 3.1."""
+        lines = [f"R    {self.target.describe(catalog)}"]
+        for level in sorted(self.levels, reverse=True):
+            for index, rule in enumerate(self.levels[level], start=1):
+                lines.append(
+                    f"R~{level}{index}  {rule.describe(catalog)}"
+                    f"  (conf={rule.metrics.confidence:.3f})"
+                )
+        return "\n".join(lines)
+
+
+def build_cluster(
+    target: AssociationRule, database: TransactionDatabase
+) -> MCAC:
+    """Build the complete MCAC of one multi-drug target rule.
+
+    Raises :class:`~repro.errors.ConfigError` for a single-drug target:
+    its context would be empty and the paper only evaluates rules with
+    more than one drug (§3.4).
+    """
+    n_drugs = len(target.antecedent)
+    if n_drugs < 2:
+        raise ConfigError(
+            "MCAC requires a multi-drug target rule "
+            f"(got {n_drugs} antecedent item)"
+        )
+    antecedent_items = sorted(target.antecedent)
+    consequent = target.consequent
+    n_consequent = database.support(consequent)
+    n_total = len(database)
+
+    levels: dict[int, tuple[ContextualRule, ...]] = {}
+    for cardinality in range(1, n_drugs):
+        rules = []
+        for subset in combinations(antecedent_items, cardinality):
+            antecedent = frozenset(subset)
+            metrics = RuleMetrics.from_counts(
+                n_joint=database.support(antecedent | consequent),
+                n_antecedent=database.support(antecedent),
+                n_consequent=n_consequent,
+                n_total=n_total,
+            )
+            rules.append(ContextualRule(antecedent, consequent, metrics))
+        rules.sort(key=lambda r: (-r.metrics.confidence, sorted(r.antecedent)))
+        levels[cardinality] = tuple(rules)
+    return MCAC(target=target, levels=levels)
+
+
+def build_clusters(
+    targets: Sequence[AssociationRule], database: TransactionDatabase
+) -> list[MCAC]:
+    """Build MCACs for every multi-drug rule of ``targets``.
+
+    Single-drug rules are skipped silently — the caller's rule list may
+    legitimately mix cardinalities (the mining step does).
+    """
+    return [
+        build_cluster(rule, database)
+        for rule in targets
+        if len(rule.antecedent) >= 2
+    ]

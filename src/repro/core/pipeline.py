@@ -1,0 +1,272 @@
+"""The end-to-end MeDIAR/MARAS pipeline (§5.2's four mining steps).
+
+:class:`Maras` wires the substrates together:
+
+1. **prepare** — clean the raw case reports
+   (:class:`~repro.faers.cleaning.ReportCleaner`) and encode them as a
+   transaction database with drug/ADR item kinds;
+2. **mine** — closed frequent itemsets
+   (:func:`~repro.mining.fpclose.fpclose`) at a low support threshold;
+3. **filter** — keep rules with drug-only antecedents and ADR-only
+   consequents (:func:`~repro.mining.rules.partitioned_rules`), restrict
+   to multi-drug rules;
+4. **cluster & rank** — build each rule's MCAC and rank by the
+   exclusiveness measure.
+
+The :class:`MarasResult` keeps the encoded dataset, so every ranked
+cluster can be drilled down to its supporting source reports (§4.1) and
+re-ranked under any method without re-mining.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.association import DrugADRAssociation, SupportType
+from repro.core.context import MCAC, build_clusters
+from repro.core.ranking import RankedCluster, RankingMethod, rank_clusters, ranking_table
+from repro.errors import ConfigError
+from repro.faers.cleaning import CleaningStats, ReportCleaner
+from repro.faers.dataset import ADR_KIND, DRUG_KIND, EncodedDataset, ReportDataset
+from repro.faers.schema import CaseReport
+from repro.mining.fpclose import fpclose
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.rules import (
+    count_all_splits,
+    count_partitioned_splits,
+    partitioned_rules,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MarasConfig:
+    """Knobs of one pipeline run.
+
+    Attributes
+    ----------
+    min_support:
+        Absolute count (int) or fraction (float). The paper mines at a
+        deliberately *low* support so rare interactions are not lost.
+    max_itemset_len:
+        Cardinality cap on mined itemsets (drugs + ADRs combined);
+        bounds both runtime and rule length.
+    max_drugs:
+        Evaluate combinations of 2..max_drugs drugs (the paper's tables
+        and user study go up to 4).
+    min_confidence:
+        Rule-level confidence floor applied at generation (0 keeps all).
+    clean:
+        Run the cleaning pass (merge case versions, drop duplicates,
+        normalize names) before encoding. Disable only for data that is
+        already canonical — e.g. the synthetic generator's output.
+    count_rule_space:
+        Also mine *all* frequent itemsets and count the traditional and
+        filtered rule spaces (the Fig 5.1 series). Costs a second mining
+        pass; off by default.
+    theta, decay:
+        Exclusiveness parameters forwarded to the rankers.
+    """
+
+    min_support: int | float = 5
+    max_itemset_len: int | None = 8
+    max_drugs: int = 4
+    min_confidence: float = 0.0
+    clean: bool = True
+    count_rule_space: bool = False
+    theta: float = 0.5
+    decay: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.max_drugs < 2:
+            raise ConfigError(f"max_drugs must be >= 2, got {self.max_drugs}")
+        if self.max_itemset_len is not None and self.max_itemset_len < 3:
+            raise ConfigError(
+                "max_itemset_len must allow at least 2 drugs + 1 ADR, "
+                f"got {self.max_itemset_len}"
+            )
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ConfigError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class RuleSpaceCounts:
+    """The three series of Fig 5.1 for one quarter."""
+
+    total_rules: int
+    filtered_rules: int
+    mcacs: int
+
+
+class MarasResult:
+    """Everything one pipeline run produced, with drill-down helpers."""
+
+    def __init__(
+        self,
+        config: MarasConfig,
+        dataset: ReportDataset,
+        encoded: EncodedDataset,
+        associations: list[DrugADRAssociation],
+        clusters: list[MCAC],
+        cleaning_stats: CleaningStats | None,
+        rule_counts: RuleSpaceCounts | None,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.encoded = encoded
+        self.associations = associations
+        self.clusters = clusters
+        self.cleaning_stats = cleaning_stats
+        self.rule_counts = rule_counts
+
+    @property
+    def catalog(self):
+        return self.encoded.catalog
+
+    def rank(
+        self,
+        method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+        *,
+        top_k: int | None = None,
+    ) -> list[RankedCluster]:
+        """Rank this run's clusters under one method."""
+        return rank_clusters(
+            self.clusters,
+            method,
+            top_k=top_k,
+            theta=self.config.theta,
+            decay=self.config.decay,
+        )
+
+    def ranking_table(self, *, top_k: int = 5):
+        """Table 5.2: the four rankings side by side."""
+        return ranking_table(
+            self.clusters,
+            top_k=top_k,
+            theta=self.config.theta,
+            decay=self.config.decay,
+        )
+
+    def search(
+        self,
+        *,
+        drug: str | None = None,
+        adr: str | None = None,
+    ) -> list[MCAC]:
+        """§4.1 highlighting: clusters mentioning a drug and/or an ADR.
+
+        Matching is exact on canonical labels; pass names through the
+        normalizers of :mod:`repro.faers.cleaning` first when searching
+        with verbatim strings.
+        """
+        if drug is None and adr is None:
+            raise ConfigError("search needs a drug, an adr, or both")
+        drug_id = self.catalog.get_id(drug) if drug is not None else None
+        adr_id = self.catalog.get_id(adr) if adr is not None else None
+        if drug is not None and drug_id is None:
+            return []
+        if adr is not None and adr_id is None:
+            return []
+        matches = []
+        for cluster in self.clusters:
+            if drug_id is not None and drug_id not in cluster.target.antecedent:
+                continue
+            if adr_id is not None and adr_id not in cluster.target.consequent:
+                continue
+            matches.append(cluster)
+        return matches
+
+    def supporting_reports(self, cluster: MCAC) -> list[CaseReport]:
+        """§4.1 drill-down: the raw reports behind one cluster's target rule."""
+        return self.encoded.supporting_reports(cluster.target.items)
+
+
+class Maras:
+    """The MeDIAR/MARAS analytics system.
+
+    >>> from repro.faers import SyntheticConfig, SyntheticFAERSGenerator
+    >>> reports = SyntheticFAERSGenerator(SyntheticConfig(n_reports=800)).generate()
+    >>> result = Maras(MarasConfig(min_support=4, clean=False)).run(reports)
+    >>> top = result.rank(top_k=5)
+    """
+
+    def __init__(self, config: MarasConfig | None = None) -> None:
+        self.config = config if config is not None else MarasConfig()
+
+    def run(
+        self, reports: Sequence[CaseReport] | ReportDataset
+    ) -> MarasResult:
+        """Execute the full pipeline over ``reports``."""
+        config = self.config
+        cleaning_stats: CleaningStats | None = None
+        if isinstance(reports, ReportDataset):
+            dataset = reports
+        else:
+            rows = list(reports)
+            if config.clean:
+                rows, cleaning_stats = ReportCleaner().clean(rows)
+            dataset = ReportDataset(rows)
+
+        encoded = dataset.encode()
+        database = encoded.database
+
+        closed = fpclose(
+            database,
+            config.min_support,
+            max_len=config.max_itemset_len,
+        )
+        rules = partitioned_rules(
+            closed,
+            database,
+            antecedent_kind=DRUG_KIND,
+            consequent_kind=ADR_KIND,
+            min_confidence=config.min_confidence,
+        )
+        multi_drug_rules = [
+            rule
+            for rule in rules
+            if 2 <= len(rule.antecedent) <= config.max_drugs
+        ]
+        associations = [
+            DrugADRAssociation.from_rule(rule, database)
+            for rule in multi_drug_rules
+        ]
+        # Every closed rule must classify as supported — this is
+        # Lemma 3.4.2 holding at runtime, not a filter.
+        unsupported = [
+            a for a in associations if a.support_type is SupportType.UNSUPPORTED
+        ]
+        if unsupported:
+            raise ConfigError(
+                f"internal error: {len(unsupported)} closed rules classified "
+                "as unsupported; Lemma 3.4.2 violated"
+            )
+        clusters = build_clusters(multi_drug_rules, database)
+
+        rule_counts: RuleSpaceCounts | None = None
+        if config.count_rule_space:
+            all_frequent = fpgrowth(
+                database, config.min_support, max_len=config.max_itemset_len
+            )
+            catalog = encoded.catalog
+            rule_counts = RuleSpaceCounts(
+                total_rules=count_all_splits(all_frequent),
+                filtered_rules=count_partitioned_splits(
+                    all_frequent,
+                    catalog.ids_of_kind(DRUG_KIND),
+                    catalog.ids_of_kind(ADR_KIND),
+                ),
+                mcacs=len(clusters),
+            )
+
+        return MarasResult(
+            config=config,
+            dataset=dataset,
+            encoded=encoded,
+            associations=associations,
+            clusters=clusters,
+            cleaning_stats=cleaning_stats,
+            rule_counts=rule_counts,
+        )

@@ -1,0 +1,142 @@
+"""Drug-centric risk profiles.
+
+§4.1's first interaction: the evaluator types a drug name and wants
+everything the quarter knows about it on one screen. A
+:class:`DrugProfile` bundles that view:
+
+- exposure: how many reports mention the drug;
+- single-drug ADR signals (PRR-screened, per the Evans criteria);
+- every multi-drug cluster the drug participates in, rank-annotated;
+- the worst reaction severity and the body systems involved.
+
+Built from a finished :class:`~repro.core.pipeline.MarasResult`, so no
+re-mining happens per lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import MCAC
+from repro.core.pipeline import MarasResult
+from repro.core.ranking import RankingMethod
+from repro.errors import ConfigError
+from repro.knowledge.meddra import MedDRAHierarchy, default_hierarchy
+from repro.knowledge.severity import Severity, SeverityIndex, default_severity_index
+from repro.signals.contingency import contingency_for
+from repro.signals.disproportionality import (
+    proportional_reporting_ratio,
+    prr_signal_test,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SoloSignal:
+    """One PRR-screened single-drug ADR signal."""
+
+    adr: str
+    n_cases: int
+    prr: float
+
+
+@dataclass(frozen=True, slots=True)
+class DrugProfile:
+    """Everything one quarter knows about one drug."""
+
+    drug: str
+    n_reports: int
+    solo_signals: tuple[SoloSignal, ...]
+    clusters: tuple[tuple[int, MCAC], ...]  # (rank, cluster)
+    worst_severity: Severity
+    body_systems: frozenset[str]
+
+    @property
+    def n_interactions(self) -> int:
+        return len(self.clusters)
+
+    def describe(self, catalog) -> str:
+        lines = [
+            f"{self.drug}: {self.n_reports} reports, "
+            f"{len(self.solo_signals)} solo signals, "
+            f"{self.n_interactions} interaction clusters, "
+            f"worst severity {self.worst_severity.name.lower()}"
+        ]
+        for signal in self.solo_signals[:5]:
+            lines.append(
+                f"  solo  {signal.adr}  (n={signal.n_cases}, PRR={signal.prr:.1f})"
+            )
+        for rank, cluster in self.clusters[:5]:
+            lines.append(f"  #{rank:<4d} {cluster.target.describe(catalog)}")
+        return "\n".join(lines)
+
+
+def build_drug_profile(
+    result: MarasResult,
+    drug: str,
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    max_solo_signals: int = 10,
+    severity: SeverityIndex | None = None,
+    hierarchy: MedDRAHierarchy | None = None,
+) -> DrugProfile:
+    """Assemble the profile of one drug from a pipeline result.
+
+    ``drug`` must be the canonical (cleaned) label; an unknown drug
+    raises :class:`~repro.errors.ConfigError` rather than returning an
+    empty profile, since a typo and a signal-free drug deserve
+    different reactions.
+    """
+    if max_solo_signals < 0:
+        raise ConfigError(f"max_solo_signals must be >= 0, got {max_solo_signals}")
+    severity = severity if severity is not None else default_severity_index()
+    hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
+    catalog = result.catalog
+    drug_id = catalog.get_id(drug)
+    if drug_id is None or catalog.kind_of(drug_id) != "drug":
+        raise ConfigError(f"unknown drug {drug!r}")
+
+    database = result.encoded.database
+    exposure_tids = database.tidset(drug_id)
+
+    # Solo signals: PRR screen of every ADR co-reported with the drug.
+    adr_counts: dict[int, int] = {}
+    adr_ids = catalog.ids_of_kind("adr")
+    for tid in exposure_tids:
+        for item in database[tid] & adr_ids:
+            adr_counts[item] = adr_counts.get(item, 0) + 1
+    solo: list[SoloSignal] = []
+    for adr_id, count in adr_counts.items():
+        table = contingency_for(
+            database, frozenset({drug_id}), frozenset({adr_id})
+        )
+        if prr_signal_test(table):
+            solo.append(
+                SoloSignal(
+                    adr=catalog.label(adr_id),
+                    n_cases=count,
+                    prr=proportional_reporting_ratio(table),
+                )
+            )
+    solo.sort(key=lambda s: (-s.prr, -s.n_cases, s.adr))
+    solo = solo[:max_solo_signals]
+
+    ranked = result.rank(method)
+    involved = tuple(
+        (entry.rank, entry.cluster)
+        for entry in ranked
+        if drug_id in entry.cluster.target.antecedent
+    )
+
+    reaction_labels = {s.adr for s in solo} | {
+        label
+        for _, cluster in involved
+        for label in catalog.labels(cluster.target.consequent)
+    }
+    return DrugProfile(
+        drug=drug,
+        n_reports=len(exposure_tids),
+        solo_signals=tuple(solo),
+        clusters=involved,
+        worst_severity=severity.max_severity(reaction_labels),
+        body_systems=hierarchy.socs_of(reaction_labels),
+    )

@@ -1,0 +1,139 @@
+"""One-shot markdown surveillance report for a mined quarter.
+
+Bundles everything a drug-safety evaluator reads per quarter into one
+document: dataset statistics (Table 5.1 row), rule-space reduction
+(when counted), the top-k ranking with novelty classification against
+the DDI reference and severity flags, and per-cluster detail sections
+with contextual rules and sample supporting cases. This is the textual
+twin of the demo's dashboard.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.pipeline import MarasResult
+from repro.core.ranking import RankingMethod
+from repro.errors import ConfigError
+from repro.knowledge.ddi_reference import DDIReference, default_reference
+from repro.knowledge.meddra import MedDRAHierarchy, default_hierarchy
+from repro.knowledge.severity import SeverityIndex, default_severity_index
+
+
+def build_quarter_report(
+    result: MarasResult,
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    top_k: int = 10,
+    detail_k: int = 3,
+    sample_cases: int = 3,
+    reference: DDIReference | None = None,
+    severity: SeverityIndex | None = None,
+    hierarchy: MedDRAHierarchy | None = None,
+) -> str:
+    """Render the quarter report as markdown.
+
+    ``top_k`` rows appear in the ranking table; the first ``detail_k``
+    of them get a detail section with their context and up to
+    ``sample_cases`` supporting case ids.
+    """
+    if top_k < 1 or detail_k < 0 or sample_cases < 0:
+        raise ConfigError("top_k must be >= 1; detail_k/sample_cases >= 0")
+    reference = reference if reference is not None else default_reference()
+    severity = severity if severity is not None else default_severity_index()
+    hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
+    catalog = result.catalog
+    stats = result.dataset.stats()
+
+    lines: list[str] = []
+    title_quarter = stats.quarter or "unlabelled dataset"
+    lines.append(f"# MeDIAR quarterly surveillance report — {title_quarter}")
+    lines.append("")
+    lines.append("## Dataset")
+    lines.append("")
+    lines.append("| reports | distinct drugs | distinct ADRs | multi-drug clusters |")
+    lines.append("|---|---|---|---|")
+    lines.append(
+        f"| {stats.n_reports:,d} | {stats.n_drugs:,d} | {stats.n_adrs:,d} "
+        f"| {len(result.clusters):,d} |"
+    )
+    if result.cleaning_stats is not None:
+        cleaning = result.cleaning_stats
+        lines.append("")
+        lines.append(
+            f"Cleaning: {cleaning.rows_in:,d} rows in, "
+            f"{cleaning.cases_merged:,d} case versions merged, "
+            f"{cleaning.exact_duplicates_dropped:,d} duplicates dropped, "
+            f"{cleaning.drug_names_corrected:,d} drug names corrected."
+        )
+    if result.rule_counts is not None:
+        counts = result.rule_counts
+        lines.append("")
+        lines.append("## Rule-space reduction")
+        lines.append("")
+        lines.append("| total rules | drug→ADR rules | MCACs |")
+        lines.append("|---|---|---|")
+        lines.append(
+            f"| {counts.total_rules:,d} | {counts.filtered_rules:,d} "
+            f"| {counts.mcacs:,d} |"
+        )
+
+    ranked = result.rank(method, top_k=top_k)
+    lines.append("")
+    lines.append(f"## Top {len(ranked)} interactions ({method.value})")
+    lines.append("")
+    lines.append(
+        "| # | drugs | reactions | score | support | novelty | severity "
+        "| body systems |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for entry in ranked:
+        drugs = catalog.labels(entry.cluster.target.antecedent)
+        adrs = catalog.labels(entry.cluster.target.consequent)
+        novelty = reference.classify(drugs, adrs)
+        worst = severity.max_severity(adrs).name.replace("_", " ").lower()
+        socs = "; ".join(sorted(hierarchy.socs_of(adrs)))
+        lines.append(
+            f"| {entry.rank} | {' + '.join(drugs)} | {', '.join(adrs)} "
+            f"| {entry.score:.3f} | {entry.cluster.target.metrics.n_joint} "
+            f"| {novelty} | {worst} | {socs} |"
+        )
+
+    for entry in ranked[:detail_k]:
+        cluster = entry.cluster
+        drugs = catalog.labels(cluster.target.antecedent)
+        lines.append("")
+        lines.append(f"### #{entry.rank} — {' + '.join(drugs)}")
+        lines.append("")
+        lines.append(
+            f"Target confidence {cluster.target.metrics.confidence:.3f}, "
+            f"lift {cluster.target.metrics.lift:.2f}, "
+            f"support {cluster.target.metrics.n_joint}."
+        )
+        lines.append("")
+        lines.append("| context (drugs) | k | confidence |")
+        lines.append("|---|---|---|")
+        for rule in cluster.all_context_rules():
+            lines.append(
+                f"| {' + '.join(catalog.labels(rule.antecedent))} "
+                f"| {rule.cardinality} | {rule.metrics.confidence:.3f} |"
+            )
+        if sample_cases:
+            reports = result.supporting_reports(cluster)[:sample_cases]
+            lines.append("")
+            lines.append(
+                "Sample supporting cases: "
+                + ", ".join(report.case_id for report in reports)
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_quarter_report(
+    result: MarasResult, path: str | Path, **kwargs
+) -> Path:
+    """Build and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_quarter_report(result, **kwargs), encoding="utf-8")
+    return path

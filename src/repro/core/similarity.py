@@ -1,0 +1,123 @@
+"""Cluster similarity (§4.1: "highlight drug-drug interactions that are
+similar to each other based on the defined interestingness criteria").
+
+Two clusters can be similar in two senses, both useful to an analyst:
+
+- **content similarity** — they involve overlapping drugs and reactions
+  (Jaccard over the target rule's labels); the analyst reviewing one
+  wants the near-misses next to it;
+- **shape similarity** — their glyphs look alike: comparable target
+  strength against a comparable context profile, regardless of which
+  drugs are involved. Shape is summarized by a fixed-length descriptor
+  (target confidence, per-level context mean/max/min, exclusiveness),
+  compared with Euclidean distance mapped to (0, 1].
+
+:func:`similar_clusters` ranks a result's other clusters against a
+query cluster by a blend of the two.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.context import MCAC
+from repro.core.exclusiveness import ExclusivenessConfig, exclusiveness
+from repro.errors import ConfigError
+
+_DESCRIPTOR_LEVELS = 3  # context levels summarized (covers up to 4-drug rules)
+
+
+def shape_descriptor(cluster: MCAC) -> tuple[float, ...]:
+    """Fixed-length numeric summary of a cluster's glyph shape."""
+    values: list[float] = [cluster.target.metrics.confidence]
+    context = cluster.context_values("confidence")
+    for level in range(1, _DESCRIPTOR_LEVELS + 1):
+        level_values = context.get(level, [])
+        if level_values:
+            values.extend(
+                (
+                    sum(level_values) / len(level_values),
+                    max(level_values),
+                    min(level_values),
+                )
+            )
+        else:
+            values.extend((0.0, 0.0, 0.0))
+    values.append(exclusiveness(cluster, ExclusivenessConfig()))
+    return tuple(values)
+
+
+def shape_similarity(left: MCAC, right: MCAC) -> float:
+    """Glyph-shape similarity in (0, 1]; 1 means identical descriptors."""
+    a = shape_descriptor(left)
+    b = shape_descriptor(right)
+    distance = math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    return 1.0 / (1.0 + distance)
+
+
+def content_similarity(left: MCAC, right: MCAC, catalog) -> float:
+    """Jaccard over the two target rules' drug+ADR label sets."""
+    items_left = set(catalog.labels(left.target.items))
+    items_right = set(catalog.labels(right.target.items))
+    union = items_left | items_right
+    if not union:
+        return 0.0
+    return len(items_left & items_right) / len(union)
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarCluster:
+    """One neighbor of a query cluster."""
+
+    cluster: MCAC
+    similarity: float
+    content: float
+    shape: float
+
+
+def similar_clusters(
+    clusters: Sequence[MCAC],
+    query: MCAC,
+    catalog,
+    *,
+    top_k: int = 5,
+    content_weight: float = 0.5,
+) -> list[SimilarCluster]:
+    """The ``top_k`` clusters most similar to ``query``.
+
+    ``content_weight`` blends content vs shape similarity (0 = shape
+    only, 1 = content only). The query itself is excluded by identity,
+    not equality — a distinct cluster with an identical rule is a
+    legitimate (and interesting) neighbor.
+    """
+    if not 0.0 <= content_weight <= 1.0:
+        raise ConfigError(
+            f"content_weight must be in [0, 1], got {content_weight}"
+        )
+    if top_k < 1:
+        raise ConfigError(f"top_k must be >= 1, got {top_k}")
+    neighbors: list[SimilarCluster] = []
+    for cluster in clusters:
+        if cluster is query:
+            continue
+        content = content_similarity(query, cluster, catalog)
+        shape = shape_similarity(query, cluster)
+        blended = content_weight * content + (1.0 - content_weight) * shape
+        neighbors.append(
+            SimilarCluster(
+                cluster=cluster,
+                similarity=blended,
+                content=content,
+                shape=shape,
+            )
+        )
+    neighbors.sort(
+        key=lambda n: (
+            -n.similarity,
+            sorted(n.cluster.target.antecedent),
+            sorted(n.cluster.target.consequent),
+        )
+    )
+    return neighbors[:top_k]

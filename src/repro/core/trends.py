@@ -1,0 +1,162 @@
+"""Cross-quarter signal trends.
+
+The paper evaluates each 2014 quarter independently; a drug-safety team
+reads them as a *sequence*. This module lines up the per-quarter
+pipeline results and tracks every cluster identity (drug labels, ADR
+labels) across quarters:
+
+- :func:`build_trends` — per-cluster trajectory of support, confidence
+  and exclusiveness score over the quarter sequence;
+- :class:`SignalTrend` — classification into ``emerging`` (absent early,
+  present and strengthening late), ``strengthening``, ``stable``,
+  ``weakening``, ``transient`` (appears once, disappears);
+- :func:`emerging_signals` — the watchlist a quarterly review starts
+  from.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.incremental import ClusterKey, cluster_key
+from repro.core.pipeline import MarasResult
+from repro.core.ranking import RankingMethod, score_cluster
+from repro.errors import ConfigError
+
+
+class TrendKind(enum.Enum):
+    """Classification of a cluster's cross-quarter trajectory."""
+
+    EMERGING = "emerging"
+    STRENGTHENING = "strengthening"
+    STABLE = "stable"
+    WEAKENING = "weakening"
+    TRANSIENT = "transient"
+
+
+@dataclass(frozen=True, slots=True)
+class SignalTrend:
+    """One cluster identity's trajectory across an ordered quarter list.
+
+    ``scores`` and ``supports`` hold one entry per quarter, ``None``
+    where the cluster was not mined that quarter.
+    """
+
+    key: ClusterKey
+    quarters: tuple[str, ...]
+    scores: tuple[float | None, ...]
+    supports: tuple[int | None, ...]
+    kind: TrendKind
+
+    @property
+    def quarters_present(self) -> int:
+        return sum(1 for score in self.scores if score is not None)
+
+    def describe(self) -> str:
+        drugs, adrs = self.key
+        series = " ".join(
+            "--" if score is None else f"{score:.2f}" for score in self.scores
+        )
+        return f"[{self.kind.value:>13s}] {' + '.join(drugs)} => {', '.join(adrs)}  ({series})"
+
+
+def _classify(
+    scores: Sequence[float | None], *, change_threshold: float
+) -> TrendKind:
+    present = [
+        (index, score) for index, score in enumerate(scores) if score is not None
+    ]
+    n_quarters = len(scores)
+    if len(present) == 1:
+        return TrendKind.TRANSIENT
+    first_index = present[0][0]
+    last_index = present[-1][0]
+    first_score = present[0][1]
+    last_score = present[-1][1]
+    absent_early = first_index >= (n_quarters + 1) // 2
+    present_at_end = last_index == n_quarters - 1
+    if absent_early and present_at_end:
+        return TrendKind.EMERGING
+    delta = last_score - first_score
+    if delta > change_threshold:
+        return TrendKind.STRENGTHENING
+    if delta < -change_threshold:
+        return TrendKind.WEAKENING
+    if not present_at_end:
+        return TrendKind.WEAKENING
+    return TrendKind.STABLE
+
+
+def build_trends(
+    results_by_quarter: Mapping[str, MarasResult],
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    change_threshold: float = 0.05,
+) -> list[SignalTrend]:
+    """Trajectories of every cluster identity across the quarter sequence.
+
+    Quarters are processed in sorted label order (2014Q1 < 2014Q2 < ...).
+    """
+    if not results_by_quarter:
+        raise ConfigError("need at least one quarter result")
+    if change_threshold < 0:
+        raise ConfigError(f"change_threshold must be >= 0, got {change_threshold}")
+    quarters = tuple(sorted(results_by_quarter))
+
+    per_quarter: list[dict[ClusterKey, tuple[float, int]]] = []
+    for quarter in quarters:
+        result = results_by_quarter[quarter]
+        table: dict[ClusterKey, tuple[float, int]] = {}
+        for cluster in result.clusters:
+            key = cluster_key(result, cluster)
+            score = score_cluster(
+                cluster,
+                method,
+                theta=result.config.theta,
+                decay=result.config.decay,
+            )
+            existing = table.get(key)
+            if existing is None or score > existing[0]:
+                table[key] = (score, cluster.target.metrics.n_joint)
+        per_quarter.append(table)
+
+    all_keys = sorted({key for table in per_quarter for key in table})
+    trends: list[SignalTrend] = []
+    for key in all_keys:
+        scores = tuple(
+            table[key][0] if key in table else None for table in per_quarter
+        )
+        supports = tuple(
+            table[key][1] if key in table else None for table in per_quarter
+        )
+        trends.append(
+            SignalTrend(
+                key=key,
+                quarters=quarters,
+                scores=scores,
+                supports=supports,
+                kind=_classify(scores, change_threshold=change_threshold),
+            )
+        )
+    return trends
+
+
+def emerging_signals(
+    results_by_quarter: Mapping[str, MarasResult],
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    min_final_score: float = 0.0,
+) -> list[SignalTrend]:
+    """Emerging trends, strongest final score first — the review watchlist."""
+    trends = build_trends(results_by_quarter, method=method)
+    emerging = [
+        trend
+        for trend in trends
+        if trend.kind is TrendKind.EMERGING
+        and trend.scores[-1] is not None
+        and trend.scores[-1] >= min_final_score
+    ]
+    emerging.sort(key=lambda trend: -(trend.scores[-1] or 0.0))
+    return emerging

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can guard a whole pipeline run with a
+single ``except ReproError`` without accidentally swallowing genuine
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid parameter value was supplied to a public API."""
+
+
+class MiningError(ReproError):
+    """The itemset-mining substrate was used inconsistently.
+
+    Examples: asking for rules before mining itemsets, or querying the
+    support of an item that is not in the catalog.
+    """
+
+
+class UnknownItemError(MiningError, KeyError):
+    """An item label or item id was not found in the catalog."""
+
+    def __init__(self, item: object) -> None:
+        super().__init__(item)
+        self.item = item
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return f"unknown item: {self.item!r}"
+
+
+class ParseError(ReproError):
+    """A FAERS source file could not be parsed.
+
+    Attributes
+    ----------
+    path:
+        The file being parsed, if known.
+    line_number:
+        1-based line number of the offending record, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line_number: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line_number = line_number
+
+    def __str__(self) -> str:
+        location = ""
+        if self.path is not None:
+            location = f" [{self.path}"
+            if self.line_number is not None:
+                location += f":{self.line_number}"
+            location += "]"
+        return super().__str__() + location
+
+
+class ValidationError(ReproError):
+    """A data record violated a schema-level invariant."""

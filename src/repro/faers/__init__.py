@@ -1,0 +1,66 @@
+"""FAERS substrate: schema, parsing, cleaning, and synthetic generation.
+
+The FDA Adverse Event Reporting System publishes quarterly extracts of
+spontaneous adverse-event reports. MeDIAR consumes an abstraction of a
+report — *case → (set of drugs taken, set of ADRs observed)* — and this
+package provides every step from raw quarterly files to that
+abstraction:
+
+- :mod:`repro.faers.schema` — record and report dataclasses.
+- :mod:`repro.faers.parser` — parser for the ``$``-delimited ASCII
+  quarterly files (both legacy AERS ``ISR`` and modern ``primaryid``
+  layouts).
+- :mod:`repro.faers.cleaning` — drug-name normalization, misspelling
+  repair against a vocabulary, and case de-duplication (§5.2's "data
+  preparation and cleaning" step).
+- :mod:`repro.faers.dataset` — :class:`ReportDataset`, the bridge from
+  reports to the mining substrate's transaction database, with report
+  linkage preserved so ranked rules can be traced back to source cases.
+- :mod:`repro.faers.synthetic` — a generator of synthetic FAERS quarters
+  with *planted* drug-drug-interaction ground truth, standing in for the
+  real 2014 extracts (see DESIGN.md, substitutions).
+- :mod:`repro.faers.vocab` — drug/ADR vocabularies seeded with the names
+  appearing in the paper.
+"""
+
+from repro.faers.cleaning import CleaningStats, ReportCleaner, normalize_adr_term, normalize_drug_name
+from repro.faers.dedup import (
+    NearDuplicatePolicy,
+    find_near_duplicates,
+    resolve_near_duplicates,
+)
+from repro.faers.dataset import DatasetStats, ReportDataset
+from repro.faers.parser import parse_quarter, read_delimited
+from repro.faers.schema import CaseReport, ReportType
+from repro.faers.synthetic import (
+    InteractionSpec,
+    SyntheticConfig,
+    SyntheticFAERSGenerator,
+    quarter_config,
+)
+from repro.faers.vocab import ADR_VOCABULARY, DRUG_VOCABULARY
+from repro.faers.writer import QuarterFiles, write_quarter_files
+
+__all__ = [
+    "ADR_VOCABULARY",
+    "CaseReport",
+    "CleaningStats",
+    "DatasetStats",
+    "DRUG_VOCABULARY",
+    "InteractionSpec",
+    "NearDuplicatePolicy",
+    "ReportCleaner",
+    "ReportDataset",
+    "ReportType",
+    "SyntheticConfig",
+    "SyntheticFAERSGenerator",
+    "find_near_duplicates",
+    "normalize_adr_term",
+    "normalize_drug_name",
+    "resolve_near_duplicates",
+    "parse_quarter",
+    "quarter_config",
+    "QuarterFiles",
+    "read_delimited",
+    "write_quarter_files",
+]

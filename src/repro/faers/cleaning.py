@@ -1,0 +1,254 @@
+"""Data preparation and cleaning (§5.2, step one).
+
+The paper: "We extracted the drugs and ADRs from FAERS reports and
+merged them for each single case. We performed some preliminary cleaning
+on drug names and ADRs to remove duplication and correct misspellings."
+
+Three layers:
+
+- :func:`normalize_drug_name` / :func:`normalize_adr_term` — verbatim
+  string → canonical term (case folding, punctuation and whitespace
+  collapse, dosage/form suffix stripping, trade-name parentheses).
+- misspelling repair — edit-distance-1 correction against a reference
+  vocabulary, only applied when the correction is unambiguous.
+- :class:`ReportCleaner` — whole-dataset pass: normalizes every report,
+  merges rows belonging to the same case id, drops exact content
+  duplicates (same drugs + ADRs from follow-up versions of one case),
+  and keeps counters of everything it did in :class:`CleaningStats`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+
+# Dose/strength/form tails frequently pasted into FAERS verbatim drug
+# strings: "ASPIRIN 81 MG", "WARFARIN SODIUM TAB", "NEXIUM 40MG CAPSULES".
+_DOSAGE_TAIL = re.compile(
+    r"\s+(\d+(\.\d+)?\s*(MG|MCG|G|ML|IU|%)(/\s*\w+)?"
+    r"|TAB(LET)?S?|CAP(SULE)?S?|INJ(ECTION)?|SOLUTION|CREAM|SYRUP"
+    r"|ORAL|TOPICAL|HCL|SODIUM|POTASSIUM|CALCIUM)\s*$"
+)
+_PARENTHETICAL = re.compile(r"\s*\([^)]*\)\s*")
+_NON_TERM = re.compile(r"[^A-Z0-9\- ]+")
+_MULTISPACE = re.compile(r"\s{2,}")
+
+
+def normalize_drug_name(verbatim: str) -> str:
+    """Canonicalize one verbatim drug string.
+
+    Uppercases, drops parentheticals (``"TACROLIMUS (PROGRAF)"`` →
+    ``"TACROLIMUS"``), strips punctuation, and repeatedly removes
+    dose/strength/form tails. Returns the empty string when nothing
+    survives — callers treat that as "no usable drug mention".
+    """
+    term = verbatim.upper().strip()
+    term = _PARENTHETICAL.sub(" ", term)
+    term = _NON_TERM.sub(" ", term)
+    term = _MULTISPACE.sub(" ", term).strip()
+    while True:
+        stripped = _DOSAGE_TAIL.sub("", term).strip()
+        if stripped == term:
+            break
+        term = stripped
+    return _MULTISPACE.sub(" ", term).strip()
+
+
+def normalize_adr_term(verbatim: str) -> str:
+    """Canonicalize one reaction term (MedDRA PTs are already clean-ish)."""
+    term = verbatim.upper().strip()
+    term = _NON_TERM.sub(" ", term)
+    return _MULTISPACE.sub(" ", term).strip()
+
+
+class SpellingCorrector:
+    """Unambiguous edit-distance-1 correction against a vocabulary.
+
+    A candidate is corrected only when exactly one vocabulary term is
+    within edit distance 1 — ambiguity leaves the input untouched, since
+    a wrong merge is worse for signal mining than a missed one.
+    """
+
+    def __init__(self, vocabulary: Iterable[str]) -> None:
+        self._vocabulary = frozenset(vocabulary)
+        if not self._vocabulary:
+            raise ConfigError("vocabulary must be non-empty")
+        # Deletion-neighborhood index: every vocab term keyed by each of
+        # its single-character deletions (and itself). This finds all
+        # edit-distance-1 matches without scanning the vocabulary.
+        self._deletions: dict[str, set[str]] = {}
+        for term in self._vocabulary:
+            for key in self._deletion_keys(term):
+                self._deletions.setdefault(key, set()).add(term)
+
+    @staticmethod
+    def _deletion_keys(term: str) -> set[str]:
+        keys = {term}
+        keys.update(term[:i] + term[i + 1 :] for i in range(len(term)))
+        return keys
+
+    def correct(self, term: str) -> str:
+        """Return the corrected term, or ``term`` itself if no unique fix."""
+        if term in self._vocabulary:
+            return term
+        candidates: set[str] = set()
+        for key in self._deletion_keys(term):
+            candidates.update(self._deletions.get(key, ()))
+        matches = {c for c in candidates if _edit_distance_at_most_one(term, c)}
+        if len(matches) == 1:
+            return next(iter(matches))
+        return term
+
+
+def _edit_distance_at_most_one(left: str, right: str) -> bool:
+    """True when Levenshtein distance ≤ 1 (cheap two-pointer check)."""
+    if left == right:
+        return True
+    len_l, len_r = len(left), len(right)
+    if abs(len_l - len_r) > 1:
+        return False
+    if len_l > len_r:
+        left, right, len_l, len_r = right, left, len_r, len_l
+    i = j = 0
+    edited = False
+    while i < len_l and j < len_r:
+        if left[i] == right[j]:
+            i += 1
+            j += 1
+            continue
+        if edited:
+            return False
+        edited = True
+        if len_l == len_r:
+            i += 1
+        j += 1
+    return True
+
+
+@dataclass(slots=True)
+class CleaningStats:
+    """What one :meth:`ReportCleaner.clean` pass did."""
+
+    rows_in: int = 0
+    reports_out: int = 0
+    cases_merged: int = 0
+    exact_duplicates_dropped: int = 0
+    drug_names_corrected: int = 0
+    adr_terms_corrected: int = 0
+    empty_reports_dropped: int = 0
+
+
+class ReportCleaner:
+    """Whole-dataset cleaning pass over raw case reports.
+
+    Parameters
+    ----------
+    drug_vocabulary, adr_vocabulary:
+        Optional reference vocabularies for misspelling repair; when
+        omitted, only normalization and de-duplication run.
+    """
+
+    def __init__(
+        self,
+        drug_vocabulary: Iterable[str] | None = None,
+        adr_vocabulary: Iterable[str] | None = None,
+    ) -> None:
+        self._drug_corrector = (
+            SpellingCorrector(drug_vocabulary) if drug_vocabulary else None
+        )
+        self._adr_corrector = (
+            SpellingCorrector(adr_vocabulary) if adr_vocabulary else None
+        )
+
+    def clean(
+        self, reports: Sequence[CaseReport]
+    ) -> tuple[list[CaseReport], CleaningStats]:
+        """Normalize, correct, merge and de-duplicate ``reports``.
+
+        Returns the cleaned reports (original order of first appearance
+        preserved) and the counters. Rows sharing a case id are merged
+        into one report whose drug/ADR sets are the unions; after
+        merging, reports with identical (drugs, adrs) content beyond the
+        first are dropped as FAERS follow-up duplicates.
+        """
+        stats = CleaningStats(rows_in=len(reports))
+        merged: dict[str, CaseReport] = {}
+        order: list[str] = []
+        for report in reports:
+            drugs = self._clean_terms(
+                report.drugs, normalize_drug_name, self._drug_corrector, stats, "drug"
+            )
+            adrs = self._clean_terms(
+                report.adrs, normalize_adr_term, self._adr_corrector, stats, "adr"
+            )
+            if not drugs or not adrs:
+                stats.empty_reports_dropped += 1
+                continue
+            existing = merged.get(report.case_id)
+            if existing is None:
+                order.append(report.case_id)
+                merged[report.case_id] = CaseReport.build(
+                    report.case_id,
+                    drugs,
+                    adrs,
+                    report_type=report.report_type,
+                    quarter=report.quarter,
+                    age=report.age,
+                    sex=report.sex,
+                    country=report.country,
+                    event_date=report.event_date,
+                )
+            else:
+                stats.cases_merged += 1
+                merged[report.case_id] = CaseReport.build(
+                    existing.case_id,
+                    set(existing.drugs) | drugs,
+                    set(existing.adrs) | adrs,
+                    report_type=existing.report_type,
+                    quarter=existing.quarter,
+                    age=existing.age,
+                    sex=existing.sex,
+                    country=existing.country,
+                    event_date=existing.event_date or report.event_date,
+                )
+
+        seen_signatures: set[tuple[tuple[str, ...], tuple[str, ...]]] = set()
+        cleaned: list[CaseReport] = []
+        for case_id in order:
+            report = merged[case_id]
+            signature = report.signature()
+            if signature in seen_signatures:
+                stats.exact_duplicates_dropped += 1
+                continue
+            seen_signatures.add(signature)
+            cleaned.append(report)
+        stats.reports_out = len(cleaned)
+        return cleaned, stats
+
+    def _clean_terms(
+        self,
+        terms: tuple[str, ...],
+        normalizer,
+        corrector: SpellingCorrector | None,
+        stats: CleaningStats,
+        side: str,
+    ) -> set[str]:
+        cleaned: set[str] = set()
+        for verbatim in terms:
+            term = normalizer(verbatim)
+            if not term:
+                continue
+            if corrector is not None:
+                corrected = corrector.correct(term)
+                if corrected != term:
+                    if side == "drug":
+                        stats.drug_names_corrected += 1
+                    else:
+                        stats.adr_terms_corrected += 1
+                    term = corrected
+            cleaned.add(term)
+        return cleaned

@@ -1,0 +1,168 @@
+"""The bridge from case reports to the mining substrate.
+
+:class:`ReportDataset` holds cleaned :class:`~repro.faers.schema.CaseReport`
+objects, produces Table 5.1-style statistics, and encodes itself as a
+:class:`~repro.mining.transactions.TransactionDatabase` whose items carry
+drug/ADR kinds. The encoding keeps a tid → case-id mapping, which is what
+lets the pipeline answer "show me the original reports supporting this
+rule" (§4.1, mapping interactions to actual reports).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport, ReportType
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+DRUG_KIND = "drug"
+ADR_KIND = "adr"
+
+# Suffix applied to a reaction term whose string collides with a drug
+# name (rare, but FAERS verbatim data makes no namespace promise).
+_COLLISION_SUFFIX = " (REACTION)"
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """One row of Table 5.1: reports / distinct drugs / distinct ADRs."""
+
+    quarter: str
+    n_reports: int
+    n_drugs: int
+    n_adrs: int
+
+
+class EncodedDataset:
+    """A :class:`TransactionDatabase` plus the report linkage behind it."""
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        case_ids: tuple[str, ...],
+        reports: tuple[CaseReport, ...],
+    ) -> None:
+        if not (len(database) == len(case_ids) == len(reports)):
+            raise ConfigError(
+                "database, case_ids and reports must be parallel sequences"
+            )
+        self.database = database
+        self._case_ids = case_ids
+        self._reports = reports
+        self._report_by_case = {r.case_id: r for r in reports}
+
+    @property
+    def catalog(self) -> ItemCatalog:
+        return self.database.catalog
+
+    def case_id_of(self, tid: int) -> str:
+        """Case id of transaction ``tid``."""
+        return self._case_ids[tid]
+
+    def report_of(self, tid: int) -> CaseReport:
+        """Full source report of transaction ``tid``."""
+        return self._reports[tid]
+
+    def supporting_reports(self, itemset: Iterable[int]) -> list[CaseReport]:
+        """Source reports containing every item of ``itemset``.
+
+        This is the §4.1 drill-down: from a ranked rule back to the raw
+        cases that support it.
+        """
+        tids = sorted(self.database.tidset_of(frozenset(itemset)))
+        return [self._reports[tid] for tid in tids]
+
+
+class ReportDataset:
+    """An ordered, immutable collection of case reports."""
+
+    def __init__(self, reports: Sequence[CaseReport], quarter: str = "") -> None:
+        self._reports = tuple(reports)
+        ids = [r.case_id for r in self._reports]
+        if len(set(ids)) != len(ids):
+            duplicated = sorted({i for i in ids if ids.count(i) > 1})[:5]
+            raise ConfigError(
+                f"duplicate case ids in dataset (run ReportCleaner first): "
+                f"{duplicated}"
+            )
+        self.quarter = quarter or self._infer_quarter()
+
+    def _infer_quarter(self) -> str:
+        quarters = {r.quarter for r in self._reports if r.quarter}
+        return next(iter(quarters)) if len(quarters) == 1 else ""
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[CaseReport]:
+        return iter(self._reports)
+
+    def __getitem__(self, index: int) -> CaseReport:
+        return self._reports[index]
+
+    @property
+    def reports(self) -> tuple[CaseReport, ...]:
+        return self._reports
+
+    def distinct_drugs(self) -> frozenset[str]:
+        return frozenset(drug for r in self._reports for drug in r.drugs)
+
+    def distinct_adrs(self) -> frozenset[str]:
+        return frozenset(adr for r in self._reports for adr in r.adrs)
+
+    def stats(self) -> DatasetStats:
+        """The Table 5.1 row for this dataset."""
+        return DatasetStats(
+            quarter=self.quarter,
+            n_reports=len(self._reports),
+            n_drugs=len(self.distinct_drugs()),
+            n_adrs=len(self.distinct_adrs()),
+        )
+
+    def filter_report_type(self, report_type: ReportType) -> "ReportDataset":
+        """Keep only reports of one provenance (the paper keeps EXP)."""
+        return ReportDataset(
+            [r for r in self._reports if r.report_type is report_type],
+            quarter=self.quarter,
+        )
+
+    def filter_quarter(self, quarter: str) -> "ReportDataset":
+        return ReportDataset(
+            [r for r in self._reports if r.quarter == quarter], quarter=quarter
+        )
+
+    def mentioning_drug(self, drug: str) -> "ReportDataset":
+        """Reports whose drug list contains ``drug`` (exact canonical name)."""
+        return ReportDataset(
+            [r for r in self._reports if drug in r.drugs], quarter=self.quarter
+        )
+
+    def encode(self, catalog: ItemCatalog | None = None) -> EncodedDataset:
+        """Encode into a transaction database with drug/ADR item kinds.
+
+        A reaction term that collides with a drug name is disambiguated
+        with a ``" (REACTION)"`` suffix; the collision is resolved
+        consistently across the whole dataset.
+        """
+        catalog = catalog if catalog is not None else ItemCatalog()
+        drug_labels = self.distinct_drugs()
+        transactions: list[set[int]] = []
+        case_ids: list[str] = []
+        for report in self._reports:
+            row: set[int] = set()
+            for drug in report.drugs:
+                row.add(catalog.add(drug, DRUG_KIND))
+            for adr in report.adrs:
+                label = adr + _COLLISION_SUFFIX if adr in drug_labels else adr
+                row.add(catalog.add(label, ADR_KIND))
+            transactions.append(row)
+            case_ids.append(report.case_id)
+        database = TransactionDatabase(transactions, catalog)
+        return EncodedDataset(database, tuple(case_ids), self._reports)
+
+
+def stats_table(datasets: Sequence[ReportDataset]) -> list[DatasetStats]:
+    """Table 5.1: one stats row per quarter dataset."""
+    return [dataset.stats() for dataset in datasets]

@@ -1,0 +1,249 @@
+"""Parser for FAERS quarterly ASCII extracts.
+
+FDA ships each quarter as a set of ``$``-delimited text files with a
+single header line. One adverse-event case is spread across DEMO (one
+row per case version), DRUG (one row per drug mention) and REAC (one row
+per reaction). Two layout generations exist and both are handled:
+
+- legacy AERS (through 2012Q3): rows keyed by ``ISR``;
+- modern FAERS (2012Q4 on, the paper's 2014 data): keyed by
+  ``primaryid``.
+
+:func:`parse_quarter` joins the three files into
+:class:`~repro.faers.schema.CaseReport` objects. Rows that cannot be
+joined (a DRUG/REAC row whose key has no DEMO row) or cases missing a
+drug or a reaction are counted and skipped rather than raising — real
+extracts always contain a few of these — but a *structurally* broken
+file (missing key column, malformed header) raises
+:class:`~repro.errors.ParseError` immediately.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.faers.schema import CaseReport, ReportType
+
+DELIMITER = "$"
+
+# Report-type codes seen across extract generations; 30DAY/5DAY are the
+# legacy expedited codes.
+_REPORT_TYPE_CODES = {
+    "EXP": ReportType.EXPEDITED,
+    "30DAY": ReportType.EXPEDITED,
+    "5DAY": ReportType.EXPEDITED,
+    "PER": ReportType.PERIODIC,
+    "DIR": ReportType.DIRECT,
+}
+
+_KEY_COLUMNS = ("primaryid", "isr")
+
+
+def read_delimited(path: str | os.PathLike[str]) -> Iterator[dict[str, str]]:
+    """Yield one lower-cased-key dict per data row of a ``$`` file.
+
+    Short rows are padded with empty strings; rows *longer* than the
+    header raise :class:`~repro.errors.ParseError` since that always
+    means a corrupted record boundary.
+    """
+    path = Path(path)
+    with path.open("r", encoding="latin-1") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ParseError("empty file or blank header", path=str(path), line_number=1)
+        columns = [c.strip().lower() for c in header_line.rstrip("\n").split(DELIMITER)]
+        if len(set(columns)) != len(columns):
+            raise ParseError(
+                f"duplicate column names in header: {columns}",
+                path=str(path),
+                line_number=1,
+            )
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            values = line.split(DELIMITER)
+            if len(values) > len(columns):
+                raise ParseError(
+                    f"row has {len(values)} fields but header has {len(columns)}",
+                    path=str(path),
+                    line_number=line_number,
+                )
+            values.extend([""] * (len(columns) - len(values)))
+            yield dict(zip(columns, values))
+
+
+def _case_key(row: dict[str, str], path: str) -> str:
+    for column in _KEY_COLUMNS:
+        value = row.get(column, "").strip()
+        if value:
+            return value
+    raise ParseError(
+        f"row has no case key (expected one of {_KEY_COLUMNS}): {row}",
+        path=path,
+    )
+
+
+def _require_key_column(first_row: dict[str, str], path: str) -> None:
+    if not any(column in first_row for column in _KEY_COLUMNS):
+        raise ParseError(
+            f"file lacks a case-key column (one of {_KEY_COLUMNS}); "
+            f"columns present: {sorted(first_row)}",
+            path=path,
+        )
+
+
+@dataclass(slots=True)
+class ParseStats:
+    """Row accounting for one :func:`parse_quarter` run."""
+
+    demo_rows: int = 0
+    drug_rows: int = 0
+    reac_rows: int = 0
+    orphan_drug_rows: int = 0
+    orphan_reac_rows: int = 0
+    cases_without_drugs: int = 0
+    cases_without_reactions: int = 0
+    reports: int = 0
+
+
+def parse_quarter(
+    demo_path: str | os.PathLike[str],
+    drug_path: str | os.PathLike[str],
+    reac_path: str | os.PathLike[str],
+    *,
+    quarter: str = "",
+    report_types: frozenset[ReportType] | None = None,
+) -> tuple[list[CaseReport], ParseStats]:
+    """Join one quarter's DEMO/DRUG/REAC files into case reports.
+
+    Parameters
+    ----------
+    quarter:
+        Label stamped onto every report (e.g. ``"2014Q1"``).
+    report_types:
+        Keep only these provenance types; ``None`` keeps everything. The
+        paper keeps :attr:`ReportType.EXPEDITED` only.
+
+    Returns
+    -------
+    (reports, stats)
+        Reports in DEMO-file order, plus row accounting.
+    """
+    stats = ParseStats()
+
+    demographics: dict[str, dict[str, str]] = {}
+    order: list[str] = []
+    for row in read_delimited(demo_path):
+        if stats.demo_rows == 0:
+            _require_key_column(row, str(demo_path))
+        stats.demo_rows += 1
+        key = _case_key(row, str(demo_path))
+        if key not in demographics:
+            order.append(key)
+        demographics[key] = row  # later versions of a case supersede earlier
+
+    drugs: dict[str, set[str]] = {}
+    for row in read_delimited(drug_path):
+        if stats.drug_rows == 0:
+            _require_key_column(row, str(drug_path))
+        stats.drug_rows += 1
+        key = _case_key(row, str(drug_path))
+        if key not in demographics:
+            stats.orphan_drug_rows += 1
+            continue
+        name = row.get("drugname", "").strip()
+        if name:
+            drugs.setdefault(key, set()).add(name)
+
+    reactions: dict[str, set[str]] = {}
+    for row in read_delimited(reac_path):
+        if stats.reac_rows == 0:
+            _require_key_column(row, str(reac_path))
+        stats.reac_rows += 1
+        key = _case_key(row, str(reac_path))
+        if key not in demographics:
+            stats.orphan_reac_rows += 1
+            continue
+        term = row.get("pt", "").strip()
+        if term:
+            reactions.setdefault(key, set()).add(term)
+
+    reports: list[CaseReport] = []
+    for key in order:
+        row = demographics[key]
+        case_drugs = drugs.get(key)
+        case_reactions = reactions.get(key)
+        if not case_drugs:
+            stats.cases_without_drugs += 1
+            continue
+        if not case_reactions:
+            stats.cases_without_reactions += 1
+            continue
+        report_type = _parse_report_type(row)
+        if report_types is not None and report_type not in report_types:
+            continue
+        reports.append(
+            CaseReport.build(
+                case_id=key,
+                drugs=case_drugs,
+                adrs=case_reactions,
+                report_type=report_type,
+                quarter=quarter,
+                age=_parse_age(row),
+                sex=row.get("sex", row.get("gndr_cod", "")).strip() or None,
+                country=row.get("occr_country", row.get("reporter_country", "")).strip()
+                or None,
+                event_date=_parse_event_date(row),
+            )
+        )
+    stats.reports = len(reports)
+    return reports, stats
+
+
+def _parse_report_type(row: dict[str, str]) -> ReportType:
+    code = row.get("rept_cod", "").strip().upper()
+    return _REPORT_TYPE_CODES.get(code, ReportType.EXPEDITED)
+
+
+def _parse_event_date(row: dict[str, str]) -> str | None:
+    """FAERS event_dt is YYYYMMDD, sometimes truncated to YYYYMM or YYYY.
+
+    Full dates convert to ISO; partial or malformed dates become None
+    (downstream temporal analysis needs day precision).
+    """
+    raw = row.get("event_dt", "").strip()
+    if len(raw) != 8 or not raw.isdigit():
+        return None
+    candidate = f"{raw[:4]}-{raw[4:6]}-{raw[6:]}"
+    import datetime
+
+    try:
+        datetime.date.fromisoformat(candidate)
+    except ValueError:
+        return None
+    return candidate
+
+
+def _parse_age(row: dict[str, str]) -> float | None:
+    raw = row.get("age", "").strip()
+    if not raw:
+        return None
+    try:
+        age = float(raw)
+    except ValueError:
+        return None
+    # FAERS age units: YR (default), MON, WK, DY, DEC, HR.
+    unit = row.get("age_cod", "YR").strip().upper() or "YR"
+    factors = {"YR": 1.0, "DEC": 10.0, "MON": 1 / 12, "WK": 1 / 52, "DY": 1 / 365, "HR": 1 / 8760}
+    factor = factors.get(unit)
+    if factor is None:
+        return None
+    age = age * factor
+    if not 0 <= age <= 150:
+        return None
+    return age

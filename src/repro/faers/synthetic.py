@@ -1,0 +1,527 @@
+"""Synthetic FAERS quarters with planted drug-drug-interaction ground truth.
+
+The paper mines the public FAERS 2014 extracts (Table 5.1: ~121-138k
+expedited reports and ~33-38k distinct drug strings per quarter). Those
+extracts are not available offline, so this module generates a synthetic
+report stream with the same *abstraction* (case → drug set + ADR set)
+and the same statistical texture the MeDIAR pipeline depends on:
+
+- a Zipf-popularity drug universe with a long verbatim tail (matching
+  the distinct-drugs ≫ distinct-ADRs shape of Table 5.1);
+- per-drug single-drug ADR profiles, so contextual (sub-)rules have
+  genuine support and confidence;
+- **planted interactions** (:class:`InteractionSpec`): for a chosen drug
+  combination, a chosen ADR set fires with high probability only when
+  the *complete* combination is present, and with a configurable low
+  probability under partial exposure — the exact signal shape the
+  exclusiveness measure is built to detect;
+- **planted confounders**: combinations whose ADRs are just as likely
+  under a single member drug, which a good ranker must score low.
+
+Unlike the real data, the generator knows the truth, so the benchmarks
+can measure signal *recovery* (precision@k of genuine interactions)
+rather than only eyeballing case studies.
+
+Determinism: everything is driven by one :class:`random.Random` seeded
+from the config, so a quarter is a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport, ReportType
+from repro.faers.vocab import adr_universe, drug_universe
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionSpec:
+    """One planted multi-drug signal.
+
+    Attributes
+    ----------
+    drugs:
+        The interacting combination (2-4 drugs).
+    adrs:
+        The reactions the interaction triggers.
+    trigger_probability:
+        Per-ADR firing probability when the complete combination is
+        present in a report.
+    solo_probability:
+        Per-ADR firing probability when some but not all of the
+        combination is present. A *genuine* interaction has this far
+        below the trigger probability; a *confounder* has them close.
+    prevalence:
+        Probability that a generated report is exposed to the full
+        combination.
+    partial_prevalence:
+        Probability that a generated report is exposed to a random
+        proper subset of the combination (gives the contextual rules
+        real support).
+    """
+
+    drugs: tuple[str, ...]
+    adrs: tuple[str, ...]
+    trigger_probability: float
+    solo_probability: float
+    prevalence: float = 0.004
+    partial_prevalence: float = 0.006
+
+    def __post_init__(self) -> None:
+        if not 2 <= len(self.drugs) <= 6:
+            raise ConfigError(
+                f"interaction needs 2-6 drugs, got {len(self.drugs)}: {self.drugs}"
+            )
+        if len(set(self.drugs)) != len(self.drugs):
+            raise ConfigError(f"duplicate drugs in interaction: {self.drugs}")
+        if not self.adrs:
+            raise ConfigError("interaction needs at least one ADR")
+        for name, value in (
+            ("trigger_probability", self.trigger_probability),
+            ("solo_probability", self.solo_probability),
+            ("prevalence", self.prevalence),
+            ("partial_prevalence", self.partial_prevalence),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def is_genuine(self) -> bool:
+        """True when the signal is exclusive to the full combination.
+
+        Convention used by the recovery benchmarks: genuine means the
+        full-combination effect is at least three times the partial
+        effect.
+        """
+        return self.trigger_probability >= 3 * self.solo_probability
+
+
+def default_interactions() -> tuple[InteractionSpec, ...]:
+    """The planted signal roster mirroring the paper's examples.
+
+    Genuine interactions reproduce the §5.4 case studies (plus the
+    aspirin+warfarin motivator from the introduction); the dominated
+    combinations reproduce Table 3.1's asthma cluster — where every
+    single drug is itself an asthma medication — and give the rankers
+    something they *should* score low.
+    """
+    return (
+        # --- genuine interactions (case studies I-III + intro) ---
+        InteractionSpec(
+            drugs=("IBUPROFEN", "METAMIZOLE"),
+            adrs=("ACUTE RENAL FAILURE",),
+            trigger_probability=0.75,
+            solo_probability=0.05,
+            prevalence=0.006,
+        ),
+        InteractionSpec(
+            drugs=("METHOTREXATE", "PROGRAF"),
+            adrs=("DRUG INEFFECTIVE",),
+            trigger_probability=0.70,
+            solo_probability=0.07,
+            prevalence=0.006,
+        ),
+        InteractionSpec(
+            drugs=("NEXIUM", "PREVACID"),
+            adrs=("OSTEOPOROSIS",),
+            trigger_probability=0.65,
+            solo_probability=0.06,
+            prevalence=0.006,
+        ),
+        InteractionSpec(
+            drugs=("ASPIRIN", "WARFARIN"),
+            adrs=("HAEMORRHAGE",),
+            trigger_probability=0.80,
+            solo_probability=0.07,
+            prevalence=0.006,
+        ),
+        InteractionSpec(
+            drugs=("PRILOSEC", "ZOMETA"),
+            adrs=("OSTEONECROSIS OF JAW", "OSTEOARTHRITIS"),
+            trigger_probability=0.60,
+            solo_probability=0.05,
+            prevalence=0.006,
+        ),
+        InteractionSpec(
+            drugs=("FLUDARABINE", "MELPHALAN", "PROGRAF"),
+            adrs=("CHRONIC GRAFT VERSUS HOST DISEASE",),
+            trigger_probability=0.70,
+            solo_probability=0.06,
+            prevalence=0.005,
+        ),
+        InteractionSpec(
+            drugs=("FLUDARABINE", "MELPHALAN", "METHOTREXATE", "PROGRAF"),
+            adrs=("ACUTE GRAFT VERSUS HOST DISEASE",),
+            trigger_probability=0.70,
+            solo_probability=0.05,
+            prevalence=0.004,
+        ),
+        # --- single-drug-dominated combinations (must rank low) ---
+        InteractionSpec(
+            drugs=("PREDNISONE", "SINGULAIR", "XOLAIR"),
+            adrs=("ASTHMA",),
+            trigger_probability=0.75,
+            solo_probability=0.55,
+            prevalence=0.005,
+            partial_prevalence=0.012,
+        ),
+        InteractionSpec(
+            drugs=("TUMS", "ZANTAC"),
+            adrs=("OSTEOPOROSIS",),
+            trigger_probability=0.65,
+            solo_probability=0.50,
+            prevalence=0.005,
+            partial_prevalence=0.012,
+        ),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticConfig:
+    """Parameters of one synthetic quarter."""
+
+    n_reports: int = 5000
+    n_drugs: int = 4000
+    n_adrs: int = 600
+    seed: int = 2014
+    quarter: str = "2014Q1"
+    zipf_exponent: float = 1.05
+    mean_extra_drugs: float = 2.0
+    profile_adrs_per_drug: int = 2
+    profile_rate: float = 0.35
+    noise_adr_rate: float = 0.8
+    verbatim_tail_rate: float = 0.12
+    # Therapy-class co-prescription: drugs are partitioned into
+    # n_therapy_classes classes; after the first background drug of a
+    # report, each further background drug is drawn from an already
+    # present drug's class with probability class_affinity (a patient
+    # on one cardiac drug is likely on another). Class-correlated
+    # co-prescription is the classic confounder-by-indication texture a
+    # context-aware ranker has to cut through.
+    n_therapy_classes: int = 40
+    class_affinity: float = 0.45
+    interactions: tuple[InteractionSpec, ...] = field(
+        default_factory=default_interactions
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_reports < 1:
+            raise ConfigError(f"n_reports must be >= 1, got {self.n_reports}")
+        if self.n_drugs < 50 or self.n_adrs < 20:
+            raise ConfigError(
+                "universe too small: need n_drugs >= 50 and n_adrs >= 20"
+            )
+        if self.zipf_exponent <= 0:
+            raise ConfigError(f"zipf_exponent must be > 0, got {self.zipf_exponent}")
+        if not 0 <= self.verbatim_tail_rate < 1:
+            raise ConfigError(
+                f"verbatim_tail_rate must be in [0, 1), got {self.verbatim_tail_rate}"
+            )
+        if self.n_therapy_classes < 1:
+            raise ConfigError(
+                f"n_therapy_classes must be >= 1, got {self.n_therapy_classes}"
+            )
+        if not 0.0 <= self.class_affinity < 1.0:
+            raise ConfigError(
+                f"class_affinity must be in [0, 1), got {self.class_affinity}"
+            )
+        named = {d for spec in self.interactions for d in spec.drugs}
+        universe = set(drug_universe(self.n_drugs))
+        missing = named - universe
+        if missing:
+            raise ConfigError(
+                f"interaction drugs missing from the drug universe: {sorted(missing)}"
+            )
+
+
+# Per-quarter report counts of Table 5.1, used to scale the synthetic
+# quarters proportionally to the real ones.
+PAPER_QUARTER_REPORTS = {
+    "2014Q1": 126_755,
+    "2014Q2": 138_278,
+    "2014Q3": 121_725,
+    "2014Q4": 121_490,
+}
+
+
+def quarter_config(quarter: str, *, scale: float = 0.04, seed_base: int = 2014) -> SyntheticConfig:
+    """A config for one 2014 quarter, scaled from Table 5.1's row.
+
+    ``scale`` multiplies the paper's per-quarter report count (0.04 →
+    roughly 5k reports per quarter, laptop-friendly); drug/ADR universe
+    sizes scale with the square root of the report ratio, which keeps
+    the distinct-item-to-report ratios in the paper's ballpark.
+    """
+    if quarter not in PAPER_QUARTER_REPORTS:
+        raise ConfigError(
+            f"unknown quarter {quarter!r}; expected one of "
+            f"{sorted(PAPER_QUARTER_REPORTS)}"
+        )
+    if not 0 < scale <= 1:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    n_reports = max(500, round(PAPER_QUARTER_REPORTS[quarter] * scale))
+    n_drugs = max(400, round(n_reports * 0.8))
+    n_adrs = max(100, round(n_reports * 0.12))
+    quarter_index = sorted(PAPER_QUARTER_REPORTS).index(quarter)
+    return SyntheticConfig(
+        n_reports=n_reports,
+        n_drugs=n_drugs,
+        n_adrs=n_adrs,
+        seed=seed_base * 10 + quarter_index,
+        quarter=quarter,
+    )
+
+
+class SyntheticFAERSGenerator:
+    """Generate one synthetic quarter of case reports.
+
+    >>> generator = SyntheticFAERSGenerator(SyntheticConfig(n_reports=100))
+    >>> reports = generator.generate()
+    >>> len(reports)
+    100
+    """
+
+    def __init__(self, config: SyntheticConfig) -> None:
+        self.config = config
+        self._drugs = drug_universe(config.n_drugs)
+        self._adrs = adr_universe(config.n_adrs)
+        self._rng = random.Random(config.seed)
+        # Popularity rank is decoupled from vocabulary order: without
+        # this shuffle the paper-named drugs (first in the universe)
+        # would all be the most popular drugs of the quarter, and their
+        # chance co-occurrence would drown the planted signals.
+        self._popularity = list(self._drugs)
+        self._rng.shuffle(self._popularity)
+        self._zipf_cdf = self._build_zipf_cdf()
+        self._profiles = self._build_profiles()
+        self._spec_adr_index = self._build_spec_adr_index()
+        self._therapy_classes = self._build_therapy_classes()
+        self._verbatim_counter = 0
+
+    # ------------------------------------------------------------------
+    # model construction
+    # ------------------------------------------------------------------
+
+    def _build_zipf_cdf(self) -> list[float]:
+        weights = [
+            1.0 / (rank + 1) ** self.config.zipf_exponent
+            for rank in range(len(self._drugs))
+        ]
+        total = sum(weights)
+        cdf: list[float] = []
+        cumulative = 0.0
+        for weight in weights:
+            cumulative += weight / total
+            cdf.append(cumulative)
+        cdf[-1] = 1.0
+        return cdf
+
+    def _build_profiles(self) -> dict[str, tuple[str, ...]]:
+        """Assign each drug its own single-drug ADR profile.
+
+        Profiles are sampled once per generator from the seeded RNG, so
+        they are stable across the quarter. Interaction ADRs are never
+        used as profile ADRs of the interacting drugs themselves — the
+        planted solo effect is controlled solely by ``solo_probability``.
+        """
+        forbidden: dict[str, set[str]] = {}
+        for spec in self.config.interactions:
+            for drug in spec.drugs:
+                forbidden.setdefault(drug, set()).update(spec.adrs)
+        profiles: dict[str, tuple[str, ...]] = {}
+        for drug in self._drugs:
+            banned = forbidden.get(drug, set())
+            candidates = [a for a in self._adrs if a not in banned]
+            count = min(self.config.profile_adrs_per_drug, len(candidates))
+            profiles[drug] = tuple(self._rng.sample(candidates, count))
+        return profiles
+
+    def _build_spec_adr_index(self) -> dict[str, list[InteractionSpec]]:
+        index: dict[str, list[InteractionSpec]] = {}
+        for spec in self.config.interactions:
+            for drug in spec.drugs:
+                index.setdefault(drug, []).append(spec)
+        return index
+
+    def _build_therapy_classes(self) -> dict[str, tuple[str, ...]]:
+        """Partition the universe into therapy classes (drug → class members).
+
+        Classes follow the popularity order in round-robin, so every
+        class mixes popular and rare drugs, like real therapy classes
+        mix blockbusters and niche drugs.
+        """
+        n_classes = min(self.config.n_therapy_classes, len(self._drugs))
+        members: list[list[str]] = [[] for _ in range(n_classes)]
+        for rank, drug in enumerate(self._popularity):
+            members[rank % n_classes].append(drug)
+        classmates: dict[str, tuple[str, ...]] = {}
+        for group in members:
+            frozen = tuple(group)
+            for drug in group:
+                classmates[drug] = frozen
+        return classmates
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _sample_background_drug(self) -> str:
+        roll = self._rng.random()
+        if roll < self.config.verbatim_tail_rate:
+            # The long verbatim tail: a rare drug string, as FAERS
+            # verbatim data produces. Drawn uniformly from the unpopular
+            # half of the universe.
+            index = self._rng.randrange(len(self._popularity) // 2, len(self._popularity))
+            return self._popularity[index]
+        position = self._rng.random()
+        return self._popularity[self._bisect_cdf(position)]
+
+    def _bisect_cdf(self, position: float) -> int:
+        low, high = 0, len(self._zipf_cdf) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._zipf_cdf[mid] < position:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _sample_report(self, index: int) -> CaseReport:
+        rng = self._rng
+        drugs: set[str] = set()
+        full_exposures: list[InteractionSpec] = []
+
+        for spec in self.config.interactions:
+            roll = rng.random()
+            if roll < spec.prevalence:
+                drugs.update(spec.drugs)
+                full_exposures.append(spec)
+            elif roll < spec.prevalence + spec.partial_prevalence:
+                subset_size = rng.randrange(1, len(spec.drugs))
+                drugs.update(rng.sample(spec.drugs, subset_size))
+
+        extra = _poisson(rng, self.config.mean_extra_drugs)
+        if not drugs:
+            extra = max(1, extra)
+        for _ in range(extra):
+            # Co-prescription structure: with class_affinity, the next
+            # background drug comes from the therapy class of a drug
+            # already on the report.
+            if drugs and rng.random() < self.config.class_affinity:
+                anchor = rng.choice(sorted(drugs))
+                classmates = self._therapy_classes.get(anchor)
+                if classmates and len(classmates) > 1:
+                    drugs.add(classmates[rng.randrange(len(classmates))])
+                    continue
+            drugs.add(self._sample_background_drug())
+
+        adrs: set[str] = set()
+        # Planted effects: trigger probability for full exposures,
+        # solo probability whenever any spec member is present without
+        # the full combination.
+        for spec in full_exposures:
+            for adr in spec.adrs:
+                if rng.random() < spec.trigger_probability:
+                    adrs.add(adr)
+        # Iteration below must be deterministic: sets iterate in a
+        # hash-salted order that differs between processes, and any
+        # order-dependent RNG consumption would make the "same seed,
+        # same quarter" guarantee false.
+        fully_exposed = set(full_exposures)
+        partial_specs = sorted(
+            {
+                spec
+                for drug in drugs
+                for spec in self._spec_adr_index.get(drug, ())
+                if spec not in fully_exposed and not set(spec.drugs) <= drugs
+            },
+            key=lambda spec: spec.drugs,
+        )
+        for spec in partial_specs:
+            for adr in spec.adrs:
+                if rng.random() < spec.solo_probability:
+                    adrs.add(adr)
+
+        # Single-drug profiles and background noise.
+        for drug in sorted(drugs):
+            for adr in self._profiles[drug]:
+                if rng.random() < self.config.profile_rate:
+                    adrs.add(adr)
+        noise_count = _poisson(rng, self.config.noise_adr_rate)
+        if not adrs:
+            noise_count = max(1, noise_count)
+        for _ in range(noise_count):
+            adrs.add(self._adrs[rng.randrange(len(self._adrs))])
+
+        return CaseReport.build(
+            case_id=f"{self.config.quarter}-{index:07d}",
+            drugs=drugs,
+            adrs=adrs,
+            report_type=ReportType.EXPEDITED,
+            quarter=self.config.quarter,
+            age=round(min(119.0, max(0.0, rng.gauss(58, 18))), 1),
+            sex=rng.choice(("F", "M")),
+            country=rng.choice(("US", "US", "US", "GB", "DE", "JP", "CA", "MX")),
+            event_date=self._sample_event_date(index),
+        )
+
+    def _sample_event_date(self, index: int) -> str:
+        """A date inside the configured quarter.
+
+        Drawn from an RNG derived from (seed, report index) rather than
+        the main stream, so adding dates did not — and changing the date
+        model will not — perturb the calibrated drug/ADR sampling.
+        """
+        date_rng = random.Random(f"{self.config.seed}:event_date:{index}")
+        year = int(self.config.quarter[:4])
+        quarter_index = int(self.config.quarter[5]) - 1
+        month = quarter_index * 3 + date_rng.randrange(3) + 1
+        day = date_rng.randrange(1, 29)  # 1-28: valid in every month
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def generate(self) -> list[CaseReport]:
+        """Generate the quarter's reports, deterministically."""
+        return [self._sample_report(i + 1) for i in range(self.config.n_reports)]
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+
+    def ground_truth(self) -> tuple[InteractionSpec, ...]:
+        """All planted specs (genuine and confounded)."""
+        return self.config.interactions
+
+    def genuine_interactions(self) -> tuple[InteractionSpec, ...]:
+        """Planted specs that a correct ranker should score high."""
+        return tuple(s for s in self.config.interactions if s.is_genuine)
+
+    def confounded_combinations(self) -> tuple[InteractionSpec, ...]:
+        """Planted specs dominated by single-drug effects (should rank low)."""
+        return tuple(s for s in self.config.interactions if not s.is_genuine)
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (mean values here are tiny)."""
+    if mean <= 0:
+        return 0
+    limit = 2.718281828459045 ** (-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def generate_year(
+    *, scale: float = 0.04, seed_base: int = 2014
+) -> dict[str, list[CaseReport]]:
+    """Generate all four 2014 quarters (the full Table 5.1 workload)."""
+    return {
+        quarter: SyntheticFAERSGenerator(
+            quarter_config(quarter, scale=scale, seed_base=seed_base)
+        ).generate()
+        for quarter in sorted(PAPER_QUARTER_REPORTS)
+    }

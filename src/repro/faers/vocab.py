@@ -1,0 +1,176 @@
+"""Drug and ADR vocabularies.
+
+Two roles:
+
+1. the *named* vocabulary — every drug and MedDRA-style reaction term
+   that appears in the paper's tables, case studies and examples, so the
+   reproduction can speak the paper's language (Table 3.1's
+   Xolair/Singulair/Prednisone cluster, Table 5.2's Zometa/Prilosec
+   rows, the §5.4 case-study pairs, ...);
+2. a deterministic *synthesizer* of realistic filler names, so the
+   synthetic FAERS generator can populate a vocabulary of thousands of
+   distinct drugs/ADRs (Table 5.1 reports ~33-38k distinct drug strings
+   per quarter) without shipping a dictionary.
+
+Synthesized names are built from pharmaceutical syllables (drugs) and
+body-system × condition phrases (ADRs) and are guaranteed not to collide
+with the named vocabulary or each other.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+# Drugs named anywhere in the paper (thesis tables, case studies, examples).
+DRUG_VOCABULARY: tuple[str, ...] = (
+    "ASPIRIN",
+    "WARFARIN",
+    "ZOMETA",
+    "PRILOSEC",
+    "XOLAIR",
+    "SINGULAIR",
+    "PREDNISONE",
+    "ZANTAC",
+    "METHOTREXATE",
+    "PROGRAF",
+    "TUMS",
+    "AMBIEN",
+    "MELPHALAN",
+    "MYLANTA",
+    "NEXIUM",
+    "ROLAIDS",
+    "FLUDARABINE",
+    "PREVACID",
+    "PEPCID",
+    "IBUPROFEN",
+    "METAMIZOLE",
+    "POSICOR",
+    "TROGLITAZONE",
+    "CERIVASTATIN",
+    "PAROXETINE",
+    "PRAVASTATIN",
+)
+
+# Reaction terms (MedDRA preferred-term style) named in the paper.
+ADR_VOCABULARY: tuple[str, ...] = (
+    "ASTHMA",
+    "OSTEOPOROSIS",
+    "CHRONIC GRAFT VERSUS HOST DISEASE",
+    "ACUTE GRAFT VERSUS HOST DISEASE",
+    "DRUG INEFFECTIVE",
+    "OSTEONECROSIS OF JAW",
+    "OSTEOARTHRITIS",
+    "NEUROPATHY PERIPHERAL",
+    "PAIN",
+    "ANAEMIA",
+    "ACUTE RENAL FAILURE",
+    "HAEMORRHAGE",
+    "GRANULOCYTE COLONY-STIMULATING FACTOR NOS",
+    "ANXIETY",
+    "BLOOD GLUCOSE INCREASED",
+    "BONE FRACTURE",
+    "GASTROOESOPHAGEAL REFLUX DISEASE",
+)
+
+_DRUG_PREFIXES = (
+    "AB", "ACE", "BARI", "BE", "CALMO", "CARDI", "CETI", "CLO", "DARU",
+    "DEX", "ENZA", "ERLO", "FLU", "GEMCI", "HYDRO", "IMA", "KETO", "LAMI",
+    "LEVO", "MIRA", "NALO", "OLME", "PANTO", "QUETIA", "RIVA", "SIME",
+    "TOLVA", "ULIPRI", "VALGAN", "ZOLE",
+)
+_DRUG_MIDDLES = (
+    "", "BA", "CO", "DRA", "FE", "GLI", "LU", "MO", "NA", "PRA", "RI",
+    "SO", "TA", "VE", "XI", "ZO",
+)
+_DRUG_SUFFIXES = (
+    "CILLIN", "DIPINE", "FLOXACIN", "LOL", "MAB", "NAVIR", "OLONE",
+    "PAMIDE", "PRAZOLE", "PRIL", "SARTAN", "SETRON", "STATIN", "TEROL",
+    "TINIB", "TRIPTAN", "VUDINE", "ZEPAM", "ZIDE", "ZOLID",
+)
+
+_ADR_QUALIFIERS = (
+    "ACUTE", "CHRONIC", "SEVERE", "TRANSIENT", "RECURRENT", "PROGRESSIVE",
+    "IDIOPATHIC", "GENERALISED", "LOCALISED", "INTERMITTENT",
+)
+_ADR_SITES = (
+    "HEPATIC", "RENAL", "CARDIAC", "PULMONARY", "GASTRIC", "DERMAL",
+    "OCULAR", "NEURAL", "VASCULAR", "MUSCULAR", "ARTICULAR", "SPLENIC",
+    "PANCREATIC", "THYROID", "ADRENAL", "INTESTINAL", "OESOPHAGEAL",
+    "CEREBRAL", "SPINAL", "AURICULAR",
+)
+_ADR_CONDITIONS = (
+    "OEDEMA", "NECROSIS", "FIBROSIS", "HAEMORRHAGE", "STENOSIS",
+    "HYPERPLASIA", "ATROPHY", "INSUFFICIENCY", "INFLAMMATION", "SPASM",
+    "EROSION", "CALCIFICATION", "ISCHAEMIA", "DYSTROPHY", "EFFUSION",
+    "HYPERTROPHY", "ULCERATION", "DEGENERATION", "THROMBOSIS", "RUPTURE",
+)
+
+
+def synthesize_drug_name(index: int) -> str:
+    """Deterministically derive the ``index``-th filler drug name.
+
+    The syllable grids yield 30 × 16 × 20 = 9600 distinct base names;
+    beyond that a numeric series suffix keeps names unique (FAERS itself
+    is full of suffixed verbatim drug strings).
+    """
+    if index < 0:
+        raise ConfigError(f"index must be non-negative, got {index}")
+    base_space = len(_DRUG_PREFIXES) * len(_DRUG_MIDDLES) * len(_DRUG_SUFFIXES)
+    cycle, position = divmod(index, base_space)
+    position, prefix_i = divmod(position, len(_DRUG_PREFIXES))
+    position, middle_i = divmod(position, len(_DRUG_MIDDLES))
+    suffix_i = position
+    name = _DRUG_PREFIXES[prefix_i] + _DRUG_MIDDLES[middle_i] + _DRUG_SUFFIXES[suffix_i]
+    if cycle:
+        name = f"{name} {cycle + 1}"
+    return name
+
+
+def synthesize_adr_term(index: int) -> str:
+    """Deterministically derive the ``index``-th filler reaction term."""
+    if index < 0:
+        raise ConfigError(f"index must be non-negative, got {index}")
+    base_space = len(_ADR_QUALIFIERS) * len(_ADR_SITES) * len(_ADR_CONDITIONS)
+    cycle, position = divmod(index, base_space)
+    position, qualifier_i = divmod(position, len(_ADR_QUALIFIERS))
+    position, site_i = divmod(position, len(_ADR_SITES))
+    condition_i = position
+    term = (
+        f"{_ADR_QUALIFIERS[qualifier_i]} {_ADR_SITES[site_i]} "
+        f"{_ADR_CONDITIONS[condition_i]}"
+    )
+    if cycle:
+        term = f"{term} TYPE {cycle + 1}"
+    return term
+
+
+def drug_universe(size: int) -> tuple[str, ...]:
+    """The first ``size`` drug names: the named vocabulary, then fillers."""
+    if size < 0:
+        raise ConfigError(f"size must be non-negative, got {size}")
+    names = list(DRUG_VOCABULARY[:size])
+    index = 0
+    taken = set(names)
+    while len(names) < size:
+        candidate = synthesize_drug_name(index)
+        index += 1
+        if candidate not in taken:
+            names.append(candidate)
+            taken.add(candidate)
+    return tuple(names)
+
+
+def adr_universe(size: int) -> tuple[str, ...]:
+    """The first ``size`` reaction terms: named vocabulary, then fillers."""
+    if size < 0:
+        raise ConfigError(f"size must be non-negative, got {size}")
+    terms = list(ADR_VOCABULARY[:size])
+    index = 0
+    taken = set(terms)
+    while len(terms) < size:
+        candidate = synthesize_adr_term(index)
+        index += 1
+        if candidate not in taken:
+            terms.append(candidate)
+            taken.add(candidate)
+    return tuple(terms)

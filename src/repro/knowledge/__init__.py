@@ -1,0 +1,32 @@
+"""Domain-knowledge substrate.
+
+The paper validates its top-ranked interactions against Drugs.com and
+DrugBank (§5.4) and proposes highlighting interactions "that are not
+unknown or may lead to particularly severe adverse reactions" (§1.3).
+This package is the offline stand-in for those resources:
+
+- :mod:`repro.knowledge.ddi_reference` — a curated reference of known
+  drug-drug interactions (seeded with every interaction the paper cites)
+  with membership lookup and novelty classification;
+- :mod:`repro.knowledge.severity` — ADR severity classes used to flag
+  clusters whose reactions are life-threatening.
+"""
+
+from repro.knowledge.ddi_reference import (
+    DDIReference,
+    KnownInteraction,
+    default_reference,
+)
+from repro.knowledge.meddra import MedDRAHierarchy, default_hierarchy
+from repro.knowledge.severity import Severity, SeverityIndex, default_severity_index
+
+__all__ = [
+    "DDIReference",
+    "KnownInteraction",
+    "MedDRAHierarchy",
+    "Severity",
+    "SeverityIndex",
+    "default_hierarchy",
+    "default_reference",
+    "default_severity_index",
+]

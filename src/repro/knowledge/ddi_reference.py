@@ -1,0 +1,141 @@
+"""Curated drug-drug-interaction reference (Drugs.com / DrugBank stand-in).
+
+A :class:`DDIReference` answers the two questions the MeDIAR front-end
+asks of domain knowledge:
+
+- *is this drug combination a known interaction?* (validation, §5.4);
+- *if so, which reactions does the literature associate with it?*
+  (novelty: a mined cluster whose combination is known but whose ADR is
+  not listed is still an "unknown ADR of a known interaction").
+
+The default reference ships every interaction the paper cites —
+Aspirin+Warfarin (Chan 1995), the three §5.4 case studies, the
+Paroxetine+Pravastatin discovery of Tatonetti et al., and the PPI
+therapeutic-duplication pair — so the case-study benchmarks can validate
+against exactly the sources the authors used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class KnownInteraction:
+    """One literature-documented interaction."""
+
+    drugs: frozenset[str]
+    adrs: frozenset[str]
+    source: str
+    mechanism: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.drugs) < 2:
+            raise ConfigError(
+                f"an interaction involves at least two drugs, got {sorted(self.drugs)}"
+            )
+        if not self.adrs:
+            raise ConfigError("an interaction lists at least one reaction")
+
+
+class DDIReference:
+    """Membership and novelty lookup over known interactions."""
+
+    def __init__(self, interactions: Iterable[KnownInteraction]) -> None:
+        self._interactions = tuple(interactions)
+        self._by_drugs: dict[frozenset[str], list[KnownInteraction]] = {}
+        for interaction in self._interactions:
+            self._by_drugs.setdefault(interaction.drugs, []).append(interaction)
+
+    def __len__(self) -> int:
+        return len(self._interactions)
+
+    def __iter__(self):
+        return iter(self._interactions)
+
+    def lookup(self, drugs: Iterable[str]) -> list[KnownInteraction]:
+        """Known interactions whose drug set is exactly ``drugs``."""
+        return list(self._by_drugs.get(frozenset(drugs), ()))
+
+    def is_known_combination(self, drugs: Iterable[str]) -> bool:
+        """True when ``drugs`` (or any subset pair of it) is documented.
+
+        A mined 3-drug combination containing a documented 2-drug
+        interaction counts as known — a safety evaluator would not call
+        it a new discovery.
+        """
+        drugs = frozenset(drugs)
+        return any(known <= drugs for known in self._by_drugs)
+
+    def classify(
+        self, drugs: Iterable[str], adrs: Iterable[str]
+    ) -> str:
+        """Novelty class of one mined (drugs, adrs) association.
+
+        Returns one of:
+
+        - ``"known"`` — a documented interaction covers the combination
+          *and* at least one of the mined ADRs;
+        - ``"known-combination-new-adr"`` — the combination is
+          documented but none of the mined ADRs are;
+        - ``"unknown"`` — no documented interaction within the
+          combination.
+        """
+        drugs = frozenset(drugs)
+        adrs = frozenset(adrs)
+        covered = [
+            interaction
+            for known_drugs, interactions in self._by_drugs.items()
+            if known_drugs <= drugs
+            for interaction in interactions
+        ]
+        if not covered:
+            return "unknown"
+        if any(interaction.adrs & adrs for interaction in covered):
+            return "known"
+        return "known-combination-new-adr"
+
+    def merged_with(self, extra: Sequence[KnownInteraction]) -> "DDIReference":
+        """A new reference with ``extra`` appended (user-supplied knowledge)."""
+        return DDIReference((*self._interactions, *extra))
+
+
+def default_reference() -> DDIReference:
+    """The interactions cited in the paper, with their sources."""
+    return DDIReference(
+        (
+            KnownInteraction(
+                drugs=frozenset({"ASPIRIN", "WARFARIN"}),
+                adrs=frozenset({"HAEMORRHAGE"}),
+                source="Chan 1995, Annals of Pharmacotherapy",
+                mechanism="additive anticoagulant / antiplatelet effect",
+            ),
+            KnownInteraction(
+                drugs=frozenset({"IBUPROFEN", "METAMIZOLE"}),
+                adrs=frozenset({"ACUTE RENAL FAILURE"}),
+                source="WHO Pharmaceuticals Newsletter 2014 (VigiBase)",
+                mechanism="combined NSAID nephrotoxicity",
+            ),
+            KnownInteraction(
+                drugs=frozenset({"METHOTREXATE", "PROGRAF"}),
+                adrs=frozenset({"DRUG INEFFECTIVE", "ACUTE RENAL FAILURE"}),
+                source="Drugs.com; DrugBank 4.0",
+                mechanism="overlapping nephrotoxicity of methotrexate and tacrolimus",
+            ),
+            KnownInteraction(
+                drugs=frozenset({"NEXIUM", "PREVACID"}),
+                adrs=frozenset({"OSTEOPOROSIS", "BONE FRACTURE"}),
+                source="Drugs.com (therapeutic duplication); Targownik 2008 CMAJ",
+                mechanism="duplicated proton-pump inhibition, reduced calcium absorption",
+            ),
+            KnownInteraction(
+                drugs=frozenset({"PAROXETINE", "PRAVASTATIN"}),
+                adrs=frozenset({"BLOOD GLUCOSE INCREASED"}),
+                source="Tatonetti 2011, Clinical Pharmacology & Therapeutics",
+                mechanism="unexpected synergistic hyperglycaemia",
+            ),
+        )
+    )

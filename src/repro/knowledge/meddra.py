@@ -1,0 +1,150 @@
+"""MedDRA-style grouping of reaction terms into System Organ Classes.
+
+FAERS reactions are MedDRA *preferred terms* (PTs); regulators read
+them grouped by *System Organ Class* (SOC) — "is this cluster a renal
+story or a cardiac one?". Real MedDRA is licensed and cannot ship, so
+this module provides the same shape with open machinery:
+
+- a curated PT → SOC map covering every named term in the vocabulary;
+- keyword inference for everything else (the synthetic ADR universe is
+  built from ``QUALIFIER SITE CONDITION`` phrases, and real PTs carry
+  the same anatomical tokens), falling back to
+  ``"General disorders"``.
+
+Used to add SOC columns/sections to reports and dashboards and to
+filter clusters by body system.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+# System Organ Classes (a practical subset of MedDRA's 27).
+SOC_BLOOD = "Blood and lymphatic system disorders"
+SOC_CARDIAC = "Cardiac disorders"
+SOC_EAR = "Ear and labyrinth disorders"
+SOC_ENDOCRINE = "Endocrine disorders"
+SOC_EYE = "Eye disorders"
+SOC_GI = "Gastrointestinal disorders"
+SOC_GENERAL = "General disorders"
+SOC_HEPATIC = "Hepatobiliary disorders"
+SOC_IMMUNE = "Immune system disorders"
+SOC_METABOLIC = "Metabolism and nutrition disorders"
+SOC_MSK = "Musculoskeletal and connective tissue disorders"
+SOC_NERVOUS = "Nervous system disorders"
+SOC_PSYCH = "Psychiatric disorders"
+SOC_RENAL = "Renal and urinary disorders"
+SOC_RESPIRATORY = "Respiratory, thoracic and mediastinal disorders"
+SOC_SKIN = "Skin and subcutaneous tissue disorders"
+SOC_VASCULAR = "Vascular disorders"
+
+ALL_SOCS = (
+    SOC_BLOOD,
+    SOC_CARDIAC,
+    SOC_EAR,
+    SOC_ENDOCRINE,
+    SOC_EYE,
+    SOC_GI,
+    SOC_GENERAL,
+    SOC_HEPATIC,
+    SOC_IMMUNE,
+    SOC_METABOLIC,
+    SOC_MSK,
+    SOC_NERVOUS,
+    SOC_PSYCH,
+    SOC_RENAL,
+    SOC_RESPIRATORY,
+    SOC_SKIN,
+    SOC_VASCULAR,
+)
+
+# Curated assignments for the named vocabulary's terms.
+_CURATED: dict[str, str] = {
+    "ASTHMA": SOC_RESPIRATORY,
+    "OSTEOPOROSIS": SOC_MSK,
+    "CHRONIC GRAFT VERSUS HOST DISEASE": SOC_IMMUNE,
+    "ACUTE GRAFT VERSUS HOST DISEASE": SOC_IMMUNE,
+    "DRUG INEFFECTIVE": SOC_GENERAL,
+    "OSTEONECROSIS OF JAW": SOC_MSK,
+    "OSTEOARTHRITIS": SOC_MSK,
+    "NEUROPATHY PERIPHERAL": SOC_NERVOUS,
+    "PAIN": SOC_GENERAL,
+    "ANAEMIA": SOC_BLOOD,
+    "ACUTE RENAL FAILURE": SOC_RENAL,
+    "HAEMORRHAGE": SOC_VASCULAR,
+    "GRANULOCYTE COLONY-STIMULATING FACTOR NOS": SOC_BLOOD,
+    "ANXIETY": SOC_PSYCH,
+    "BLOOD GLUCOSE INCREASED": SOC_METABOLIC,
+    "BONE FRACTURE": SOC_MSK,
+    "GASTROOESOPHAGEAL REFLUX DISEASE": SOC_GI,
+}
+
+# Anatomical-token inference for everything else (covers the synthetic
+# universe's SITE tokens and common real-PT stems).
+_SITE_KEYWORDS: tuple[tuple[str, str], ...] = (
+    ("RENAL", SOC_RENAL),
+    ("URINARY", SOC_RENAL),
+    ("CARDIAC", SOC_CARDIAC),
+    ("MYOCARD", SOC_CARDIAC),
+    ("HEPATIC", SOC_HEPATIC),
+    ("BILIARY", SOC_HEPATIC),
+    ("PULMONARY", SOC_RESPIRATORY),
+    ("RESPIRATORY", SOC_RESPIRATORY),
+    ("BRONCH", SOC_RESPIRATORY),
+    ("GASTRIC", SOC_GI),
+    ("INTESTINAL", SOC_GI),
+    ("OESOPHAGEAL", SOC_GI),
+    ("PANCREATIC", SOC_GI),
+    ("DERMAL", SOC_SKIN),
+    ("SKIN", SOC_SKIN),
+    ("OCULAR", SOC_EYE),
+    ("RETIN", SOC_EYE),
+    ("AURICULAR", SOC_EAR),
+    ("NEURAL", SOC_NERVOUS),
+    ("CEREBRAL", SOC_NERVOUS),
+    ("SPINAL", SOC_NERVOUS),
+    ("VASCULAR", SOC_VASCULAR),
+    ("HAEMORRH", SOC_VASCULAR),
+    ("THROMBO", SOC_VASCULAR),
+    ("MUSCULAR", SOC_MSK),
+    ("ARTICULAR", SOC_MSK),
+    ("OSTEO", SOC_MSK),
+    ("SPLENIC", SOC_BLOOD),
+    ("ANAEM", SOC_BLOOD),
+    ("THYROID", SOC_ENDOCRINE),
+    ("ADRENAL", SOC_ENDOCRINE),
+    ("GLUCOSE", SOC_METABOLIC),
+)
+
+
+class MedDRAHierarchy:
+    """PT → SOC lookup with curated entries first, keywords after."""
+
+    def __init__(self, curated: Mapping[str, str] | None = None) -> None:
+        self._curated = dict(_CURATED if curated is None else curated)
+
+    def soc_of(self, adr_term: str) -> str:
+        term = adr_term.upper().strip()
+        known = self._curated.get(term)
+        if known is not None:
+            return known
+        for keyword, soc in _SITE_KEYWORDS:
+            if keyword in term:
+                return soc
+        return SOC_GENERAL
+
+    def socs_of(self, adr_terms: Iterable[str]) -> frozenset[str]:
+        """The set of SOCs spanned by a cluster's reactions."""
+        return frozenset(self.soc_of(term) for term in adr_terms)
+
+    def group_by_soc(self, adr_terms: Iterable[str]) -> dict[str, list[str]]:
+        """SOC → sorted terms, only for SOCs that occur."""
+        grouped: dict[str, list[str]] = {}
+        for term in adr_terms:
+            grouped.setdefault(self.soc_of(term), []).append(term)
+        return {soc: sorted(terms) for soc, terms in sorted(grouped.items())}
+
+
+def default_hierarchy() -> MedDRAHierarchy:
+    """The stock PT → SOC hierarchy (curated terms + keyword inference)."""
+    return MedDRAHierarchy()

@@ -1,0 +1,112 @@
+"""ADR severity classes.
+
+§1.3 and §4.1 describe filtering for "drug interactions that may lead to
+severe ADRs which might need immediate action". FAERS itself only flags
+report-level seriousness, so this module maintains a term-level severity
+index: a handful of curated life-threatening terms, plus keyword
+heuristics for everything else (MedDRA-style terms wear their severity
+on their sleeve: "...FAILURE", "...NECROSIS", "HAEMORRHAGE", ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity classes; comparisons follow clinical urgency."""
+
+    MILD = 1
+    MODERATE = 2
+    SEVERE = 3
+    LIFE_THREATENING = 4
+
+
+_CURATED: dict[str, Severity] = {
+    "ACUTE RENAL FAILURE": Severity.LIFE_THREATENING,
+    "HAEMORRHAGE": Severity.LIFE_THREATENING,
+    "ACUTE GRAFT VERSUS HOST DISEASE": Severity.LIFE_THREATENING,
+    "CHRONIC GRAFT VERSUS HOST DISEASE": Severity.SEVERE,
+    "OSTEONECROSIS OF JAW": Severity.SEVERE,
+    "OSTEOPOROSIS": Severity.MODERATE,
+    "BONE FRACTURE": Severity.SEVERE,
+    "NEUROPATHY PERIPHERAL": Severity.MODERATE,
+    "OSTEOARTHRITIS": Severity.MODERATE,
+    "ASTHMA": Severity.MODERATE,
+    "DRUG INEFFECTIVE": Severity.MODERATE,
+    "PAIN": Severity.MILD,
+    "ANXIETY": Severity.MILD,
+    "ANAEMIA": Severity.MODERATE,
+    "BLOOD GLUCOSE INCREASED": Severity.MODERATE,
+    "GASTROOESOPHAGEAL REFLUX DISEASE": Severity.MILD,
+}
+
+_LIFE_THREATENING_KEYWORDS = (
+    "FAILURE",
+    "HAEMORRHAGE",
+    "ARREST",
+    "INFARCTION",
+    "SEPSIS",
+    "ANAPHYLA",
+    "RUPTURE",
+)
+_SEVERE_KEYWORDS = (
+    "NECROSIS",
+    "THROMBOSIS",
+    "ISCHAEMIA",
+    "STENOSIS",
+    "ULCERATION",
+    "INSUFFICIENCY",
+    "FRACTURE",
+)
+_MODERATE_KEYWORDS = (
+    "FIBROSIS",
+    "OEDEMA",
+    "INFLAMMATION",
+    "EFFUSION",
+    "HYPERPLASIA",
+    "DEGENERATION",
+    "DYSTROPHY",
+    "EROSION",
+    "CALCIFICATION",
+    "ATROPHY",
+    "SPASM",
+    "HYPERTROPHY",
+)
+
+
+class SeverityIndex:
+    """Severity lookup: curated entries first, keyword heuristics after."""
+
+    def __init__(self, curated: Mapping[str, Severity] | None = None) -> None:
+        self._curated = dict(_CURATED if curated is None else curated)
+
+    def severity_of(self, adr_term: str) -> Severity:
+        term = adr_term.upper().strip()
+        known = self._curated.get(term)
+        if known is not None:
+            return known
+        if any(keyword in term for keyword in _LIFE_THREATENING_KEYWORDS):
+            return Severity.LIFE_THREATENING
+        if any(keyword in term for keyword in _SEVERE_KEYWORDS):
+            return Severity.SEVERE
+        if any(keyword in term for keyword in _MODERATE_KEYWORDS):
+            return Severity.MODERATE
+        return Severity.MILD
+
+    def max_severity(self, adr_terms: Iterable[str]) -> Severity:
+        """Worst severity among ``adr_terms`` (MILD for an empty iterable)."""
+        worst = Severity.MILD
+        for term in adr_terms:
+            worst = max(worst, self.severity_of(term))
+        return worst
+
+    def is_severe(self, adr_terms: Iterable[str]) -> bool:
+        """The §4.1 filter: does the cluster carry a SEVERE+ reaction?"""
+        return self.max_severity(adr_terms) >= Severity.SEVERE
+
+
+def default_severity_index() -> SeverityIndex:
+    """The stock severity index (curated terms + keyword heuristics)."""
+    return SeverityIndex()

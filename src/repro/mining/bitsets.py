@@ -1,0 +1,92 @@
+"""Bitset-backed support oracle.
+
+The default :class:`~repro.mining.transactions.TransactionDatabase`
+keeps tidsets as ``frozenset[int]``; intersecting those allocates new
+sets per query. At FAERS scale (10⁵+ reports) the hot path — support
+counting during MCAC construction and contingency building — is better
+served by *bitset* tidsets: one arbitrary-precision Python integer per
+item, one bit per transaction, so an itemset support is a chain of
+``&`` and one ``bit_count()``, all in C.
+
+:class:`BitsetIndex` is a drop-in read-only accelerator built from an
+existing database; the equivalence tests assert it agrees with the
+set-based answers bit for bit, and the mining-scaling benchmark
+measures the speedup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import MiningError
+from repro.mining.transactions import Itemset, TransactionDatabase
+
+
+class BitsetIndex:
+    """Per-item transaction bitmasks over a fixed database.
+
+    Bit ``t`` of ``mask(item)`` is set iff transaction ``t`` contains
+    the item. The index is immutable and tied to the database it was
+    built from.
+    """
+
+    def __init__(self, database: TransactionDatabase) -> None:
+        self._n_transactions = len(database)
+        masks: dict[int, int] = {}
+        for tid, transaction in enumerate(database):
+            bit = 1 << tid
+            for item in transaction:
+                masks[item] = masks.get(item, 0) | bit
+        self._masks = masks
+        self._full = (1 << self._n_transactions) - 1
+
+    def __len__(self) -> int:
+        return self._n_transactions
+
+    def mask(self, item: int) -> int:
+        """The transaction bitmask of one item (0 if it never occurs)."""
+        return self._masks.get(item, 0)
+
+    def itemset_mask(self, itemset: Iterable[int]) -> int:
+        """AND of the item masks; the full mask for the empty itemset."""
+        result = self._full
+        for item in itemset:
+            result &= self._masks.get(item, 0)
+            if not result:
+                return 0
+        return result
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Absolute support via popcount."""
+        return self.itemset_mask(itemset).bit_count()
+
+    def tidset(self, itemset: Iterable[int]) -> frozenset[int]:
+        """Materialize the matching tids (for interop with set-based code)."""
+        mask = self.itemset_mask(itemset)
+        tids = []
+        tid = 0
+        while mask:
+            if mask & 1:
+                tids.append(tid)
+            low_zeros = ((mask & -mask).bit_length() - 1) if mask else 0
+            if low_zeros > 1:
+                mask >>= low_zeros
+                tid += low_zeros
+            else:
+                mask >>= 1
+                tid += 1
+        return frozenset(tids)
+
+    def contingency_counts(
+        self, exposure: Itemset, outcome: Itemset
+    ) -> tuple[int, int, int, int]:
+        """(a, b, c, d) cells of the exposure/outcome 2×2 table."""
+        if not exposure or not outcome:
+            raise MiningError("exposure and outcome must be non-empty")
+        exposed = self.itemset_mask(exposure)
+        with_outcome = self.itemset_mask(outcome)
+        a = (exposed & with_outcome).bit_count()
+        b = exposed.bit_count() - a
+        c = with_outcome.bit_count() - a
+        d = self._n_transactions - a - b - c
+        return (a, b, c, d)

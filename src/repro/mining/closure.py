@@ -1,0 +1,68 @@
+"""The Galois closure operator on itemsets.
+
+For an itemset ``X`` over a transaction database, the *closure* of ``X``
+is the set of items contained in **every** transaction that contains
+``X``. An itemset is *closed* (Definition 3.4.1 of the paper) exactly
+when it equals its own closure — equivalently, when no proper superset
+has the same support.
+
+Lemma 3.4.2 of the paper rests on this operator: a drug-ADR rule whose
+complete itemset is closed is always an explicitly or implicitly
+supported association, never a spurious partial one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.mining.transactions import Itemset, TransactionDatabase
+
+
+def closure(database: TransactionDatabase, itemset: Iterable[int]) -> Itemset:
+    """Return the closure of ``itemset`` in ``database``.
+
+    The closure of an itemset with an empty tidset (one that occurs in no
+    transaction) is, by the definition above, the set of *all* items —
+    vacuously every transaction containing it contains everything. That
+    degenerate case almost always signals a caller bug, so instead we
+    return the itemset unchanged, which keeps ``closure`` idempotent and
+    side-steps the vacuous explosion.
+
+    The closure of the empty itemset is the set of items present in every
+    transaction (usually empty for real report data).
+    """
+    itemset = frozenset(itemset)
+    tids = database.tidset_of(itemset)
+    if not tids:
+        return itemset
+    transactions = iter(sorted(tids))
+    first = database[next(transactions)]
+    closed = set(first)
+    for tid in transactions:
+        closed &= database[tid]
+        if closed == itemset:
+            break
+    return frozenset(closed) | itemset
+
+
+def is_closed(database: TransactionDatabase, itemset: Iterable[int]) -> bool:
+    """True when ``itemset`` equals its own closure.
+
+    An itemset that occurs in no transaction is reported as *not* closed:
+    it cannot be a supported association of any kind.
+    """
+    itemset = frozenset(itemset)
+    if not database.tidset_of(itemset):
+        return False
+    return closure(database, itemset) == itemset
+
+
+def filter_closed(
+    database: TransactionDatabase, itemsets: Iterable[Itemset]
+) -> list[Itemset]:
+    """Keep only the closed itemsets of ``itemsets``.
+
+    A brute-force helper used by tests to cross-check the dedicated
+    closed miner; do not use it on large mining output.
+    """
+    return [items for items in itemsets if is_closed(database, items)]

@@ -1,0 +1,127 @@
+"""Closed frequent itemset mining.
+
+The paper's pipeline (§5.2) mines *closed* itemsets so that every
+generated drug-ADR rule is a supported association (Lemma 3.4.2) and the
+rule space collapses by orders of magnitude (Fig 5.1).
+
+The miner here is an LCM-style prefix-preserving closure-extension
+search (Uno et al., FIMI'04) over the database's vertical representation
+— each candidate is extended by one item, the tidset is intersected, the
+closure is computed, and the branch is kept only if the closure does not
+disturb the prefix. This enumerates every closed itemset exactly once with
+no duplicate-detection hash table. The public entry point keeps the name
+``fpclose`` after the FP-Growth-based closed-mining step the paper
+describes; the output contract is identical (all closed frequent
+itemsets with their supports) and the test suite cross-checks it against
+a brute-force closure filter over Apriori output.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.mining.transactions import (
+    FrequentItemset,
+    Itemset,
+    TransactionDatabase,
+    resolve_min_support,
+)
+
+
+def fpclose(
+    database: TransactionDatabase,
+    min_support: int | float = 1,
+    *,
+    max_len: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all closed frequent itemsets of ``database``.
+
+    Parameters
+    ----------
+    database:
+        The transaction database to mine.
+    min_support:
+        Absolute count (``int >= 1``) or fraction (``float`` in (0, 1]).
+    max_len:
+        Optional cap on the cardinality of *emitted* closed itemsets.
+        Because the search only ever grows itemsets, branches whose
+        closure already exceeds the cap are pruned entirely; closed
+        itemsets within the cap are unaffected.
+
+    Returns
+    -------
+    list[FrequentItemset]
+        Every closed itemset with support ≥ the threshold. The empty
+        itemset is never returned, even when no item is universal.
+    """
+    threshold = resolve_min_support(min_support, len(database))
+    if max_len is not None and max_len < 1:
+        raise ConfigError(f"max_len must be >= 1, got {max_len}")
+
+    supports = database.item_supports()
+    frequent = sorted(i for i, c in supports.items() if c >= threshold)
+    if not frequent:
+        return []
+    tidsets = {i: database.tidset(i) for i in frequent}
+    # For closure computation, examine candidate items most-frequent
+    # first is unnecessary; we just need, per branch, the items whose
+    # tidset is a superset of the branch tidset.
+    results: list[FrequentItemset] = []
+    all_tids = frozenset(range(len(database)))
+
+    root = _closure_over(frozenset(), all_tids, frequent, tidsets)
+    if root and (max_len is None or len(root) <= max_len):
+        results.append(FrequentItemset(root, len(all_tids)))
+    if max_len is not None and root and len(root) >= max_len:
+        return results
+
+    # Explicit DFS stack of (closed itemset, tidset, core item id).
+    # Extensions only use items strictly greater than the core, which is
+    # what makes the enumeration duplicate-free.
+    stack: list[tuple[Itemset, frozenset[int], int]] = [(root, all_tids, -1)]
+    while stack:
+        prefix, tids, core = stack.pop()
+        for item in frequent:
+            if item <= core or item in prefix:
+                continue
+            extended_tids = tids & tidsets[item]
+            if len(extended_tids) < threshold:
+                continue
+            closed = _closure_over(
+                prefix | {item}, extended_tids, frequent, tidsets
+            )
+            # Prefix-preserving test: the closure must not add any item
+            # smaller than the extension item that was not already in the
+            # prefix — otherwise this closed set is reachable (and will
+            # be reached) from a lexicographically earlier branch.
+            if any(j < item and j not in prefix for j in closed):
+                continue
+            if max_len is not None and len(closed) > max_len:
+                continue
+            results.append(FrequentItemset(closed, len(extended_tids)))
+            if max_len is None or len(closed) < max_len:
+                stack.append((closed, extended_tids, item))
+    return results
+
+
+def _closure_over(
+    itemset: Itemset,
+    tids: frozenset[int],
+    frequent: list[int],
+    tidsets: dict[int, frozenset[int]],
+) -> Itemset:
+    """Closure of ``itemset`` restricted to frequent items.
+
+    An item belongs to the closure iff its tidset contains every tid of
+    the branch. Restricting to frequent items is sound: an infrequent
+    item has support below the threshold, so it cannot contain a branch
+    tidset of size ≥ threshold.
+    """
+    size = len(tids)
+    closed = set(itemset)
+    for item in frequent:
+        if item in closed:
+            continue
+        candidate = tidsets[item]
+        if len(candidate) >= size and tids <= candidate:
+            closed.add(item)
+    return frozenset(closed)

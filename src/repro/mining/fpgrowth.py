@@ -1,0 +1,124 @@
+"""FP-Growth frequent itemset mining.
+
+The paper's mining phase (§5.2) "use[s] FP-Growth trees for closed
+item-set and rule generation"; this module is the all-frequent-itemsets
+variant, used by the Fig 5.1 reproduction (the "Total Rules" series is
+generated from *all* frequent itemsets) and as the substrate for the
+closed miner in :mod:`repro.mining.fpclose`.
+
+The recursion is implemented with an explicit work stack so that deep
+conditional chains on dense pharmacovigilance data cannot hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ConfigError
+from repro.mining.fptree import FPTree
+from repro.mining.transactions import (
+    FrequentItemset,
+    Itemset,
+    TransactionDatabase,
+    resolve_min_support,
+)
+
+
+def fpgrowth(
+    database: TransactionDatabase,
+    min_support: int | float = 1,
+    *,
+    max_len: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all frequent itemsets of ``database``.
+
+    Parameters
+    ----------
+    database:
+        The transaction database to mine.
+    min_support:
+        Absolute count (``int >= 1``) or fraction of the database
+        (``float`` in (0, 1]).
+    max_len:
+        Optional cap on itemset cardinality. The drug→ADR pipeline uses
+        this to bound rule length (e.g. at most 4 drugs + a handful of
+        ADRs per rule).
+
+    Returns
+    -------
+    list[FrequentItemset]
+        Every itemset with support ≥ the threshold, in no particular
+        order. The empty itemset is never returned.
+    """
+    threshold = resolve_min_support(min_support, len(database))
+    if max_len is not None and max_len < 1:
+        raise ConfigError(f"max_len must be >= 1, got {max_len}")
+
+    supports = {
+        item: count
+        for item, count in database.item_supports().items()
+        if count >= threshold
+    }
+    if not supports:
+        return []
+    tree = FPTree.from_transactions(database, supports)
+    results: list[FrequentItemset] = []
+    _mine(tree, threshold, suffix=frozenset(), max_len=max_len, out=results)
+    return results
+
+
+def _mine(
+    tree: FPTree,
+    threshold: int,
+    suffix: Itemset,
+    max_len: int | None,
+    out: list[FrequentItemset],
+) -> None:
+    """Iterative FP-Growth over an explicit stack of (tree, suffix) jobs."""
+    stack: list[tuple[FPTree, Itemset]] = [(tree, suffix)]
+    while stack:
+        current_tree, current_suffix = stack.pop()
+        if current_tree.is_empty():
+            continue
+        single = current_tree.single_path()
+        if single is not None:
+            _emit_single_path(single, current_suffix, max_len, out)
+            continue
+        for item in current_tree.items_by_ascending_frequency():
+            item_support = current_tree.item_support(item)
+            if item_support < threshold:
+                continue
+            new_suffix = current_suffix | {item}
+            if max_len is not None and len(new_suffix) > max_len:
+                continue
+            out.append(FrequentItemset(new_suffix, item_support))
+            if max_len is not None and len(new_suffix) == max_len:
+                continue
+            conditional = current_tree.conditional_tree(item, threshold)
+            if not conditional.is_empty():
+                stack.append((conditional, new_suffix))
+
+
+def _emit_single_path(
+    path: list[tuple[int, int]],
+    suffix: Itemset,
+    max_len: int | None,
+    out: list[FrequentItemset],
+) -> None:
+    """Enumerate all non-empty subsets of a single-path tree.
+
+    For a chain i1:c1 → i2:c2 → ... (counts non-increasing), the support
+    of any subset is the count of its deepest member, so every
+    combination can be emitted without recursion.
+    """
+    remaining = None if max_len is None else max_len - len(suffix)
+    if remaining is not None and remaining <= 0:
+        return
+    n = len(path)
+    limit = n if remaining is None else min(n, remaining)
+    for size in range(1, limit + 1):
+        for combo in combinations(range(n), size):
+            items = suffix | {path[i][0] for i in combo}
+            support = path[combo[-1]][1]  # deepest selected node
+            out.append(FrequentItemset(frozenset(items), support))

@@ -1,0 +1,191 @@
+"""FP-tree: the prefix-tree structure behind FP-Growth.
+
+An FP-tree compresses a transaction database by merging shared prefixes
+of transactions whose items are sorted in a fixed, frequency-descending
+order. Each distinct item keeps a *header list* of the nodes labelled
+with it, which lets the miner walk every occurrence of an item without
+touching the rest of the tree.
+
+This implementation follows Han, Pei & Yin (SIGMOD 2000). It is shared
+by :mod:`repro.mining.fpgrowth` (all frequent itemsets) and
+:mod:`repro.mining.fpclose` (closed frequent itemsets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.errors import MiningError
+
+
+class FPNode:
+    """One node of an FP-tree.
+
+    Attributes
+    ----------
+    item:
+        Item id, or ``None`` for the root.
+    count:
+        Number of transactions whose sorted prefix passes through this node.
+    parent:
+        Parent node (``None`` for the root).
+    children:
+        Child nodes keyed by item id.
+    """
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: Optional[int], parent: Optional["FPNode"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+
+    def path_to_root(self) -> list[int]:
+        """Items on the path from this node's parent up to (not including) the root."""
+        path: list[int] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPNode(item={self.item}, count={self.count})"
+
+
+class FPTree:
+    """An FP-tree with per-item header lists.
+
+    Parameters
+    ----------
+    item_order:
+        Mapping from item id to its rank in the global
+        frequency-descending order. Transactions are sorted by this rank
+        before insertion so shared prefixes merge maximally. All trees in
+        one mining run (the initial tree and every conditional tree) must
+        share the same order.
+    """
+
+    def __init__(self, item_order: dict[int, int]) -> None:
+        self.root = FPNode(None, None)
+        self.item_order = item_order
+        self.headers: dict[int, list[FPNode]] = {}
+        self._item_counts: dict[int, int] = {}
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Iterable[Iterable[int]],
+        frequent_items: dict[int, int],
+    ) -> "FPTree":
+        """Build a tree from transactions, keeping only ``frequent_items``.
+
+        ``frequent_items`` maps each frequent item to its global support;
+        ties in support are broken by item id so the order is total and
+        deterministic.
+        """
+        order = rank_items(frequent_items)
+        tree = cls(order)
+        keep = frozenset(frequent_items)
+        for transaction in transactions:
+            filtered = [item for item in transaction if item in keep]
+            tree.insert(filtered, count=1)
+        return tree
+
+    def insert(self, items: Iterable[int], count: int) -> None:
+        """Insert one (possibly weighted) transaction.
+
+        Items are sorted into the tree's canonical order here, so callers
+        may pass them in any order.
+        """
+        if count <= 0:
+            raise MiningError(f"insert count must be positive, got {count}")
+        try:
+            ordered = sorted(set(items), key=lambda i: self.item_order[i])
+        except KeyError as exc:
+            raise MiningError(
+                f"item {exc.args[0]} not in the tree's item order"
+            ) from None
+        node = self.root
+        for item in ordered:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self.headers.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+        for item in ordered:
+            self._item_counts[item] = self._item_counts.get(item, 0) + count
+
+    def item_support(self, item: int) -> int:
+        """Total count of ``item`` across all its nodes."""
+        return self._item_counts.get(item, 0)
+
+    def items_by_ascending_frequency(self) -> list[int]:
+        """Items in the tree, least-frequent first (FP-Growth's suffix order)."""
+        return sorted(
+            self._item_counts,
+            key=lambda i: (self._item_counts[i], -self.item_order[i]),
+        )
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of ``item``.
+
+        Returns ``(path items, count)`` pairs where each path is the set
+        of items between one occurrence of ``item`` and the root, and the
+        count is that occurrence's count.
+        """
+        paths: list[tuple[list[int], int]] = []
+        for node in self.headers.get(item, ()):
+            path = node.path_to_root()
+            if path:
+                paths.append((path, node.count))
+        return paths
+
+    def conditional_tree(self, item: int, min_support: int) -> "FPTree":
+        """Build the conditional FP-tree for ``item``.
+
+        Counts items in the conditional pattern base, drops those below
+        ``min_support``, and inserts the filtered weighted paths into a
+        fresh tree that reuses this tree's item order.
+        """
+        paths = self.prefix_paths(item)
+        counts: dict[int, int] = {}
+        for path, count in paths:
+            for path_item in path:
+                counts[path_item] = counts.get(path_item, 0) + count
+        keep = {i for i, c in counts.items() if c >= min_support}
+        subtree = FPTree(self.item_order)
+        for path, count in paths:
+            filtered = [i for i in path if i in keep]
+            if filtered:
+                subtree.insert(filtered, count)
+        return subtree
+
+    def single_path(self) -> Optional[list[tuple[int, int]]]:
+        """If the tree is a single chain, return its ``(item, count)`` list.
+
+        FP-Growth enumerates the subsets of a single-path tree directly
+        instead of recursing; returns ``None`` when the tree branches.
+        """
+        path: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (child,) = node.children.values()
+            path.append((child.item, child.count))  # type: ignore[arg-type]
+            node = child
+        return path
+
+
+def rank_items(supports: dict[int, int]) -> dict[int, int]:
+    """Rank items by descending support, breaking ties by ascending id."""
+    ordered = sorted(supports, key=lambda i: (-supports[i], i))
+    return {item: rank for rank, item in enumerate(ordered)}

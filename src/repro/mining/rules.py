@@ -1,0 +1,196 @@
+"""Association-rule generation.
+
+Two generators live here:
+
+- :func:`generate_rules` — the traditional generator: every non-trivial
+  split ``A ⇒ B`` of every mined itemset, optionally filtered by a
+  minimum confidence. This is the "Total Rules" series of Fig 5.1.
+- :func:`partitioned_rules` — the MeDIAR generator (§3.1): for each
+  itemset containing at least one item of the antecedent kind (drugs)
+  and one of the consequent kind (ADRs), emit the single rule whose
+  antecedent is the itemset's full drug part and whose consequent is its
+  full ADR part. Fed with *closed* itemsets this produces exactly the
+  closed drug-ADR associations of §3.4.
+
+Both attach a full :class:`~repro.mining.measures.RuleMetrics` computed
+from exact counts against the originating database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import ConfigError
+from repro.mining.measures import RuleMetrics
+from repro.mining.transactions import (
+    FrequentItemset,
+    Itemset,
+    TransactionDatabase,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A rule ``antecedent ⇒ consequent`` with its metrics.
+
+    ``antecedent`` and ``consequent`` are disjoint, non-empty itemsets of
+    item ids; ``metrics`` carries support/confidence/lift/… computed from
+    the database the rule was mined from.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    metrics: RuleMetrics
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise ConfigError("rule sides must be non-empty")
+        if self.antecedent & self.consequent:
+            raise ConfigError(
+                f"rule sides overlap: {sorted(self.antecedent & self.consequent)}"
+            )
+
+    @property
+    def items(self) -> Itemset:
+        """The rule's complete itemset A ∪ B."""
+        return self.antecedent | self.consequent
+
+    @property
+    def support(self) -> float:
+        return self.metrics.support
+
+    @property
+    def confidence(self) -> float:
+        return self.metrics.confidence
+
+    @property
+    def lift(self) -> float:
+        return self.metrics.lift
+
+    def describe(self, catalog) -> str:
+        """Human-readable one-liner, e.g. ``[ASPIRIN] [WARFARIN] => [HAEMORRHAGE]``."""
+        left = " ".join(f"[{label}]" for label in catalog.labels(self.antecedent))
+        right = " ".join(f"[{label}]" for label in catalog.labels(self.consequent))
+        return f"{left} => {right}"
+
+
+def _metrics_for(
+    database: TransactionDatabase,
+    antecedent: Itemset,
+    consequent: Itemset,
+    n_joint: int | None = None,
+) -> RuleMetrics:
+    joint = (
+        n_joint
+        if n_joint is not None
+        else database.support(antecedent | consequent)
+    )
+    return RuleMetrics.from_counts(
+        n_joint=joint,
+        n_antecedent=database.support(antecedent),
+        n_consequent=database.support(consequent),
+        n_total=len(database),
+    )
+
+
+def generate_rules(
+    itemsets: Sequence[FrequentItemset],
+    database: TransactionDatabase,
+    *,
+    min_confidence: float = 0.0,
+) -> list[AssociationRule]:
+    """Generate every non-trivial split of every itemset of size ≥ 2.
+
+    ``min_confidence`` filters the output; 0.0 keeps everything. Note the
+    output size is exponential in itemset cardinality — use
+    :func:`count_all_splits` when only the Fig 5.1 *count* is needed.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ConfigError(f"min_confidence must be in [0, 1], got {min_confidence}")
+    rules: list[AssociationRule] = []
+    for itemset in itemsets:
+        items = sorted(itemset.items)
+        if len(items) < 2:
+            continue
+        for split_size in range(1, len(items)):
+            for antecedent_tuple in combinations(items, split_size):
+                antecedent = frozenset(antecedent_tuple)
+                consequent = itemset.items - antecedent
+                metrics = _metrics_for(
+                    database, antecedent, consequent, n_joint=itemset.support
+                )
+                if metrics.confidence >= min_confidence:
+                    rules.append(AssociationRule(antecedent, consequent, metrics))
+    return rules
+
+
+def count_all_splits(itemsets: Iterable[FrequentItemset]) -> int:
+    """Number of rules :func:`generate_rules` would emit at min_confidence 0.
+
+    Each itemset of cardinality k yields ``2^k − 2`` rules (every
+    non-empty proper subset as antecedent).
+    """
+    return sum((1 << len(fi.items)) - 2 for fi in itemsets if len(fi.items) >= 2)
+
+
+def partitioned_rules(
+    itemsets: Sequence[FrequentItemset],
+    database: TransactionDatabase,
+    *,
+    antecedent_kind: str = "drug",
+    consequent_kind: str = "adr",
+    min_confidence: float = 0.0,
+) -> list[AssociationRule]:
+    """Generate MeDIAR drug→ADR rules from mined itemsets.
+
+    For every itemset whose items split into a non-empty ``antecedent_kind``
+    part and a non-empty ``consequent_kind`` part *with nothing left
+    over*, emit the one rule `drug part ⇒ ADR part`. Itemsets containing
+    an item of any other kind are skipped: such a rule would not be a
+    drug-ADR association in the sense of §3.1.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ConfigError(f"min_confidence must be in [0, 1], got {min_confidence}")
+    catalog = database.catalog
+    antecedent_ids = catalog.ids_of_kind(antecedent_kind)
+    consequent_ids = catalog.ids_of_kind(consequent_kind)
+    rules: list[AssociationRule] = []
+    for itemset in itemsets:
+        antecedent = itemset.items & antecedent_ids
+        consequent = itemset.items & consequent_ids
+        if not antecedent or not consequent:
+            continue
+        if antecedent | consequent != itemset.items:
+            continue
+        metrics = _metrics_for(
+            database, antecedent, consequent, n_joint=itemset.support
+        )
+        if metrics.confidence >= min_confidence:
+            rules.append(AssociationRule(antecedent, consequent, metrics))
+    return rules
+
+
+def count_partitioned_splits(
+    itemsets: Iterable[FrequentItemset],
+    antecedent_ids: frozenset[int],
+    consequent_ids: frozenset[int],
+) -> int:
+    """Count the drug→ADR rules a traditional all-itemsets miner yields.
+
+    This is the "Filtered Rules" series of Fig 5.1. Convention: each
+    frequent itemset that splits cleanly into ≥1 drugs and ≥1 ADRs
+    contributes exactly one rule (its full drug part ⇒ its full ADR
+    part); all shorter drug→ADR rules are contributed by the
+    sub-itemsets, which an all-frequent-itemsets miner enumerates as
+    separate itemsets. The count is therefore the number of qualifying
+    itemsets — no double counting, no exponential blow-up.
+    """
+    count = 0
+    for fi in itemsets:
+        antecedent = fi.items & antecedent_ids
+        consequent = fi.items & consequent_ids
+        if antecedent and consequent and antecedent | consequent == fi.items:
+            count += 1
+    return count

@@ -1,0 +1,366 @@
+"""Transaction database and item catalog.
+
+The mining substrate works on *integer item ids* for speed and memory
+locality; the :class:`ItemCatalog` is the bidirectional mapping between
+human-readable item labels (drug names, ADR terms) and those ids. The
+:class:`TransactionDatabase` stores one :class:`frozenset` of item ids per
+transaction and maintains a *vertical* view (item id → set of transaction
+ids) that the closed-itemset miner and the closure operator rely on.
+
+Item *kinds* (e.g. ``"drug"`` vs ``"adr"``) are first-class: MeDIAR only
+considers rules whose antecedent is drug-only and whose consequent is
+ADR-only, and the partitioned rule generator needs to ask the catalog
+which side of the fence an item lives on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, MiningError, UnknownItemError
+
+Itemset = frozenset[int]
+EMPTY_ITEMSET: Itemset = frozenset()
+
+
+class ItemCatalog:
+    """Bidirectional mapping between item labels and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0, which makes them
+    usable as indices into dense arrays. Each item carries a *kind*
+    string; the default kind is ``"item"``.
+
+    Examples
+    --------
+    >>> catalog = ItemCatalog()
+    >>> catalog.add("ASPIRIN", kind="drug")
+    0
+    >>> catalog.add("HAEMORRHAGE", kind="adr")
+    1
+    >>> catalog.label(0)
+    'ASPIRIN'
+    >>> catalog.kind_of(1)
+    'adr'
+    """
+
+    def __init__(self) -> None:
+        self._id_by_label: dict[str, int] = {}
+        self._labels: list[str] = []
+        self._kinds: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._id_by_label
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def add(self, label: str, kind: str = "item") -> int:
+        """Register ``label`` and return its id.
+
+        Re-adding an existing label returns the existing id; a conflicting
+        ``kind`` on re-add raises :class:`~repro.errors.MiningError`
+        because an item cannot be both a drug and an ADR.
+        """
+        if not isinstance(label, str) or not label:
+            raise ConfigError(f"item label must be a non-empty string, got {label!r}")
+        existing = self._id_by_label.get(label)
+        if existing is not None:
+            if self._kinds[existing] != kind:
+                raise MiningError(
+                    f"item {label!r} already registered with kind "
+                    f"{self._kinds[existing]!r}, cannot re-register as {kind!r}"
+                )
+            return existing
+        item_id = len(self._labels)
+        self._id_by_label[label] = item_id
+        self._labels.append(label)
+        self._kinds.append(kind)
+        return item_id
+
+    def id(self, label: str) -> int:
+        """Return the id of ``label``, raising :class:`UnknownItemError` if absent."""
+        try:
+            return self._id_by_label[label]
+        except KeyError:
+            raise UnknownItemError(label) from None
+
+    def get_id(self, label: str) -> int | None:
+        """Return the id of ``label`` or ``None`` if it is not registered."""
+        return self._id_by_label.get(label)
+
+    def label(self, item_id: int) -> str:
+        """Return the label of ``item_id``."""
+        try:
+            return self._labels[item_id]
+        except IndexError:
+            raise UnknownItemError(item_id) from None
+
+    def kind_of(self, item_id: int) -> str:
+        """Return the kind string of ``item_id``."""
+        try:
+            return self._kinds[item_id]
+        except IndexError:
+            raise UnknownItemError(item_id) from None
+
+    def ids_of_kind(self, kind: str) -> frozenset[int]:
+        """Return the ids of every item registered with ``kind``."""
+        return frozenset(i for i, k in enumerate(self._kinds) if k == kind)
+
+    def labels(self, itemset: Iterable[int]) -> tuple[str, ...]:
+        """Return the labels of ``itemset`` sorted alphabetically.
+
+        Sorting makes the output deterministic, which the renderers and
+        report writers depend on.
+        """
+        return tuple(sorted(self.label(i) for i in itemset))
+
+    def encode(self, labels: Iterable[str]) -> Itemset:
+        """Translate an iterable of labels into an itemset of ids."""
+        return frozenset(self.id(label) for label in labels)
+
+
+@dataclass(frozen=True, slots=True)
+class FrequentItemset:
+    """A mined itemset together with its absolute support count.
+
+    ``items`` holds item ids; translate with
+    :meth:`ItemCatalog.labels` for display.
+    """
+
+    items: Itemset
+    support: int
+
+    def __post_init__(self) -> None:
+        if self.support < 0:
+            raise MiningError(f"support must be non-negative, got {self.support}")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item_id: object) -> bool:
+        return item_id in self.items
+
+
+class TransactionDatabase:
+    """An immutable collection of transactions over an :class:`ItemCatalog`.
+
+    Each transaction is a :class:`frozenset` of item ids. The database
+    also keeps the *vertical* representation — for each item, the set of
+    transaction ids (tids) containing it — which gives O(1) single-item
+    support and fast tidset intersection for closure computation.
+
+    Build one either from already-encoded itemsets via the constructor or
+    from label transactions with :meth:`from_labelled`.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Collection[int]],
+        catalog: ItemCatalog,
+    ) -> None:
+        self._catalog = catalog
+        self._transactions: list[Itemset] = [frozenset(t) for t in transactions]
+        n_items = len(catalog)
+        for tid, transaction in enumerate(self._transactions):
+            for item in transaction:
+                if not 0 <= item < n_items:
+                    raise MiningError(
+                        f"transaction {tid} references item id {item} "
+                        f"outside catalog of size {n_items}"
+                    )
+        self._tidsets: dict[int, frozenset[int]] = self._build_vertical()
+        # Per-item transaction bitmasks, built lazily on the first
+        # multi-item support query: one arbitrary-precision int per
+        # item makes support counting a chain of `&` plus a popcount,
+        # several times faster than frozenset intersection on the
+        # MCAC/contingency hot path.
+        self._bitmasks: dict[int, int] | None = None
+
+    @classmethod
+    def from_labelled(
+        cls,
+        labelled_transactions: Iterable[Iterable[str]],
+        *,
+        kinds: Mapping[str, str] | None = None,
+        catalog: ItemCatalog | None = None,
+    ) -> "TransactionDatabase":
+        """Build a database from transactions of string labels.
+
+        Parameters
+        ----------
+        labelled_transactions:
+            Iterable of iterables of item labels.
+        kinds:
+            Optional mapping from label to kind; labels absent from the
+            mapping get kind ``"item"``.
+        catalog:
+            Reuse an existing catalog (labels are added to it) instead of
+            creating a fresh one.
+        """
+        catalog = catalog if catalog is not None else ItemCatalog()
+        kinds = kinds or {}
+        encoded: list[set[int]] = []
+        for transaction in labelled_transactions:
+            row = {
+                catalog.add(label, kinds.get(label, "item")) for label in transaction
+            }
+            encoded.append(row)
+        return cls(encoded, catalog)
+
+    @property
+    def catalog(self) -> ItemCatalog:
+        return self._catalog
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._transactions)
+
+    def __getitem__(self, tid: int) -> Itemset:
+        return self._transactions[tid]
+
+    def _build_vertical(self) -> dict[int, frozenset[int]]:
+        vertical: dict[int, set[int]] = {}
+        for tid, transaction in enumerate(self._transactions):
+            for item in transaction:
+                vertical.setdefault(item, set()).add(tid)
+        return {item: frozenset(tids) for item, tids in vertical.items()}
+
+    def tidset(self, item_id: int) -> frozenset[int]:
+        """Return the set of transaction ids containing ``item_id``."""
+        return self._tidsets.get(item_id, frozenset())
+
+    def tidset_of(self, itemset: Iterable[int]) -> frozenset[int]:
+        """Return the tids of transactions containing *every* item.
+
+        The tidset of the empty itemset is all transactions. Items are
+        intersected smallest-tidset-first so the running intersection
+        shrinks as quickly as possible.
+        """
+        items = sorted(itemset, key=lambda i: len(self.tidset(i)))
+        if not items:
+            return frozenset(range(len(self._transactions)))
+        result = self.tidset(items[0])
+        for item in items[1:]:
+            if not result:
+                break
+            result = result & self.tidset(item)
+        return result
+
+    def _masks(self) -> dict[int, int]:
+        if self._bitmasks is None:
+            masks: dict[int, int] = {}
+            for tid, transaction in enumerate(self._transactions):
+                bit = 1 << tid
+                for item in transaction:
+                    masks[item] = masks.get(item, 0) | bit
+            self._bitmasks = masks
+        return self._bitmasks
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Absolute support (number of containing transactions) of an itemset."""
+        itemset = frozenset(itemset)
+        if not itemset:
+            return len(self._transactions)
+        if len(itemset) == 1:
+            return len(self.tidset(next(iter(itemset))))
+        masks = self._masks()
+        result = -1  # all-ones; first AND clips it to the first mask
+        for item in itemset:
+            result &= masks.get(item, 0)
+            if not result:
+                return 0
+        return result.bit_count()
+
+    def item_supports(self) -> dict[int, int]:
+        """Return absolute support of every item that occurs at least once."""
+        return {item: len(tids) for item, tids in self._tidsets.items()}
+
+    def items_present(self) -> frozenset[int]:
+        """Ids of items that occur in at least one transaction."""
+        return frozenset(self._tidsets)
+
+    def transactions_with(self, itemset: Iterable[int]) -> list[Itemset]:
+        """Return the transactions that contain every item of ``itemset``."""
+        return [self._transactions[tid] for tid in sorted(self.tidset_of(itemset))]
+
+    def restrict_to_items(self, keep: Collection[int]) -> "TransactionDatabase":
+        """Project the database onto ``keep``, dropping emptied transactions.
+
+        The catalog is shared with the original database so item ids stay
+        stable across the projection.
+        """
+        keep_set = frozenset(keep)
+        projected = [t & keep_set for t in self._transactions]
+        return TransactionDatabase(
+            [t for t in projected if t],
+            self._catalog,
+        )
+
+    def describe(self) -> "DatabaseStats":
+        """Summary statistics (used by the Table 5.1 reproduction)."""
+        lengths = [len(t) for t in self._transactions]
+        return DatabaseStats(
+            n_transactions=len(self._transactions),
+            n_distinct_items=len(self._tidsets),
+            total_item_occurrences=sum(lengths),
+            max_transaction_length=max(lengths, default=0),
+            mean_transaction_length=(
+                sum(lengths) / len(lengths) if lengths else 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseStats:
+    """Aggregate shape of a transaction database."""
+
+    n_transactions: int
+    n_distinct_items: int
+    total_item_occurrences: int
+    max_transaction_length: int
+    mean_transaction_length: float
+
+
+def resolve_min_support(
+    min_support: int | float, n_transactions: int
+) -> int:
+    """Normalize a support threshold to an absolute count.
+
+    An ``int`` is taken as an absolute count; a ``float`` in ``(0, 1]`` is
+    taken as a fraction of the database. Zero or negative thresholds are
+    rejected: the paper's pipeline always mines with support ≥ 1 (a rule
+    must be witnessed by at least one report).
+    """
+    if isinstance(min_support, bool):  # bool is an int subclass; refuse it
+        raise ConfigError("min_support must be an int or float, not bool")
+    if isinstance(min_support, int):
+        if min_support < 1:
+            raise ConfigError(f"absolute min_support must be >= 1, got {min_support}")
+        return min_support
+    if isinstance(min_support, float):
+        if not 0.0 < min_support <= 1.0:
+            raise ConfigError(
+                f"fractional min_support must be in (0, 1], got {min_support}"
+            )
+        # Ceiling so that a fraction never rounds down to support 0.
+        return max(1, -int(-min_support * n_transactions // 1))
+    raise ConfigError(f"min_support must be int or float, got {type(min_support)!r}")
+
+
+def sort_itemset_labels(
+    itemsets: Sequence[FrequentItemset], catalog: ItemCatalog
+) -> list[tuple[tuple[str, ...], int]]:
+    """Render mined itemsets as (sorted labels, support), deterministically ordered.
+
+    Primarily a convenience for tests and report writers: the output is
+    sorted by descending support, then ascending labels.
+    """
+    rendered = [(catalog.labels(fi.items), fi.support) for fi in itemsets]
+    rendered.sort(key=lambda pair: (-pair[1], pair[0]))
+    return rendered

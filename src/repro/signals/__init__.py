@@ -1,0 +1,67 @@
+"""Pharmacovigilance signal-detection baselines.
+
+The related work the paper positions itself against (§1.2, §6) detects
+signals with *disproportionality statistics* over 2×2 contingency tables
+— PRR, ROR, the relative reporting ratio, and the Bayesian IC of the
+BCPNN — and, for multi-drug signals, Harpaz et al.'s relative-reporting-
+ratio filter over itemsets and an Ω-shrinkage-style interaction contrast.
+These are the comparison points of the baseline-recovery benchmark.
+
+- :mod:`repro.signals.contingency` — 2×2 table construction from a
+  transaction database.
+- :mod:`repro.signals.disproportionality` — PRR, ROR, RRR, IC.
+- :mod:`repro.signals.interaction` — multi-drug baselines.
+"""
+
+from repro.signals.contingency import ContingencyTable, contingency_for
+from repro.signals.disproportionality import (
+    ic025,
+    information_component,
+    proportional_reporting_ratio,
+    relative_reporting_ratio,
+    reporting_odds_ratio,
+)
+from repro.signals.ebgm import EBGMScorer, EBScores, GammaMixturePrior, fit_prior, score_pair
+from repro.signals.interaction import (
+    InteractionSignal,
+    harpaz_multi_item_signals,
+    omega_shrinkage,
+)
+from repro.signals.stratified import (
+    StratifiedSignal,
+    mantel_haenszel_ror,
+    stratified_signal,
+    stratify_reports,
+)
+from repro.signals.temporal import (
+    MonthlyPoint,
+    TemporalTrend,
+    monthly_series,
+    reporting_trend,
+)
+
+__all__ = [
+    "ContingencyTable",
+    "EBGMScorer",
+    "EBScores",
+    "GammaMixturePrior",
+    "InteractionSignal",
+    "MonthlyPoint",
+    "TemporalTrend",
+    "contingency_for",
+    "fit_prior",
+    "harpaz_multi_item_signals",
+    "ic025",
+    "information_component",
+    "omega_shrinkage",
+    "proportional_reporting_ratio",
+    "relative_reporting_ratio",
+    "reporting_odds_ratio",
+    "score_pair",
+    "StratifiedSignal",
+    "mantel_haenszel_ror",
+    "monthly_series",
+    "reporting_trend",
+    "stratified_signal",
+    "stratify_reports",
+]

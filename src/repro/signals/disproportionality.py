@@ -1,0 +1,105 @@
+"""Classical disproportionality statistics.
+
+The single-signal workhorses of spontaneous-report mining, computed on a
+:class:`~repro.signals.contingency.ContingencyTable`:
+
+- :func:`proportional_reporting_ratio` — PRR (Evans et al. 2001);
+- :func:`reporting_odds_ratio` — ROR (van Puijenbroek et al. 2002);
+- :func:`relative_reporting_ratio` — RRR, the observed-over-expected
+  ratio used by Harpaz et al. (2010) for multi-item associations;
+- :func:`information_component` — the IC of the BCPNN (Bate et al.
+  1998), here in its common shrinkage form
+  ``log2((a + ½) / (expected + ½))``.
+
+All apply the Haldane ½ correction when a needed denominator cell is
+zero, and return ``0.0`` (the null value: no disproportionality; IC's
+null is also 0) when the exposure or outcome margin is empty.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.signals.contingency import ContingencyTable
+
+
+def proportional_reporting_ratio(table: ContingencyTable) -> float:
+    """PRR = [a/(a+b)] / [c/(c+d)]."""
+    if table.n_exposed == 0 or table.c + table.d == 0:
+        return 0.0
+    if table.has_zero_cell:
+        table = table.haldane_corrected()
+    exposed_rate = table.a / (table.a + table.b)
+    unexposed_rate = table.c / (table.c + table.d)
+    if unexposed_rate == 0.0:
+        return math.inf
+    return exposed_rate / unexposed_rate
+
+
+def reporting_odds_ratio(table: ContingencyTable) -> float:
+    """ROR = (a·d) / (b·c)."""
+    if table.n_exposed == 0 or table.n_outcome == 0:
+        return 0.0
+    if table.has_zero_cell:
+        table = table.haldane_corrected()
+    return (table.a * table.d) / (table.b * table.c)
+
+
+def relative_reporting_ratio(table: ContingencyTable) -> float:
+    """RRR = observed / expected = a·N / ((a+b)·(a+c))."""
+    if table.n_exposed == 0 or table.n_outcome == 0:
+        return 0.0
+    return (table.a * table.n) / (table.n_exposed * table.n_outcome)
+
+
+def information_component(table: ContingencyTable) -> float:
+    """IC = log2((a + ½) / (E[a] + ½)) with E[a] = (a+b)(a+c)/N."""
+    if table.n == 0:
+        return 0.0
+    expected = table.n_exposed * table.n_outcome / table.n
+    return math.log2((table.a + 0.5) / (expected + 0.5))
+
+
+def ic025(table: ContingencyTable) -> float:
+    """Lower 2.5 % credible bound of the IC (the BCPNN screening score).
+
+    Uses Norén's closed-form approximation to the posterior credible
+    interval: ``IC − 3.3·(a+½)^(−1/2) − 2·(a+½)^(−3/2)``. A positive
+    IC025 is the conventional signal criterion — it demands both
+    disproportionality and enough cases to trust it.
+    """
+    if table.n == 0:
+        return 0.0
+    center = information_component(table)
+    a_half = table.a + 0.5
+    return center - 3.3 * a_half ** -0.5 - 2.0 * a_half ** -1.5
+
+
+def prr_signal_test(
+    table: ContingencyTable,
+    *,
+    prr_threshold: float = 2.0,
+    min_cases: int = 3,
+) -> bool:
+    """The conventional Evans screening rule: PRR ≥ 2, χ² ≥ 4, a ≥ 3."""
+    if table.a < min_cases:
+        return False
+    if proportional_reporting_ratio(table) < prr_threshold:
+        return False
+    return chi_squared(table) >= 4.0
+
+
+def chi_squared(table: ContingencyTable) -> float:
+    """Pearson χ² (1 df, no continuity correction) of the 2×2 table."""
+    n = table.n
+    if n == 0:
+        return 0.0
+    row1 = table.a + table.b
+    row2 = table.c + table.d
+    col1 = table.a + table.c
+    col2 = table.b + table.d
+    denominator = row1 * row2 * col1 * col2
+    if denominator == 0:
+        return 0.0
+    numerator = (table.a * table.d - table.b * table.c) ** 2 * n
+    return numerator / denominator

@@ -1,0 +1,169 @@
+"""Stratified disproportionality: Mantel-Haenszel pooling.
+
+Crude 2×2 disproportionality is confounded by anything that drives both
+prescription and reaction — age most of all (elderly patients take more
+drugs *and* report more events). The classical fix, used by the
+signal-detection systems the paper compares against (Tatonetti et al.
+adjust for covariates; FDA's MGPS stratifies by age/sex/year), is to
+build one contingency table per stratum and pool with the
+Mantel-Haenszel estimator.
+
+:func:`stratify_reports` splits case reports into age/sex strata;
+:func:`mantel_haenszel_ror` pools per-stratum reporting odds ratios.
+A crude-vs-adjusted divergence is itself a signal that the association
+is confounded, exposed via :func:`confounding_ratio`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+from repro.signals.contingency import ContingencyTable
+
+# Default age bands, in years: pediatric, adult, middle, senior, elderly.
+DEFAULT_AGE_BANDS = (18.0, 45.0, 65.0, 80.0)
+
+
+def age_band(age: float | None, bands: Sequence[float] = DEFAULT_AGE_BANDS) -> str:
+    """Label of the age band containing ``age`` (``"unknown"`` for None)."""
+    if age is None:
+        return "unknown"
+    if age < 0:
+        raise ConfigError(f"age must be non-negative, got {age}")
+    previous = 0.0
+    for upper in bands:
+        if age < upper:
+            return f"[{previous:g},{upper:g})"
+        previous = upper
+    return f"[{previous:g},inf)"
+
+
+def stratum_of(
+    report: CaseReport, *, by_age: bool = True, by_sex: bool = True
+) -> tuple[str, ...]:
+    """The stratum key of one report."""
+    key: list[str] = []
+    if by_age:
+        key.append(age_band(report.age))
+    if by_sex:
+        key.append(report.sex or "unknown")
+    return tuple(key)
+
+
+def stratify_reports(
+    reports: Iterable[CaseReport],
+    exposure: frozenset[str],
+    outcome: frozenset[str],
+    *,
+    by_age: bool = True,
+    by_sex: bool = True,
+) -> dict[tuple[str, ...], ContingencyTable]:
+    """One contingency table per stratum for a drug-set/ADR-set pair.
+
+    ``exposure`` and ``outcome`` are canonical label sets; a report is
+    exposed when it mentions every exposure drug, an outcome case when
+    it mentions every outcome term.
+    """
+    if not exposure or not outcome:
+        raise ConfigError("exposure and outcome must be non-empty")
+    cells: dict[tuple[str, ...], list[int]] = {}
+    for report in reports:
+        key = stratum_of(report, by_age=by_age, by_sex=by_sex)
+        bucket = cells.setdefault(key, [0, 0, 0, 0])
+        exposed = exposure <= set(report.drugs)
+        with_outcome = outcome <= set(report.adrs)
+        index = (0 if with_outcome else 1) if exposed else (2 if with_outcome else 3)
+        bucket[index] += 1
+    return {
+        key: ContingencyTable(a, b, c, d)
+        for key, (a, b, c, d) in sorted(cells.items())
+    }
+
+
+def mantel_haenszel_ror(
+    tables: Mapping[tuple[str, ...], ContingencyTable] | Sequence[ContingencyTable],
+) -> float:
+    """Mantel-Haenszel pooled odds ratio across strata.
+
+    OR_MH = Σ(aᵢdᵢ/nᵢ) / Σ(bᵢcᵢ/nᵢ). Strata with an empty margin
+    contribute nothing (their terms are zero anyway). Returns 0.0 when
+    no stratum carries information, ``inf`` when only the numerator
+    does.
+    """
+    if isinstance(tables, Mapping):
+        tables = list(tables.values())
+    if not tables:
+        raise ConfigError("need at least one stratum table")
+    numerator = 0.0
+    denominator = 0.0
+    for table in tables:
+        if table.n == 0:
+            continue
+        numerator += table.a * table.d / table.n
+        denominator += table.b * table.c / table.n
+    if numerator == 0.0 and denominator == 0.0:
+        return 0.0
+    if denominator == 0.0:
+        return math.inf
+    return numerator / denominator
+
+
+def crude_ror(tables: Mapping[tuple[str, ...], ContingencyTable]) -> float:
+    """The unstratified (collapsed) reporting odds ratio."""
+    a = sum(t.a for t in tables.values())
+    b = sum(t.b for t in tables.values())
+    c = sum(t.c for t in tables.values())
+    d = sum(t.d for t in tables.values())
+    collapsed = ContingencyTable(a, b, c, d)
+    if collapsed.n_exposed == 0 or collapsed.n_outcome == 0:
+        return 0.0
+    if collapsed.has_zero_cell:
+        collapsed = collapsed.haldane_corrected()
+    return (collapsed.a * collapsed.d) / (collapsed.b * collapsed.c)
+
+
+@dataclass(frozen=True, slots=True)
+class StratifiedSignal:
+    """Crude vs adjusted view of one association."""
+
+    crude: float
+    adjusted: float
+    n_strata: int
+
+    @property
+    def confounding_ratio(self) -> float:
+        """crude / adjusted — far from 1 means the crude signal is confounded."""
+        if self.adjusted == 0.0:
+            return math.inf if self.crude > 0 else 1.0
+        if math.isinf(self.adjusted):
+            return 0.0
+        return self.crude / self.adjusted
+
+    @property
+    def is_confounded(self) -> bool:
+        """Conventional 20 % change-in-estimate criterion."""
+        ratio = self.confounding_ratio
+        return ratio > 1.2 or ratio < 1 / 1.2
+
+
+def stratified_signal(
+    reports: Sequence[CaseReport],
+    exposure: frozenset[str],
+    outcome: frozenset[str],
+    *,
+    by_age: bool = True,
+    by_sex: bool = True,
+) -> StratifiedSignal:
+    """Crude and Mantel-Haenszel-adjusted ROR for one association."""
+    tables = stratify_reports(
+        reports, exposure, outcome, by_age=by_age, by_sex=by_sex
+    )
+    return StratifiedSignal(
+        crude=crude_ror(tables),
+        adjusted=mantel_haenszel_ror(tables),
+        n_strata=len(tables),
+    )

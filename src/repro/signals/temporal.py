@@ -1,0 +1,133 @@
+"""Temporal signal analysis over report event dates.
+
+The paper's motivation includes reactions that "later arise due to ...
+prolonged usage", and its related work (Jin et al. [18]) mines
+*unexpected temporal associations*. With event dates on the reports
+(FAERS ``event_dt``), two temporal views become possible:
+
+- :func:`monthly_series` — per-month counts of exposed reports and
+  exposed-with-outcome reports for one (drug set, ADR set) pair;
+- :func:`reporting_trend` — a least-squares slope of the monthly
+  outcome *rate*, classifying the pair as ``rising`` / ``flat`` /
+  ``falling``: a rising conditional rate over calendar time is the
+  prolonged-usage signature (events accumulating in long-exposed
+  patients), and a sudden rise is how emerging interactions look
+  before they have the support to rank.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+
+
+@dataclass(frozen=True, slots=True)
+class MonthlyPoint:
+    """One month's exposure/outcome counts."""
+
+    month: str  # "YYYY-MM"
+    n_exposed: int
+    n_outcome: int
+
+    @property
+    def rate(self) -> float:
+        return self.n_outcome / self.n_exposed if self.n_exposed else 0.0
+
+
+def monthly_series(
+    reports: Sequence[CaseReport],
+    exposure: frozenset[str],
+    outcome: frozenset[str],
+) -> list[MonthlyPoint]:
+    """Month-by-month exposed / exposed-with-outcome counts.
+
+    Reports without an event date are ignored (they carry no temporal
+    information); months with no exposed report are omitted. The series
+    is sorted chronologically.
+    """
+    if not exposure or not outcome:
+        raise ConfigError("exposure and outcome must be non-empty")
+    exposed_by_month: dict[str, int] = {}
+    outcome_by_month: dict[str, int] = {}
+    for report in reports:
+        if report.event_date is None:
+            continue
+        if not exposure <= set(report.drugs):
+            continue
+        month = report.event_date[:7]
+        exposed_by_month[month] = exposed_by_month.get(month, 0) + 1
+        if outcome <= set(report.adrs):
+            outcome_by_month[month] = outcome_by_month.get(month, 0) + 1
+    return [
+        MonthlyPoint(
+            month=month,
+            n_exposed=exposed_by_month[month],
+            n_outcome=outcome_by_month.get(month, 0),
+        )
+        for month in sorted(exposed_by_month)
+    ]
+
+
+class TemporalTrend(enum.Enum):
+    """Direction of the monthly outcome rate."""
+
+    RISING = "rising"
+    FLAT = "flat"
+    FALLING = "falling"
+    INSUFFICIENT = "insufficient"  # fewer than 3 informative months
+
+
+@dataclass(frozen=True, slots=True)
+class TrendResult:
+    """Least-squares trend of the outcome rate over months."""
+
+    slope_per_month: float
+    trend: TemporalTrend
+    series: tuple[MonthlyPoint, ...]
+
+
+def reporting_trend(
+    reports: Sequence[CaseReport],
+    exposure: frozenset[str],
+    outcome: frozenset[str],
+    *,
+    flat_band: float = 0.01,
+) -> TrendResult:
+    """Classify the outcome-rate trend for one association.
+
+    ``flat_band`` is the absolute slope (rate change per month) below
+    which the trend counts as flat. Fewer than 3 months with exposure
+    yields :attr:`TemporalTrend.INSUFFICIENT` — no slope is meaningful.
+    """
+    if flat_band < 0:
+        raise ConfigError(f"flat_band must be >= 0, got {flat_band}")
+    series = monthly_series(reports, exposure, outcome)
+    if len(series) < 3:
+        return TrendResult(
+            slope_per_month=0.0,
+            trend=TemporalTrend.INSUFFICIENT,
+            series=tuple(series),
+        )
+    # Least squares of rate against month index.
+    xs = list(range(len(series)))
+    ys = [point.rate for point in series]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    slope = (
+        sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+        if denominator
+        else 0.0
+    )
+    if slope > flat_band:
+        trend = TemporalTrend.RISING
+    elif slope < -flat_band:
+        trend = TemporalTrend.FALLING
+    else:
+        trend = TemporalTrend.FLAT
+    return TrendResult(slope_per_month=slope, trend=trend, series=tuple(series))

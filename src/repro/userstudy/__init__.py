@@ -1,0 +1,30 @@
+"""Simulated user study (§5.4.1, Fig 5.2).
+
+The paper asked 50 students to pick the most interesting drug-drug
+interaction out of candidate MCACs, once rendered as contextual glyphs
+and once as bar-charts, for 2-, 3- and 4-drug clusters. This package
+replays that protocol with *simulated annotators* whose perception model
+is explicit (see :mod:`repro.userstudy.perception`), reproducing the
+figure's shape — glyph accuracy above bar-chart accuracy at every drug
+count — from stated assumptions instead of undocumented subjects.
+"""
+
+from repro.userstudy.perception import Annotator, PerceptionModel
+from repro.userstudy.stimuli import render_question_sheet, render_study_sheets
+from repro.userstudy.study import (
+    Question,
+    StudyResult,
+    UserStudy,
+    build_questions,
+)
+
+__all__ = [
+    "Annotator",
+    "PerceptionModel",
+    "Question",
+    "StudyResult",
+    "UserStudy",
+    "build_questions",
+    "render_question_sheet",
+    "render_study_sheets",
+]

@@ -1,0 +1,144 @@
+"""Render user-study questions as stimulus sheets (Appendix A).
+
+The thesis appendix shows each question as a labelled grid of candidate
+visualizations — one sheet with contextual glyphs (Figs A.5/A.7/...),
+one with bar-charts (Figs A.4/A.6/...) — from which the subject picks
+the most interesting cluster. :func:`render_question_sheet` reproduces
+those sheets from a :class:`~repro.userstudy.study.Question`, with
+candidates labelled A, B, C, ... and (optionally) the correct answer
+marked for the answer key.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.errors import ConfigError
+from repro.userstudy.study import Question
+from repro.viz.barchart import render_barchart
+from repro.viz.glyph import GlyphGeometry, draw_glyph
+from repro.viz.svg import SVGDocument
+
+ENCODINGS = ("glyph", "barchart")
+
+
+def render_question_sheet(
+    question: Question,
+    *,
+    encoding: str = "glyph",
+    show_answer: bool = False,
+    cell_padding: float = 16.0,
+) -> SVGDocument:
+    """One question as a labelled candidate grid.
+
+    ``encoding`` selects the visualization (``"glyph"`` or
+    ``"barchart"``); ``show_answer`` circles the correct candidate's
+    label (for the experimenter's answer key, not the subject's sheet).
+    """
+    if encoding not in ENCODINGS:
+        raise ConfigError(f"encoding must be one of {ENCODINGS}, got {encoding!r}")
+    labels = string.ascii_uppercase
+    if len(question.clusters) > len(labels):
+        raise ConfigError("too many candidates to label")
+
+    if encoding == "glyph":
+        geometry = GlyphGeometry(
+            inner_max=26.0, inner_min=3.0, ring_inner=31.0, ring_depth=26.0
+        )
+        cell_width = 2 * geometry.extent + 2 * cell_padding
+        cell_height = cell_width + 26.0
+    else:
+        rendered = [render_barchart(cluster) for cluster in question.clusters]
+        cell_width = max(doc.width for doc in rendered) + 2 * cell_padding
+        cell_height = max(doc.height for doc in rendered) + 30.0
+
+    header = 34.0
+    doc = SVGDocument(
+        cell_width * len(question.clusters),
+        header + cell_height,
+        background="#ffffff",
+    )
+    doc.text(
+        12,
+        22,
+        f"Which {question.n_drugs}-drug interaction is the most interesting?",
+        size=14,
+        weight="bold",
+    )
+    for index, cluster in enumerate(question.clusters):
+        x0 = index * cell_width
+        label = labels[index]
+        label_y = header + 16
+        doc.text(
+            x0 + cell_width / 2, label_y, label, size=14, anchor="middle",
+            weight="bold",
+        )
+        if show_answer and index == question.correct_index:
+            doc.circle(
+                x0 + cell_width / 2,
+                label_y - 5,
+                12,
+                stroke="#c24d3a",
+                stroke_width=2.0,
+            )
+        if encoding == "glyph":
+            draw_glyph(
+                doc,
+                cluster,
+                x0 + cell_width / 2,
+                header + 26 + geometry.extent + cell_padding,
+                geometry,
+            )
+        else:
+            # Embed the standalone bar-chart's elements by re-drawing it
+            # at an offset: simplest correct route is nested <svg>, which
+            # SVGDocument does not support, so draw bars directly.
+            _draw_barchart_into(
+                doc, cluster, x0 + cell_padding, header + 26
+            )
+    return doc
+
+
+def _draw_barchart_into(doc: SVGDocument, cluster, x0: float, y0: float) -> None:
+    """Draw a compact confidence bar-chart at an offset on ``doc``."""
+    from repro.viz.glyph import level_color
+
+    bars = [(cluster.target.metrics.confidence, "#c24d3a")]
+    for level in sorted(cluster.levels):
+        bars.extend(
+            (rule.metrics.confidence, level_color(level))
+            for rule in cluster.levels[level]
+        )
+    plot_height = 120.0
+    bar_width, gap = 14.0, 5.0
+    baseline = y0 + plot_height
+    doc.line(x0, baseline, x0 + len(bars) * (bar_width + gap), baseline,
+             stroke="#cccccc")
+    x = x0
+    for confidence, color in bars:
+        confidence = max(0.0, min(1.0, confidence))
+        height = plot_height * confidence
+        if height > 0.1:
+            doc.rect(x, baseline - height, bar_width, height, fill=color)
+        x += bar_width + gap
+
+
+def render_study_sheets(
+    questions, out_dir, *, show_answers: bool = False
+):
+    """Write glyph+barchart sheets for every question; returns the paths."""
+    from pathlib import Path
+
+    out_dir = Path(out_dir)
+    paths = []
+    for number, question in enumerate(questions, start=1):
+        for encoding in ENCODINGS:
+            sheet = render_question_sheet(
+                question, encoding=encoding, show_answer=show_answers
+            )
+            paths.append(
+                sheet.save(
+                    out_dir / f"question_{number:02d}_{question.n_drugs}drugs_{encoding}.svg"
+                )
+            )
+    return paths

@@ -1,0 +1,210 @@
+"""The simulated user-study harness (reproduces Fig 5.2).
+
+Protocol, mirroring §5.4.1 and Appendix A:
+
+1. from a ranked quarter, build questions per drug count (2, 3, 4):
+   each question shows a handful of same-cardinality MCACs of which
+   exactly one is the top-ranked ("interesting") cluster;
+2. every simulated annotator answers every question twice — once under
+   the glyph perception model, once under the bar-chart model;
+3. accuracy per (drug count, encoding) is the fraction of correct
+   picks — the two bar series of Fig 5.2.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.context import MCAC
+from repro.core.ranking import RankingMethod, rank_clusters
+from repro.errors import ConfigError
+from repro.userstudy.perception import (
+    BARCHART_MODEL,
+    GLYPH_MODEL,
+    Annotator,
+    PerceptionModel,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One stimulus: candidate clusters with their true scores.
+
+    ``correct_index`` marks the genuinely top-scored candidate the
+    subject is supposed to identify.
+    """
+
+    n_drugs: int
+    clusters: tuple[MCAC, ...]
+    true_scores: tuple[float, ...]
+    correct_index: int
+
+    def __post_init__(self) -> None:
+        if len(self.clusters) != len(self.true_scores) or len(self.clusters) < 2:
+            raise ConfigError("a question needs >= 2 scored candidates")
+        if not 0 <= self.correct_index < len(self.clusters):
+            raise ConfigError(f"correct_index {self.correct_index} out of range")
+        top = max(range(len(self.true_scores)), key=self.true_scores.__getitem__)
+        if top != self.correct_index:
+            raise ConfigError("correct_index must point at the highest true score")
+
+    @property
+    def context_sizes(self) -> list[int]:
+        return [cluster.context_size for cluster in self.clusters]
+
+
+def build_questions(
+    clusters: Sequence[MCAC],
+    *,
+    drug_counts: Sequence[int] = (2, 3, 4),
+    candidates_per_question: int = 4,
+    questions_per_count: int = 5,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    seed: int = 4242,
+    distractor_offset: int = 3,
+) -> list[Question]:
+    """Assemble the study's stimuli from a mined quarter.
+
+    For each drug count: rank the same-cardinality clusters, then form
+    questions pairing one high-ranked cluster with lower-ranked
+    distractors drawn deterministically from the remainder. Drug counts
+    with too few clusters are skipped (the caller can check coverage
+    via the returned questions' ``n_drugs``).
+    """
+    if candidates_per_question < 2:
+        raise ConfigError(
+            f"candidates_per_question must be >= 2, got {candidates_per_question}"
+        )
+    rng = random.Random(seed)
+    questions: list[Question] = []
+    for n_drugs in drug_counts:
+        same_cardinality = [c for c in clusters if c.n_drugs == n_drugs]
+        if len(same_cardinality) < candidates_per_question:
+            continue
+        ranked = rank_clusters(same_cardinality, method)
+        top_pool = ranked[: max(questions_per_count, 1)]
+        if len(ranked) - len(top_pool) < candidates_per_question - 1:
+            continue
+        for question_index in range(min(questions_per_count, len(top_pool))):
+            winner = top_pool[question_index]
+            # Distractors come from ranks a few places below the
+            # winner: close enough that the clusters look similar (the
+            # paper's stimuli contrast plausible candidates), far enough
+            # that a careful reading can tell them apart.
+            window_start = question_index + 1 + distractor_offset
+            window = ranked[
+                window_start : window_start + 6 * (candidates_per_question - 1)
+            ]
+            if len(window) < candidates_per_question - 1:
+                continue
+            distractors = rng.sample(window, candidates_per_question - 1)
+            candidates = [winner, *distractors]
+            rng.shuffle(candidates)
+            scores = tuple(entry.score for entry in candidates)
+            questions.append(
+                Question(
+                    n_drugs=n_drugs,
+                    clusters=tuple(entry.cluster for entry in candidates),
+                    true_scores=scores,
+                    correct_index=max(range(len(scores)), key=scores.__getitem__),
+                )
+            )
+    if not questions:
+        raise ConfigError(
+            "no questions could be built; mine a larger quarter or lower "
+            "candidates_per_question"
+        )
+    return questions
+
+
+@dataclass(frozen=True, slots=True)
+class StudyResult:
+    """Fig 5.2: accuracy and speed per (encoding, drug count)."""
+
+    accuracy: Mapping[str, Mapping[int, float]]
+    mean_seconds: Mapping[str, Mapping[int, float]]
+    n_annotators: int
+    n_questions: int
+
+    def series(self, encoding: str) -> dict[int, float]:
+        """Accuracy by drug count for one encoding name."""
+        if encoding not in self.accuracy:
+            raise ConfigError(
+                f"unknown encoding {encoding!r}; have {sorted(self.accuracy)}"
+            )
+        return dict(self.accuracy[encoding])
+
+    def time_series(self, encoding: str) -> dict[int, float]:
+        """Mean response time (seconds) by drug count for one encoding."""
+        if encoding not in self.mean_seconds:
+            raise ConfigError(
+                f"unknown encoding {encoding!r}; have {sorted(self.mean_seconds)}"
+            )
+        return dict(self.mean_seconds[encoding])
+
+
+class UserStudy:
+    """Run the simulated study over prepared questions."""
+
+    def __init__(
+        self,
+        n_annotators: int = 50,
+        *,
+        glyph_model: PerceptionModel = GLYPH_MODEL,
+        barchart_model: PerceptionModel = BARCHART_MODEL,
+        seed: int = 73,
+    ) -> None:
+        if n_annotators < 1:
+            raise ConfigError(f"n_annotators must be >= 1, got {n_annotators}")
+        self.n_annotators = n_annotators
+        self.models = (glyph_model, barchart_model)
+        self.seed = seed
+
+    def run(self, questions: Sequence[Question]) -> StudyResult:
+        """Every annotator answers every question under both encodings."""
+        if not questions:
+            raise ConfigError("no questions to run")
+        correct: dict[str, dict[int, int]] = {m.name: {} for m in self.models}
+        seconds: dict[str, dict[int, float]] = {m.name: {} for m in self.models}
+        totals: dict[int, int] = {}
+        annotators = [
+            Annotator(seed=self.seed * 1000 + i) for i in range(self.n_annotators)
+        ]
+        for question in questions:
+            totals[question.n_drugs] = totals.get(question.n_drugs, 0) + len(annotators)
+            for model in self.models:
+                bucket = correct[model.name]
+                time_bucket = seconds[model.name]
+                bucket.setdefault(question.n_drugs, 0)
+                time_bucket.setdefault(question.n_drugs, 0.0)
+                for annotator in annotators:
+                    choice, elapsed = annotator.answer(
+                        list(question.true_scores),
+                        question.context_sizes,
+                        model,
+                    )
+                    time_bucket[question.n_drugs] += elapsed
+                    if choice == question.correct_index:
+                        bucket[question.n_drugs] += 1
+        accuracy = {
+            name: {
+                n_drugs: bucket.get(n_drugs, 0) / totals[n_drugs]
+                for n_drugs in totals
+            }
+            for name, bucket in correct.items()
+        }
+        mean_seconds = {
+            name: {
+                n_drugs: time_bucket.get(n_drugs, 0.0) / totals[n_drugs]
+                for n_drugs in totals
+            }
+            for name, time_bucket in seconds.items()
+        }
+        return StudyResult(
+            accuracy=accuracy,
+            mean_seconds=mean_seconds,
+            n_annotators=self.n_annotators,
+            n_questions=len(questions),
+        )

@@ -1,0 +1,60 @@
+"""Visualization of drug-ADR associations (Chapter 4).
+
+The paper's front-end encodes each MCAC as a *Contextual Glyph*: an
+inner circle whose diameter carries the target rule's confidence,
+surrounded by annular sectors — one per contextual rule — whose radial
+extent carries the contextual confidence, laid out clockwise from 12
+o'clock by antecedent cardinality (darker = more drugs) and, within a
+cardinality, by descending confidence.
+
+Everything renders to standalone SVG (no plotting dependency):
+
+- :mod:`repro.viz.svg` — a minimal SVG document builder;
+- :mod:`repro.viz.glyph` — the contextual glyph (Fig 4.1) and its
+  labelled zoom view (Fig 4.3);
+- :mod:`repro.viz.panorama` — the panoramagram grid of ranked glyphs
+  (Fig 4.2);
+- :mod:`repro.viz.barchart` — the bar-chart alternative the user study
+  compares against (Fig 5.3);
+- :mod:`repro.viz.report` — plain-text/markdown renderings of rankings
+  and clusters (Tables 3.1 and 5.2, the Fig 5.1 count table).
+"""
+
+from repro.viz.barchart import render_barchart
+from repro.viz.charts import (
+    render_fig_5_1,
+    render_fig_5_2,
+    render_grouped_bars,
+    render_line_chart,
+    render_trend_chart,
+)
+from repro.viz.dashboard import render_dashboard, write_dashboard
+from repro.viz.glyph import GlyphGeometry, render_glyph, render_zoom_view
+from repro.viz.panorama import render_panorama
+from repro.viz.report import (
+    cluster_detail,
+    rule_reduction_table,
+    ranking_markdown,
+    top_k_table,
+)
+from repro.viz.svg import SVGDocument
+
+__all__ = [
+    "GlyphGeometry",
+    "SVGDocument",
+    "cluster_detail",
+    "ranking_markdown",
+    "render_barchart",
+    "render_dashboard",
+    "render_fig_5_1",
+    "render_fig_5_2",
+    "render_glyph",
+    "render_grouped_bars",
+    "render_line_chart",
+    "render_panorama",
+    "render_trend_chart",
+    "render_zoom_view",
+    "rule_reduction_table",
+    "top_k_table",
+    "write_dashboard",
+]

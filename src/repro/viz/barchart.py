@@ -1,0 +1,79 @@
+"""The bar-chart rendering of an MCAC (Fig 5.3) — the user-study control.
+
+The same information as the contextual glyph, but encoded as grouped
+vertical bars: the target rule's confidence first (accent color), then
+every contextual rule's confidence, grouped by antecedent cardinality
+and colored with the glyph's level palette. The user study compares how
+quickly analysts find interesting clusters with this encoding versus
+the glyph.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import MCAC
+from repro.viz.glyph import level_color
+from repro.viz.svg import SVGDocument
+
+_TARGET_COLOR = "#c24d3a"
+
+
+def render_barchart(
+    cluster: MCAC,
+    catalog=None,
+    *,
+    bar_width: float = 26.0,
+    bar_gap: float = 8.0,
+    plot_height: float = 180.0,
+) -> SVGDocument:
+    """Render one MCAC as a grouped confidence bar-chart.
+
+    Pass ``catalog`` to label bars with drug initials; without it bars
+    are labelled by level index only (the user-study stimuli omit names
+    so subjects judge shape, not vocabulary).
+    """
+    bars: list[tuple[float, str, str]] = [
+        (cluster.target.metrics.confidence, _TARGET_COLOR, "R")
+    ]
+    for level in sorted(cluster.levels):
+        for index, rule in enumerate(cluster.levels[level], start=1):
+            if catalog is not None:
+                label = "+".join(
+                    name[:3] for name in catalog.labels(rule.antecedent)
+                )
+            else:
+                label = f"{level}.{index}"
+            bars.append((rule.metrics.confidence, level_color(level), label))
+
+    margin_left, margin_top, margin_bottom = 36.0, 16.0, 34.0
+    width = margin_left + len(bars) * (bar_width + bar_gap) + bar_gap
+    height = margin_top + plot_height + margin_bottom
+    doc = SVGDocument(width, height, background="#ffffff")
+
+    # y axis with 0 / 0.5 / 1.0 gridlines.
+    axis_x = margin_left - 6
+    for fraction in (0.0, 0.5, 1.0):
+        y = margin_top + plot_height * (1 - fraction)
+        doc.line(axis_x, y, width - bar_gap, y, stroke="#dddddd", dashed=fraction != 0.0)
+        doc.text(axis_x - 2, y + 4, f"{fraction:.1f}", size=9, anchor="end", fill="#777777")
+
+    x = margin_left + bar_gap
+    for confidence, color, label in bars:
+        confidence = max(0.0, min(1.0, confidence))
+        bar_height = plot_height * confidence
+        doc.rect(
+            x,
+            margin_top + plot_height - bar_height,
+            bar_width,
+            bar_height,
+            fill=color,
+        )
+        doc.text(
+            x + bar_width / 2,
+            margin_top + plot_height + 14,
+            label,
+            size=8,
+            anchor="middle",
+            fill="#555555",
+        )
+        x += bar_width + bar_gap
+    return doc

@@ -1,0 +1,336 @@
+"""Grouped bar charts (linear or log scale) for the evaluation figures.
+
+Fig 5.1 is a grouped *log-scale* bar chart (three rule-count series per
+quarter); Fig 5.2 is a grouped percentage bar chart (two encodings per
+drug count). :func:`render_grouped_bars` draws both from the same
+primitive: categories on the x-axis, one bar per series within each
+category, a legend, and either a linear or a log10 y-axis.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.pipeline import RuleSpaceCounts
+from repro.errors import ConfigError
+from repro.viz.svg import SVGDocument
+
+SERIES_COLORS = ("#4477aa", "#c24d3a", "#5aa469", "#8a6fb3", "#c9a227")
+
+
+@dataclass(frozen=True, slots=True)
+class ChartLayout:
+    """Pixel layout of a grouped bar chart."""
+
+    plot_width: float = 420.0
+    plot_height: float = 220.0
+    margin_left: float = 64.0
+    margin_right: float = 130.0  # legend column
+    margin_top: float = 34.0
+    margin_bottom: float = 40.0
+    bar_gap: float = 2.0
+    group_gap: float = 18.0
+
+    @property
+    def width(self) -> float:
+        return self.margin_left + self.plot_width + self.margin_right
+
+    @property
+    def height(self) -> float:
+        return self.margin_top + self.plot_height + self.margin_bottom
+
+
+def render_grouped_bars(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    y_label: str = "",
+    log_scale: bool = False,
+    percent: bool = False,
+    layout: ChartLayout | None = None,
+) -> SVGDocument:
+    """Render a grouped bar chart.
+
+    Parameters
+    ----------
+    categories:
+        X-axis labels, one per group.
+    series:
+        Series name → one value per category. Iteration order fixes both
+        bar order and legend order.
+    log_scale:
+        Log10 y-axis (all values must be ≥ 1); bars rise from 10⁰.
+    percent:
+        Format y ticks as percentages of a [0, 1] axis.
+    """
+    if not categories:
+        raise ConfigError("categories must be non-empty")
+    if not series:
+        raise ConfigError("series must be non-empty")
+    if log_scale and percent:
+        raise ConfigError("log_scale and percent are mutually exclusive")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ConfigError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+        if log_scale and any(v < 1 for v in values):
+            raise ConfigError(f"log-scale values must be >= 1 (series {name!r})")
+        if any(v < 0 for v in values):
+            raise ConfigError(f"bar values must be >= 0 (series {name!r})")
+
+    layout = layout if layout is not None else ChartLayout()
+    doc = SVGDocument(layout.width, layout.height, background="#ffffff")
+    if title:
+        doc.text(layout.margin_left, 20, title, size=13, weight="bold")
+
+    peak = max(max(values) for values in series.values())
+    if percent:
+        axis_max = 1.0
+        ticks = [0.0, 0.25, 0.5, 0.75, 1.0]
+    elif log_scale:
+        decades = max(1, math.ceil(math.log10(max(peak, 10))))
+        axis_max = float(decades)
+        ticks = list(range(decades + 1))
+    else:
+        axis_max = peak if peak > 0 else 1.0
+        ticks = [axis_max * f for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+
+    def y_of(value: float) -> float:
+        if log_scale:
+            scaled = math.log10(value) / axis_max if value >= 1 else 0.0
+        else:
+            scaled = value / axis_max
+        scaled = min(max(scaled, 0.0), 1.0)
+        return layout.margin_top + layout.plot_height * (1.0 - scaled)
+
+    # Gridlines and tick labels.
+    for tick in ticks:
+        y = (
+            layout.margin_top
+            + layout.plot_height * (1.0 - (tick / axis_max if axis_max else 0.0))
+        )
+        doc.line(
+            layout.margin_left,
+            y,
+            layout.margin_left + layout.plot_width,
+            y,
+            stroke="#e3e3e3",
+            dashed=tick != ticks[0],
+        )
+        if percent:
+            label = f"{tick:.0%}"
+        elif log_scale:
+            label = f"1e{int(tick)}"
+        else:
+            label = f"{tick:,.0f}"
+        doc.text(layout.margin_left - 6, y + 4, label, size=9, anchor="end", fill="#666666")
+    if y_label:
+        doc.text(layout.margin_left - 6, layout.margin_top - 10, y_label, size=10, anchor="end", fill="#444444")
+
+    # Bars.
+    n_groups = len(categories)
+    n_series = len(series)
+    group_width = (layout.plot_width - layout.group_gap * (n_groups - 1)) / n_groups
+    bar_width = (group_width - layout.bar_gap * (n_series - 1)) / n_series
+    baseline = layout.margin_top + layout.plot_height
+    for group_index, category in enumerate(categories):
+        group_x = layout.margin_left + group_index * (group_width + layout.group_gap)
+        for series_index, (name, values) in enumerate(series.items()):
+            value = values[group_index]
+            x = group_x + series_index * (bar_width + layout.bar_gap)
+            top = y_of(value)
+            if baseline - top > 0.1:
+                doc.rect(
+                    x,
+                    top,
+                    bar_width,
+                    baseline - top,
+                    fill=SERIES_COLORS[series_index % len(SERIES_COLORS)],
+                )
+        doc.text(
+            group_x + group_width / 2,
+            baseline + 16,
+            category,
+            size=10,
+            anchor="middle",
+            fill="#444444",
+        )
+
+    # Legend.
+    legend_x = layout.margin_left + layout.plot_width + 14
+    for series_index, name in enumerate(series):
+        y = layout.margin_top + 8 + series_index * 18
+        doc.rect(
+            legend_x,
+            y - 8,
+            10,
+            10,
+            fill=SERIES_COLORS[series_index % len(SERIES_COLORS)],
+        )
+        doc.text(legend_x + 15, y, name, size=10, fill="#333333")
+    return doc
+
+
+def render_line_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float | None]],
+    *,
+    title: str = "",
+    y_label: str = "",
+    layout: ChartLayout | None = None,
+) -> SVGDocument:
+    """Render a multi-series line chart; ``None`` values break the line.
+
+    Used for cross-quarter signal trajectories: a cluster absent from a
+    quarter shows as a gap, matching how the trend classifier sees it.
+    """
+    if not x_labels:
+        raise ConfigError("x_labels must be non-empty")
+    if not series:
+        raise ConfigError("series must be non-empty")
+    values_flat = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None
+    ]
+    if not values_flat:
+        raise ConfigError("series contain no values")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+
+    layout = layout if layout is not None else ChartLayout()
+    doc = SVGDocument(layout.width, layout.height, background="#ffffff")
+    if title:
+        doc.text(layout.margin_left, 20, title, size=13, weight="bold")
+
+    low = min(0.0, min(values_flat))
+    high = max(values_flat)
+    if high == low:
+        high = low + 1.0
+
+    def y_of(value: float) -> float:
+        scaled = (value - low) / (high - low)
+        return layout.margin_top + layout.plot_height * (1.0 - scaled)
+
+    def x_of(index: int) -> float:
+        if len(x_labels) == 1:
+            return layout.margin_left + layout.plot_width / 2
+        return layout.margin_left + layout.plot_width * index / (len(x_labels) - 1)
+
+    for fraction in (0.0, 0.5, 1.0):
+        value = low + fraction * (high - low)
+        y = y_of(value)
+        doc.line(
+            layout.margin_left,
+            y,
+            layout.margin_left + layout.plot_width,
+            y,
+            stroke="#e3e3e3",
+            dashed=fraction != 0.0,
+        )
+        doc.text(layout.margin_left - 6, y + 4, f"{value:.2f}", size=9, anchor="end", fill="#666666")
+    if y_label:
+        doc.text(layout.margin_left - 6, layout.margin_top - 10, y_label, size=10, anchor="end", fill="#444444")
+    for index, label in enumerate(x_labels):
+        doc.text(
+            x_of(index),
+            layout.margin_top + layout.plot_height + 16,
+            label,
+            size=10,
+            anchor="middle",
+            fill="#444444",
+        )
+
+    for series_index, (name, values) in enumerate(series.items()):
+        color = SERIES_COLORS[series_index % len(SERIES_COLORS)]
+        previous: tuple[float, float] | None = None
+        for index, value in enumerate(values):
+            if value is None:
+                previous = None
+                continue
+            point = (x_of(index), y_of(value))
+            if previous is not None:
+                doc.line(*previous, *point, stroke=color, stroke_width=2.0)
+            doc.circle(point[0], point[1], 3.0, fill=color, stroke="none")
+            previous = point
+        legend_y = layout.margin_top + 8 + series_index * 18
+        legend_x = layout.margin_left + layout.plot_width + 14
+        doc.rect(legend_x, legend_y - 8, 10, 10, fill=color)
+        doc.text(legend_x + 15, legend_y, name, size=10, fill="#333333")
+    return doc
+
+
+def render_trend_chart(trends: Sequence, *, max_series: int = 6) -> SVGDocument:
+    """Line chart of :class:`~repro.core.trends.SignalTrend` trajectories.
+
+    Plots the first ``max_series`` trends' scores over their quarters;
+    gaps where a cluster was not mined.
+    """
+    if not trends:
+        raise ConfigError("no trends to chart")
+    chosen = list(trends)[:max_series]
+    quarters = chosen[0].quarters
+    series = {}
+    for trend in chosen:
+        drugs, _ = trend.key
+        name = " + ".join(drugs)
+        if len(name) > 26:
+            name = name[:23] + "..."
+        series[name] = list(trend.scores)
+    return render_line_chart(
+        list(quarters),
+        series,
+        title="Signal trajectories across quarters",
+        y_label="score",
+    )
+
+
+def render_fig_5_1(counts_by_quarter: Mapping[str, RuleSpaceCounts]) -> SVGDocument:
+    """Fig 5.1: rule-space reduction as a log-scale grouped bar chart."""
+    quarters = sorted(counts_by_quarter)
+    if not quarters:
+        raise ConfigError("no quarters to chart")
+    series = {
+        "Total Rules": [max(1, counts_by_quarter[q].total_rules) for q in quarters],
+        "Filtered Rules": [
+            max(1, counts_by_quarter[q].filtered_rules) for q in quarters
+        ],
+        "MCACs": [max(1, counts_by_quarter[q].mcacs) for q in quarters],
+    }
+    return render_grouped_bars(
+        quarters,
+        series,
+        title="Fig 5.1 — reduction in number of rules",
+        y_label="rules (log)",
+        log_scale=True,
+    )
+
+
+def render_fig_5_2(
+    glyph_accuracy: Mapping[int, float], barchart_accuracy: Mapping[int, float]
+) -> SVGDocument:
+    """Fig 5.2: user-study accuracy by drug count, glyph vs bar-chart."""
+    drug_counts = sorted(set(glyph_accuracy) & set(barchart_accuracy))
+    if not drug_counts:
+        raise ConfigError("no shared drug counts between the two series")
+    series = {
+        "Contextual Glyph": [glyph_accuracy[n] for n in drug_counts],
+        "Barchart": [barchart_accuracy[n] for n in drug_counts],
+    }
+    return render_grouped_bars(
+        [f"{n} drugs" for n in drug_counts],
+        series,
+        title="Fig 5.2 — user study results",
+        y_label="correct",
+        percent=True,
+    )

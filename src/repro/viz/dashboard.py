@@ -1,0 +1,156 @@
+"""Static HTML dashboard — the demo front-end, offline.
+
+MeDIAR is an interactive demo; the closest faithful offline artifact is
+a single self-contained HTML page per mined quarter: the ranked glyph
+panorama up top, a sortless top-k table with novelty/severity columns,
+and a detail section per top cluster embedding its zoom glyph, its
+bar-chart, the Table 3.1-style context listing, and the supporting case
+ids. SVGs are inlined, so the file opens anywhere with no assets.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.core.pipeline import MarasResult
+from repro.core.ranking import RankingMethod
+from repro.errors import ConfigError
+from repro.knowledge.ddi_reference import DDIReference, default_reference
+from repro.knowledge.severity import SeverityIndex, default_severity_index
+from repro.viz.barchart import render_barchart
+from repro.viz.glyph import render_zoom_view
+from repro.viz.panorama import render_panorama
+
+# Tiny dependency-free column sorter: click a header to sort the
+# ranking table by that column (numeric when the cells parse as
+# numbers, lexicographic otherwise).
+_SCRIPT = """
+document.querySelectorAll('table.sortable th').forEach(function (th, col) {
+  th.style.cursor = 'pointer';
+  th.addEventListener('click', function () {
+    var table = th.closest('table');
+    var rows = Array.from(table.querySelectorAll('tr')).slice(1);
+    var ascending = th.dataset.asc !== 'true';
+    th.dataset.asc = ascending;
+    rows.sort(function (a, b) {
+      var x = a.children[col].textContent.trim();
+      var y = b.children[col].textContent.trim();
+      var nx = parseFloat(x), ny = parseFloat(y);
+      var cmp = (!isNaN(nx) && !isNaN(ny)) ? nx - ny : x.localeCompare(y);
+      return ascending ? cmp : -cmp;
+    });
+    rows.forEach(function (row) { table.appendChild(row); });
+  });
+});
+"""
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 1080px; color: #222; }
+h1 { border-bottom: 2px solid #c24d3a; padding-bottom: 0.3em; }
+table { border-collapse: collapse; width: 100%; margin: 1em 0; }
+th, td { border: 1px solid #ddd; padding: 6px 10px; text-align: left;
+         font-size: 14px; }
+th { background: #f4f4f4; }
+tr.severe td { background: #fdf0ee; }
+.cluster { border: 1px solid #e0e0e0; border-radius: 8px;
+           padding: 1em 1.4em; margin: 1.4em 0; }
+.visuals { display: flex; gap: 24px; align-items: flex-start;
+           flex-wrap: wrap; }
+.cases { color: #666; font-size: 13px; }
+pre { background: #f8f8f8; padding: 0.8em; font-size: 13px;
+      overflow-x: auto; }
+"""
+
+
+def render_dashboard(
+    result: MarasResult,
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    top_k: int = 10,
+    detail_k: int = 3,
+    reference: DDIReference | None = None,
+    severity: SeverityIndex | None = None,
+) -> str:
+    """Render one quarter's results as a self-contained HTML page."""
+    if top_k < 1 or detail_k < 0:
+        raise ConfigError("top_k must be >= 1 and detail_k >= 0")
+    reference = reference if reference is not None else default_reference()
+    severity = severity if severity is not None else default_severity_index()
+    catalog = result.catalog
+    stats = result.dataset.stats()
+    ranked = result.rank(method, top_k=top_k)
+    if not ranked:
+        raise ConfigError("nothing to render: no clusters mined")
+
+    parts: list[str] = []
+    parts.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    parts.append(f"<title>MeDIAR — {html.escape(stats.quarter or 'quarter')}</title>")
+    parts.append(f"<style>{_STYLE}</style></head><body>")
+    parts.append(
+        f"<h1>MeDIAR — {html.escape(stats.quarter or 'unlabelled quarter')}</h1>"
+    )
+    parts.append(
+        f"<p>{stats.n_reports:,d} reports · {stats.n_drugs:,d} distinct drugs · "
+        f"{stats.n_adrs:,d} distinct ADRs · {len(result.clusters):,d} multi-drug "
+        f"clusters · ranked by <b>{html.escape(method.value)}</b></p>"
+    )
+
+    parts.append("<h2>Panoramagram</h2>")
+    parts.append(render_panorama(ranked, catalog).to_string())
+
+    parts.append(f"<h2>Top {len(ranked)} interactions</h2>")
+    parts.append("<p style='color:#888;font-size:13px'>click a column header to sort</p>")
+    parts.append(
+        "<table class='sortable'><tr><th>#</th><th>drugs</th><th>reactions</th>"
+        "<th>score</th><th>support</th><th>novelty</th><th>severity</th></tr>"
+    )
+    for entry in ranked:
+        drugs = catalog.labels(entry.cluster.target.antecedent)
+        adrs = catalog.labels(entry.cluster.target.consequent)
+        novelty = reference.classify(drugs, adrs)
+        worst = severity.max_severity(adrs)
+        row_class = " class='severe'" if severity.is_severe(adrs) else ""
+        parts.append(
+            f"<tr{row_class}><td>{entry.rank}</td>"
+            f"<td>{html.escape(' + '.join(drugs))}</td>"
+            f"<td>{html.escape(', '.join(adrs))}</td>"
+            f"<td>{entry.score:.3f}</td>"
+            f"<td>{entry.cluster.target.metrics.n_joint}</td>"
+            f"<td>{html.escape(novelty)}</td>"
+            f"<td>{html.escape(worst.name.replace('_', ' ').lower())}</td></tr>"
+        )
+    parts.append("</table>")
+
+    for entry in ranked[:detail_k]:
+        cluster = entry.cluster
+        drugs = catalog.labels(cluster.target.antecedent)
+        parts.append("<div class='cluster'>")
+        parts.append(f"<h3>#{entry.rank} — {html.escape(' + '.join(drugs))}</h3>")
+        parts.append("<div class='visuals'>")
+        parts.append(render_zoom_view(cluster, catalog).to_string())
+        parts.append(render_barchart(cluster, catalog).to_string())
+        parts.append("</div>")
+        from repro.viz.report import cluster_detail
+
+        parts.append(f"<pre>{html.escape(cluster_detail(cluster, catalog))}</pre>")
+        cases = [r.case_id for r in result.supporting_reports(cluster)]
+        parts.append(
+            f"<p class='cases'>supporting cases ({len(cases)}): "
+            f"{html.escape(', '.join(cases[:12]))}"
+            f"{' …' if len(cases) > 12 else ''}</p>"
+        )
+        parts.append("</div>")
+
+    parts.append(f"<script>{_SCRIPT}</script>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(result: MarasResult, path: str | Path, **kwargs) -> Path:
+    """Render and write the dashboard; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(result, **kwargs), encoding="utf-8")
+    return path

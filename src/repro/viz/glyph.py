@@ -1,0 +1,190 @@
+"""The Contextual Glyph (Figs 4.1 and 4.3).
+
+Encoding, following Chapter 4 exactly:
+
+- inner circle: the target rule; its radius is proportional to the
+  target's confidence — *larger inner circle = stronger target*;
+- annular sectors: one per contextual rule; the distance from the inner
+  ring to the sector's arc is proportional to that rule's confidence —
+  *shorter sectors = weaker context = more exclusive target*;
+- layout: sectors start at 12 o'clock and run clockwise with uniform
+  angular width, grouped by antecedent cardinality (level 1 first);
+  within a level, ordered by descending confidence; each level gets one
+  color, darker for larger cardinality.
+
+So the paper's reading rule — "the larger the inner circle and the
+smaller the outer circles ... the higher the rank of the group" — holds
+by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.context import MCAC, ContextualRule
+from repro.errors import ConfigError
+from repro.viz.svg import SVGDocument
+
+# One color per antecedent cardinality, light → dark (levels beyond 5
+# reuse the darkest; the paper's clusters stop at 4 drugs).
+LEVEL_COLORS = ("#9ecae8", "#5698c8", "#2a6aa0", "#16436b", "#0a2540")
+
+
+def level_color(cardinality: int) -> str:
+    """The fill color of contextual rules with ``cardinality`` drugs."""
+    if cardinality < 1:
+        raise ConfigError(f"cardinality must be >= 1, got {cardinality}")
+    return LEVEL_COLORS[min(cardinality, len(LEVEL_COLORS)) - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class GlyphGeometry:
+    """Radii of the glyph's concentric regions.
+
+    ``inner_max`` is the inner circle's radius at confidence 1;
+    sectors span the annulus from ``ring_inner`` to
+    ``ring_inner + ring_depth × confidence``.
+    """
+
+    inner_max: float = 34.0
+    inner_min: float = 4.0
+    ring_inner: float = 40.0
+    ring_depth: float = 36.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.inner_min < self.inner_max < self.ring_inner:
+            raise ConfigError(
+                "need 0 < inner_min < inner_max < ring_inner, got "
+                f"{self.inner_min}, {self.inner_max}, {self.ring_inner}"
+            )
+        if self.ring_depth <= 0:
+            raise ConfigError(f"ring_depth must be positive, got {self.ring_depth}")
+
+    @property
+    def extent(self) -> float:
+        """Radius of the glyph's bounding circle."""
+        return self.ring_inner + self.ring_depth
+
+    def inner_radius(self, confidence: float) -> float:
+        """Inner-circle radius for a target confidence in [0, 1]."""
+        return self.inner_min + (self.inner_max - self.inner_min) * _clamp(confidence)
+
+    def sector_outer_radius(self, confidence: float) -> float:
+        """Outer radius of a contextual sector for its confidence."""
+        return self.ring_inner + self.ring_depth * _clamp(confidence)
+
+
+def _clamp(value: float) -> float:
+    return max(0.0, min(1.0, value))
+
+
+def glyph_layout(cluster: MCAC) -> list[tuple[ContextualRule, float, float]]:
+    """Angular layout: (rule, start, end) in clockwise-from-12 radians.
+
+    Levels ascend (single-drug context first), and each level's rules
+    are already confidence-sorted by the MCAC builder.
+    """
+    ordered: list[ContextualRule] = []
+    for level in sorted(cluster.levels):
+        ordered.extend(cluster.levels[level])
+    if not ordered:
+        raise ConfigError("cluster has no contextual rules to lay out")
+    width = 2 * math.pi / len(ordered)
+    return [
+        (rule, index * width, (index + 1) * width)
+        for index, rule in enumerate(ordered)
+    ]
+
+
+def draw_glyph(
+    doc: SVGDocument,
+    cluster: MCAC,
+    cx: float,
+    cy: float,
+    geometry: GlyphGeometry | None = None,
+) -> None:
+    """Draw one contextual glyph centered at (cx, cy) on an existing canvas."""
+    geometry = geometry if geometry is not None else GlyphGeometry()
+    # Reference ring: the confidence-1 extent, so short sectors read as short.
+    doc.circle(cx, cy, geometry.extent, stroke="#dddddd", stroke_width=0.8)
+    doc.circle(cx, cy, geometry.ring_inner, stroke="#eeeeee", stroke_width=0.8)
+    for rule, start, end in glyph_layout(cluster):
+        outer = geometry.sector_outer_radius(rule.metrics.confidence)
+        if outer <= geometry.ring_inner:
+            continue  # zero-confidence context leaves an empty slot
+        doc.annular_sector(
+            cx,
+            cy,
+            geometry.ring_inner,
+            outer,
+            start,
+            end,
+            fill=level_color(rule.cardinality),
+        )
+    doc.circle(
+        cx,
+        cy,
+        geometry.inner_radius(cluster.target.metrics.confidence),
+        fill="#c24d3a",
+        stroke="#8c3526",
+        stroke_width=1.0,
+    )
+
+
+def render_glyph(
+    cluster: MCAC,
+    *,
+    geometry: GlyphGeometry | None = None,
+    padding: float = 8.0,
+) -> SVGDocument:
+    """Fig 4.1: one glyph on its own canvas."""
+    geometry = geometry if geometry is not None else GlyphGeometry()
+    size = 2 * (geometry.extent + padding)
+    doc = SVGDocument(size, size, background="#ffffff")
+    draw_glyph(doc, cluster, size / 2, size / 2, geometry)
+    return doc
+
+
+def render_zoom_view(
+    cluster: MCAC,
+    catalog,
+    *,
+    geometry: GlyphGeometry | None = None,
+) -> SVGDocument:
+    """Fig 4.3: the zoomed glyph with per-sector labels and a legend.
+
+    Each sector is labelled with its antecedent drugs and confidence,
+    placed along the sector's bisector outside the ring; the target
+    rule's text heads the canvas.
+    """
+    geometry = geometry if geometry is not None else GlyphGeometry()
+    label_room = 240.0
+    size = 2 * (geometry.extent + label_room)
+    doc = SVGDocument(size, size + 40, background="#ffffff")
+    cx, cy = size / 2, size / 2 + 40
+    doc.text(
+        12,
+        20,
+        f"Target: {cluster.target.describe(catalog)}  "
+        f"(conf={cluster.target.metrics.confidence:.3f})",
+        size=14,
+        weight="bold",
+    )
+    draw_glyph(doc, cluster, cx, cy, geometry)
+    for rule, start, end in glyph_layout(cluster):
+        bisector = (start + end) / 2
+        label_radius = geometry.extent + 14
+        x = cx + label_radius * math.sin(bisector)
+        y = cy - label_radius * math.cos(bisector)
+        anchor = "start" if math.sin(bisector) >= 0 else "end"
+        drugs = ", ".join(catalog.labels(rule.antecedent))
+        doc.text(
+            x,
+            y,
+            f"{drugs} ({rule.metrics.confidence:.2f})",
+            size=10,
+            anchor=anchor,
+            fill=level_color(rule.cardinality),
+        )
+    return doc

@@ -1,0 +1,64 @@
+"""The panoramagram of glyphs (Fig 4.2).
+
+A grid of contextual glyphs in rank order — the analyst's overview of a
+quarter's multi-drug associations, score-annotated so similar-ranked
+groups sit together and outliers pop out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.ranking import RankedCluster
+from repro.errors import ConfigError
+from repro.viz.glyph import GlyphGeometry, draw_glyph
+from repro.viz.svg import SVGDocument
+
+
+def render_panorama(
+    ranked: Sequence[RankedCluster],
+    catalog,
+    *,
+    columns: int = 5,
+    geometry: GlyphGeometry | None = None,
+    cell_padding: float = 14.0,
+) -> SVGDocument:
+    """Render ranked clusters as a glyph grid, best first (left→right, top→bottom).
+
+    Each cell is captioned with the rank, score and the target's drug
+    combination (truncated to fit).
+    """
+    if not ranked:
+        raise ConfigError("nothing to render: ranked clusters are empty")
+    if columns < 1:
+        raise ConfigError(f"columns must be >= 1, got {columns}")
+    geometry = geometry if geometry is not None else GlyphGeometry(
+        inner_max=22.0, inner_min=3.0, ring_inner=26.0, ring_depth=22.0
+    )
+    cell = 2 * geometry.extent + 2 * cell_padding
+    caption_height = 30.0
+    rows = (len(ranked) + columns - 1) // columns
+    doc = SVGDocument(
+        columns * cell,
+        rows * (cell + caption_height),
+        background="#ffffff",
+    )
+    for index, entry in enumerate(ranked):
+        row, col = divmod(index, columns)
+        cx = col * cell + cell / 2
+        cy = row * (cell + caption_height) + cell / 2
+        draw_glyph(doc, entry.cluster, cx, cy, geometry)
+        drugs = " + ".join(catalog.labels(entry.cluster.target.antecedent))
+        if len(drugs) > 34:
+            drugs = drugs[:31] + "..."
+        base_y = row * (cell + caption_height) + cell
+        doc.text(
+            cx,
+            base_y + 12,
+            f"#{entry.rank}  score {entry.score:.3f}",
+            size=11,
+            anchor="middle",
+            weight="bold",
+        )
+        doc.text(cx, base_y + 25, drugs, size=9, anchor="middle", fill="#555555")
+    return doc

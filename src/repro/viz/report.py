@@ -1,0 +1,101 @@
+"""Plain-text and markdown renderings of MeDIAR results.
+
+Deterministic textual companions to the SVG views:
+
+- :func:`cluster_detail` — one MCAC in the layout of Table 3.1;
+- :func:`top_k_table` / :func:`ranking_markdown` — the Table 5.2
+  side-by-side method comparison;
+- :func:`rule_reduction_table` — the Fig 5.1 per-quarter rule counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.context import MCAC
+from repro.core.pipeline import RuleSpaceCounts
+from repro.core.ranking import RankedCluster, RankingMethod
+
+_METHOD_TITLES = {
+    RankingMethod.CONFIDENCE: "Confidence",
+    RankingMethod.LIFT: "Lift",
+    RankingMethod.EXCLUSIVENESS_CONFIDENCE: "Exclusiveness w/ Confidence",
+    RankingMethod.EXCLUSIVENESS_LIFT: "Exclusiveness w/ Lift",
+    RankingMethod.IMPROVEMENT: "Improvement",
+}
+
+
+def cluster_detail(cluster: MCAC, catalog) -> str:
+    """Table 3.1 layout: target first, context levels deepest-first."""
+    lines = [
+        f"R     {cluster.target.describe(catalog)}  "
+        f"(conf={cluster.target.metrics.confidence:.3f}, "
+        f"lift={cluster.target.metrics.lift:.2f}, "
+        f"support={cluster.target.metrics.n_joint})"
+    ]
+    for level in sorted(cluster.levels, reverse=True):
+        for index, rule in enumerate(cluster.levels[level], start=1):
+            lines.append(
+                f"R~{level}{index}   {rule.describe(catalog)}  "
+                f"(conf={rule.metrics.confidence:.3f})"
+            )
+    return "\n".join(lines)
+
+
+def _cluster_cell(entry: RankedCluster, catalog) -> str:
+    drugs = " ".join(catalog.labels(entry.cluster.target.antecedent))
+    adrs = " ".join(catalog.labels(entry.cluster.target.consequent))
+    return f"{drugs} => {adrs} [{entry.score:.3f}]"
+
+
+def top_k_table(
+    table: Mapping[RankingMethod, Sequence[RankedCluster]], catalog
+) -> str:
+    """Table 5.2 as aligned plain text, one section per ranking method."""
+    sections = []
+    for method, entries in table.items():
+        header = _METHOD_TITLES.get(method, method.value)
+        rows = [f"== {header} =="]
+        rows.extend(
+            f"  {entry.rank}. {_cluster_cell(entry, catalog)}" for entry in entries
+        )
+        sections.append("\n".join(rows))
+    return "\n\n".join(sections)
+
+
+def ranking_markdown(
+    table: Mapping[RankingMethod, Sequence[RankedCluster]], catalog
+) -> str:
+    """Table 5.2 as a markdown table (methods as columns, ranks as rows)."""
+    methods = list(table)
+    depth = max((len(entries) for entries in table.values()), default=0)
+    header = "| Rank | " + " | ".join(
+        _METHOD_TITLES.get(m, m.value) for m in methods
+    ) + " |"
+    divider = "|---" * (len(methods) + 1) + "|"
+    lines = [header, divider]
+    for rank_index in range(depth):
+        cells = []
+        for method in methods:
+            entries = table[method]
+            cells.append(
+                _cluster_cell(entries[rank_index], catalog)
+                if rank_index < len(entries)
+                else ""
+            )
+        lines.append(f"| {rank_index + 1} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def rule_reduction_table(counts_by_quarter: Mapping[str, RuleSpaceCounts]) -> str:
+    """Fig 5.1 as a table: per-quarter total / filtered / MCAC counts."""
+    lines = [
+        f"{'Quarter':10s} {'Total Rules':>14s} {'Filtered Rules':>16s} {'MCACs':>10s}",
+    ]
+    for quarter in sorted(counts_by_quarter):
+        counts = counts_by_quarter[quarter]
+        lines.append(
+            f"{quarter:10s} {counts.total_rules:>14,d} "
+            f"{counts.filtered_rules:>16,d} {counts.mcacs:>10,d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""A minimal SVG document builder.
+
+Just enough vector drawing for the MeDIAR glyphs and charts: circles,
+rectangles, lines, text, annular sectors, and groups — accumulated as
+elements and serialized to a standalone ``.svg`` string. No external
+dependency; attribute values are escaped so arbitrary drug names are
+safe to render.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import ConfigError
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting: 12.0 → '12', 12.345678 → '12.346'."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+class SVGDocument:
+    """An append-only SVG canvas.
+
+    >>> doc = SVGDocument(100, 100)
+    >>> doc.circle(50, 50, 20, fill="#4477aa")
+    >>> text = doc.to_string()
+    """
+
+    def __init__(self, width: float, height: float, *, background: str | None = None) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigError(f"canvas must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background is not None:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def _append(self, tag: str, attributes: dict[str, str], text: str | None = None) -> None:
+        rendered = " ".join(
+            f"{name}={quoteattr(value)}" for name, value in attributes.items()
+        )
+        if text is None:
+            self._elements.append(f"<{tag} {rendered}/>")
+        else:
+            self._elements.append(f"<{tag} {rendered}>{escape(text)}</{tag}>")
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        *,
+        fill: str = "none",
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._append(
+            "circle",
+            {
+                "cx": _fmt(cx),
+                "cy": _fmt(cy),
+                "r": _fmt(r),
+                "fill": fill,
+                "stroke": stroke,
+                "stroke-width": _fmt(stroke_width),
+                "opacity": _fmt(opacity),
+            },
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        fill: str = "none",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+    ) -> None:
+        self._append(
+            "rect",
+            {
+                "x": _fmt(x),
+                "y": _fmt(y),
+                "width": _fmt(width),
+                "height": _fmt(height),
+                "fill": fill,
+                "stroke": stroke,
+                "stroke-width": _fmt(stroke_width),
+            },
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        attributes = {
+            "x1": _fmt(x1),
+            "y1": _fmt(y1),
+            "x2": _fmt(x2),
+            "y2": _fmt(y2),
+            "stroke": stroke,
+            "stroke-width": _fmt(stroke_width),
+        }
+        if dashed:
+            attributes["stroke-dasharray"] = "4 3"
+        self._append("line", attributes)
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: float = 12.0,
+        anchor: str = "start",
+        fill: str = "#222222",
+        weight: str = "normal",
+    ) -> None:
+        self._append(
+            "text",
+            {
+                "x": _fmt(x),
+                "y": _fmt(y),
+                "font-size": _fmt(size),
+                "text-anchor": anchor,
+                "fill": fill,
+                "font-weight": weight,
+                "font-family": "Helvetica, Arial, sans-serif",
+            },
+            text=content,
+        )
+
+    def path(
+        self,
+        d: str,
+        *,
+        fill: str = "none",
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._append(
+            "path",
+            {
+                "d": d,
+                "fill": fill,
+                "stroke": stroke,
+                "stroke-width": _fmt(stroke_width),
+                "opacity": _fmt(opacity),
+            },
+        )
+
+    def annular_sector(
+        self,
+        cx: float,
+        cy: float,
+        inner_radius: float,
+        outer_radius: float,
+        start_angle: float,
+        end_angle: float,
+        *,
+        fill: str = "#888888",
+        stroke: str = "#ffffff",
+        stroke_width: float = 0.5,
+        opacity: float = 1.0,
+    ) -> None:
+        """Filled ring segment between two radii and two angles.
+
+        Angles are in radians, measured **clockwise from 12 o'clock**
+        (the glyph's layout convention). ``end_angle`` must exceed
+        ``start_angle`` by less than 2π.
+        """
+        if inner_radius < 0 or outer_radius <= inner_radius:
+            raise ConfigError(
+                f"need 0 <= inner < outer, got {inner_radius}, {outer_radius}"
+            )
+        sweep = end_angle - start_angle
+        if not 0 < sweep < 2 * math.pi:
+            raise ConfigError(f"sweep must be in (0, 2π), got {sweep}")
+        x0_outer, y0_outer = _polar(cx, cy, outer_radius, start_angle)
+        x1_outer, y1_outer = _polar(cx, cy, outer_radius, end_angle)
+        x0_inner, y0_inner = _polar(cx, cy, inner_radius, start_angle)
+        x1_inner, y1_inner = _polar(cx, cy, inner_radius, end_angle)
+        large_arc = 1 if sweep > math.pi else 0
+        d = (
+            f"M {_fmt(x0_outer)} {_fmt(y0_outer)} "
+            f"A {_fmt(outer_radius)} {_fmt(outer_radius)} 0 {large_arc} 1 "
+            f"{_fmt(x1_outer)} {_fmt(y1_outer)} "
+            f"L {_fmt(x1_inner)} {_fmt(y1_inner)} "
+            f"A {_fmt(inner_radius)} {_fmt(inner_radius)} 0 {large_arc} 0 "
+            f"{_fmt(x0_inner)} {_fmt(y0_inner)} Z"
+        )
+        self.path(d, fill=fill, stroke=stroke, stroke_width=stroke_width, opacity=opacity)
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n  '
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path
+
+
+def _polar(cx: float, cy: float, radius: float, angle: float) -> tuple[float, float]:
+    """Clockwise-from-12-o'clock polar to SVG cartesian."""
+    return (cx + radius * math.sin(angle), cy - radius * math.cos(angle))

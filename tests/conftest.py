@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+The expensive fixtures (a mined synthetic quarter) are session-scoped:
+the suite mines once and many test modules inspect the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.faers import SyntheticConfig, SyntheticFAERSGenerator
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+
+@pytest.fixture
+def toy_database() -> TransactionDatabase:
+    """Five hand-written transactions over six items (a..f).
+
+    Known facts used across tests:
+    - support({a}) = 4, support({a, b}) = 3, support({a, b, c}) = 2
+    - {a, b} is closed; {b} is not (every b comes with a)
+    """
+    transactions = [
+        ["a", "b", "c"],
+        ["a", "b", "c"],
+        ["a", "b", "d"],
+        ["a", "e"],
+        ["d", "e", "f"],
+    ]
+    return TransactionDatabase.from_labelled(transactions)
+
+
+@pytest.fixture
+def drug_adr_database() -> TransactionDatabase:
+    """A small drugs/ADRs database with a planted two-drug signal.
+
+    D1+D2 together almost always come with ADR X, while each alone
+    mostly produces its own profile ADR.
+    """
+    kinds = {"D1": "drug", "D2": "drug", "D3": "drug", "X": "adr", "Y": "adr", "Z": "adr"}
+    transactions = [
+        ["D1", "D2", "X"],
+        ["D1", "D2", "X"],
+        ["D1", "D2", "X"],
+        ["D1", "D2", "X", "Y"],
+        ["D1", "Y"],
+        ["D1", "Y"],
+        ["D1", "Z"],
+        ["D2", "Z"],
+        ["D2", "Z"],
+        ["D2", "Y"],
+        ["D3", "X"],
+        ["D3", "Z"],
+    ]
+    return TransactionDatabase.from_labelled(transactions, kinds=kinds)
+
+
+@pytest.fixture(scope="session")
+def small_quarter_reports():
+    """A deterministic 1500-report synthetic quarter (session cache)."""
+    config = SyntheticConfig(n_reports=1500, n_drugs=800, n_adrs=200, seed=99)
+    return SyntheticFAERSGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def mined_quarter(small_quarter_reports):
+    """The small quarter run through the full pipeline once per session."""
+    return Maras(MarasConfig(min_support=4, clean=False)).run(small_quarter_reports)
+
+
+@pytest.fixture
+def catalog_drugs_adrs() -> ItemCatalog:
+    """A catalog with two drugs and two ADRs pre-registered."""
+    catalog = ItemCatalog()
+    catalog.add("ASPIRIN", "drug")
+    catalog.add("WARFARIN", "drug")
+    catalog.add("HAEMORRHAGE", "adr")
+    catalog.add("PAIN", "adr")
+    return catalog

@@ -1,0 +1,137 @@
+"""Tests for the §3.3 support taxonomy and drug-ADR associations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.association import (
+    DrugADRAssociation,
+    SupportType,
+    classify_support,
+    is_pairwise_implicit,
+)
+from repro.errors import ConfigError
+from repro.mining.fpclose import fpclose
+from repro.mining.rules import partitioned_rules
+from repro.mining.transactions import TransactionDatabase
+
+
+class TestClassifySupport:
+    def test_explicit_when_a_report_equals_the_itemset(self, toy_database):
+        catalog = toy_database.catalog
+        assert (
+            classify_support(toy_database, catalog.encode(["a", "b", "c"]))
+            is SupportType.EXPLICIT
+        )
+
+    def test_implicit_via_intersection_of_reports(self):
+        db = TransactionDatabase.from_labelled(
+            [["a", "b", "c"], ["a", "b", "d"]]
+        )
+        catalog = db.catalog
+        assert (
+            classify_support(db, catalog.encode(["a", "b"]))
+            is SupportType.IMPLICIT
+        )
+
+    def test_partial_reading_is_unsupported(self):
+        # {a, c} only appears inside one report: a spurious partial rule.
+        db = TransactionDatabase.from_labelled([["a", "b", "c"], ["a", "b"]])
+        catalog = db.catalog
+        assert (
+            classify_support(db, catalog.encode(["a", "c"]))
+            is SupportType.UNSUPPORTED
+        )
+
+    def test_zero_support_is_unsupported(self, toy_database):
+        catalog = toy_database.catalog
+        assert (
+            classify_support(toy_database, catalog.encode(["a", "f"]))
+            is SupportType.UNSUPPORTED
+        )
+
+    def test_singleton_support_without_exact_match_is_unsupported(self):
+        db = TransactionDatabase.from_labelled([["a", "b"], ["c"]])
+        catalog = db.catalog
+        assert classify_support(db, catalog.encode(["a"])) is SupportType.UNSUPPORTED
+
+    def test_explicit_wins_over_implicit(self):
+        db = TransactionDatabase.from_labelled(
+            [["a", "b"], ["a", "b", "c"], ["a", "b", "d"]]
+        )
+        catalog = db.catalog
+        assert classify_support(db, catalog.encode(["a", "b"])) is SupportType.EXPLICIT
+
+    def test_empty_itemset_rejected(self, toy_database):
+        with pytest.raises(ConfigError):
+            classify_support(toy_database, frozenset())
+
+    def test_is_supported_property(self):
+        assert SupportType.EXPLICIT.is_supported
+        assert SupportType.IMPLICIT.is_supported
+        assert not SupportType.UNSUPPORTED.is_supported
+
+
+class TestLemma342:
+    """Closed itemsets are always supported (generalized implicit)."""
+
+    @pytest.mark.parametrize(
+        "transactions",
+        [
+            [["a", "b", "c"], ["a", "b", "d"], ["a", "c", "d"]],
+            [["a", "b"], ["a", "b"], ["b", "c"], ["a"]],
+            [["x", "y", "z"], ["x", "y"], ["x", "z"], ["y", "z"]],
+        ],
+    )
+    def test_every_closed_itemset_is_supported(self, transactions):
+        db = TransactionDatabase.from_labelled(transactions)
+        for fi in fpclose(db, 1):
+            assert classify_support(db, fi.items).is_supported
+
+    def test_pairwise_variant_has_counterexamples(self):
+        """The paper's literal pairwise Def. 3.3.2 is strictly weaker.
+
+        With reports {a,b,c}, {a,b,d}, {a,c,d}: {a} is closed (hence
+        supported in the generalized sense) but no *pair* of reports
+        intersects to exactly {a}.
+        """
+        db = TransactionDatabase.from_labelled(
+            [["a", "b", "c"], ["a", "b", "d"], ["a", "c", "d"]]
+        )
+        item_a = db.catalog.encode(["a"])
+        assert classify_support(db, item_a) is SupportType.IMPLICIT
+        assert not is_pairwise_implicit(db, item_a)
+
+    def test_pairwise_implicit_positive_case(self):
+        db = TransactionDatabase.from_labelled([["a", "b", "c"], ["a", "b", "d"]])
+        assert is_pairwise_implicit(db, db.catalog.encode(["a", "b"]))
+
+    def test_pairwise_budget_guard(self):
+        db = TransactionDatabase.from_labelled([["a"]] * 100)
+        with pytest.raises(ConfigError, match="max_pairs"):
+            is_pairwise_implicit(db, db.catalog.encode(["a"]), max_pairs=10)
+
+
+class TestDrugADRAssociation:
+    def test_from_rule_classifies(self, drug_adr_database):
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        associations = [
+            DrugADRAssociation.from_rule(rule, drug_adr_database) for rule in rules
+        ]
+        assert associations
+        assert all(a.support_type.is_supported for a in associations)
+
+    def test_multi_drug_flag(self, drug_adr_database):
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        by_n_drugs = {len(rule.antecedent): rule for rule in rules}
+        if 1 in by_n_drugs:
+            single = DrugADRAssociation.from_rule(by_n_drugs[1], drug_adr_database)
+            assert not single.is_multi_drug
+        double = DrugADRAssociation.from_rule(by_n_drugs[2], drug_adr_database)
+        assert double.is_multi_drug
+
+    def test_describe_mentions_support_type(self, drug_adr_database):
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        association = DrugADRAssociation.from_rule(rules[0], drug_adr_database)
+        text = association.describe(drug_adr_database.catalog)
+        assert association.support_type.value in text

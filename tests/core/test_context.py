@@ -1,0 +1,118 @@
+"""Tests for contextual rules and MCAC construction (§3.5, Table 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import build_cluster, build_clusters
+from repro.errors import ConfigError
+from repro.faers.dataset import ReportDataset
+from repro.faers.schema import CaseReport
+from repro.mining.fpclose import fpclose
+from repro.mining.rules import partitioned_rules
+
+
+def target_rule(database, n_drugs=2):
+    rules = partitioned_rules(fpclose(database, 2), database)
+    for rule in rules:
+        if len(rule.antecedent) == n_drugs:
+            return rule
+    raise AssertionError(f"no {n_drugs}-drug rule mined")
+
+
+class TestBuildCluster:
+    def test_context_is_complete_power_set(self, drug_adr_database):
+        rule = target_rule(drug_adr_database, n_drugs=2)
+        cluster = build_cluster(rule, drug_adr_database)
+        # 2 drugs → levels {1}, with C(2,1)=2 rules → 2^2−2 = 2 total.
+        assert cluster.context_size == 2
+        assert set(cluster.levels) == {1}
+
+    def test_contextual_antecedents_are_proper_subsets(self, drug_adr_database):
+        rule = target_rule(drug_adr_database)
+        cluster = build_cluster(rule, drug_adr_database)
+        for contextual in cluster.all_context_rules():
+            assert contextual.antecedent < rule.antecedent
+            assert contextual.consequent == rule.consequent
+
+    def test_levels_sorted_by_confidence(self, drug_adr_database):
+        rule = target_rule(drug_adr_database)
+        cluster = build_cluster(rule, drug_adr_database)
+        for rules in cluster.levels.values():
+            confidences = [r.metrics.confidence for r in rules]
+            assert confidences == sorted(confidences, reverse=True)
+
+    def test_single_drug_target_rejected(self, drug_adr_database):
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        singles = [r for r in rules if len(r.antecedent) == 1]
+        assert singles, "fixture should mine single-drug rules"
+        with pytest.raises(ConfigError, match="multi-drug"):
+            build_cluster(singles[0], drug_adr_database)
+
+    def test_build_clusters_skips_singles(self, drug_adr_database):
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        clusters = build_clusters(rules, drug_adr_database)
+        assert all(c.n_drugs >= 2 for c in clusters)
+        assert len(clusters) == sum(1 for r in rules if len(r.antecedent) >= 2)
+
+    def test_context_values_by_measure(self, drug_adr_database):
+        cluster = build_cluster(target_rule(drug_adr_database), drug_adr_database)
+        conf = cluster.context_values("confidence")
+        lift = cluster.context_values("lift")
+        assert set(conf) == set(lift) == set(cluster.levels)
+        assert all(0 <= v <= 1 for values in conf.values() for v in values)
+
+
+class TestTable31Example:
+    """Reproduce Table 3.1: the Xolair/Singulair/Prednisone asthma MCAC."""
+
+    @pytest.fixture
+    def asthma_database(self):
+        drugs = ("XOLAIR", "SINGULAIR", "PREDNISONE")
+        reports = []
+        counter = 0
+
+        def add(drug_list, adr_list, times):
+            nonlocal counter
+            for _ in range(times):
+                counter += 1
+                reports.append(CaseReport.build(f"c{counter}", drug_list, adr_list))
+
+        add(drugs, ["ASTHMA"], 6)
+        add(drugs[:2], ["ASTHMA"], 3)
+        add(drugs[:2], ["PAIN"], 2)
+        add((drugs[0], drugs[2]), ["ASTHMA"], 2)
+        add((drugs[1], drugs[2]), ["ASTHMA"], 2)
+        for drug in drugs:
+            add([drug], ["ASTHMA"], 4)
+            add([drug], ["PAIN"], 3)
+        return ReportDataset(reports).encode()
+
+    def test_cluster_has_the_table_structure(self, asthma_database):
+        database = asthma_database.database
+        catalog = asthma_database.catalog
+        rules = partitioned_rules(fpclose(database, 2), database)
+        targets = [
+            r
+            for r in rules
+            if catalog.labels(r.antecedent)
+            == ("PREDNISONE", "SINGULAIR", "XOLAIR")
+            and catalog.labels(r.consequent) == ("ASTHMA",)
+        ]
+        assert targets, "the 3-drug asthma rule must be mined"
+        cluster = build_cluster(targets[0], database)
+        # Table 3.1: levels R~2 (three 2-drug rules) and R~1 (three 1-drug rules).
+        assert set(cluster.levels) == {1, 2}
+        assert len(cluster.levels[1]) == 3
+        assert len(cluster.levels[2]) == 3
+        assert cluster.context_size == 6  # 2^3 − 2
+
+    def test_describe_renders_target_and_levels(self, asthma_database):
+        database = asthma_database.database
+        catalog = asthma_database.catalog
+        rules = partitioned_rules(fpclose(database, 2), database)
+        target = next(r for r in rules if len(r.antecedent) == 3)
+        text = build_cluster(target, database).describe(catalog)
+        assert text.splitlines()[0].startswith("R ")
+        assert "R~2" in text and "R~1" in text
+        assert "ASTHMA" in text

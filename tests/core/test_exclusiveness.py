@@ -1,0 +1,144 @@
+"""Tests for the exclusiveness score (Eqs 3.3-3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import build_cluster
+from repro.core.exclusiveness import (
+    DECAY_FUNCTIONS,
+    ExclusivenessConfig,
+    exclusiveness,
+    exclusiveness_cv,
+    exclusiveness_simple,
+    exponential_decay,
+    linear_decay,
+    no_decay,
+    score_clusters,
+)
+from repro.errors import ConfigError
+from repro.mining.fpclose import fpclose
+from repro.mining.rules import partitioned_rules
+from repro.mining.measures import coefficient_of_variation
+
+
+class TestEq33Simple:
+    def test_mean_contrast(self):
+        assert exclusiveness_simple(0.9, [0.1, 0.3]) == pytest.approx(0.7)
+
+    def test_strong_context_gives_negative(self):
+        assert exclusiveness_simple(0.3, [0.8, 0.9]) < 0
+
+    def test_empty_context_degenerates_to_p(self):
+        assert exclusiveness_simple(0.42, []) == 0.42
+
+
+class TestEq34CVPenalty:
+    def test_theta_zero_reduces_to_simple(self):
+        values = [0.1, 0.5, 0.2]
+        assert exclusiveness_cv(0.9, values, theta=0.0) == pytest.approx(
+            exclusiveness_simple(0.9, values)
+        )
+
+    def test_uneven_context_penalized(self):
+        even = exclusiveness_cv(0.9, [0.3, 0.3], theta=1.0)
+        uneven = exclusiveness_cv(0.9, [0.05, 0.55], theta=1.0)
+        # Same mean, but the context with one strong sub-rule scores lower.
+        assert uneven < even
+
+    def test_penalty_formula(self):
+        values = [0.2, 0.4]
+        expected = exclusiveness_simple(0.9, values) * (
+            1 - 0.5 * coefficient_of_variation(values)
+        )
+        assert exclusiveness_cv(0.9, values, theta=0.5) == pytest.approx(expected)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ConfigError):
+            exclusiveness_cv(0.5, [0.1], theta=2.0)
+
+
+class TestDecayFunctions:
+    def test_linear_matches_paper_formula(self):
+        # weight = 1 − (k−1)/n
+        assert linear_decay(1, 3) == pytest.approx(1.0)
+        assert linear_decay(2, 3) == pytest.approx(2 / 3)
+        assert linear_decay(3, 4) == pytest.approx(0.5)
+
+    def test_no_decay_constant(self):
+        assert no_decay(1, 3) == no_decay(5, 3) == 1.0
+
+    def test_exponential_halves(self):
+        assert exponential_decay(1, 9) == 1.0
+        assert exponential_decay(3, 9) == 0.25
+
+    def test_registry_complete(self):
+        assert set(DECAY_FUNCTIONS) == {"linear", "none", "exponential"}
+
+
+class TestExclusivenessConfig:
+    def test_defaults(self):
+        config = ExclusivenessConfig()
+        assert config.measure == "confidence"
+        assert config.decay == "linear"
+
+    def test_bad_theta(self):
+        with pytest.raises(ConfigError):
+            ExclusivenessConfig(theta=-0.1)
+
+    def test_bad_decay(self):
+        with pytest.raises(ConfigError):
+            ExclusivenessConfig(decay="sideways")
+
+
+class TestEq35FullScore:
+    def _cluster(self, database, n_drugs=2):
+        rules = partitioned_rules(fpclose(database, 2), database)
+        rule = next(r for r in rules if len(r.antecedent) == n_drugs)
+        return build_cluster(rule, database)
+
+    def test_exclusive_signal_scores_high(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        rules = partitioned_rules(fpclose(drug_adr_database, 2), drug_adr_database)
+        signal = next(
+            r
+            for r in rules
+            if r.antecedent == catalog.encode(["D1", "D2"])
+            and catalog.encode(["X"]) <= r.consequent
+        )
+        cluster = build_cluster(signal, drug_adr_database)
+        assert exclusiveness(cluster) > 0.4
+
+    def test_manual_two_drug_computation(self, drug_adr_database):
+        """For a 2-drug rule Eq 3.5 reduces to one level: (p − v̄₁)·1·(1−θ·Cv)."""
+        cluster = self._cluster(drug_adr_database)
+        config = ExclusivenessConfig(theta=0.5)
+        p = cluster.target.metrics.confidence
+        values = cluster.context_values("confidence")[1]
+        expected = (p - sum(values) / len(values)) * (
+            1 - 0.5 * coefficient_of_variation(values)
+        )
+        assert exclusiveness(cluster, config) == pytest.approx(expected)
+
+    def test_lift_measure_supported(self, drug_adr_database):
+        cluster = self._cluster(drug_adr_database)
+        score = exclusiveness(cluster, ExclusivenessConfig(measure="lift"))
+        assert isinstance(score, float)
+
+    def test_decay_changes_multi_level_scores(self, mined_quarter):
+        cluster = next(c for c in mined_quarter.clusters if c.n_drugs >= 3)
+        linear = exclusiveness(cluster, ExclusivenessConfig(decay="linear"))
+        flat = exclusiveness(cluster, ExclusivenessConfig(decay="none"))
+        assert linear != flat
+
+    def test_theta_zero_weakens_no_uniform_context(self, drug_adr_database):
+        cluster = self._cluster(drug_adr_database)
+        relaxed = exclusiveness(cluster, ExclusivenessConfig(theta=0.0))
+        strict = exclusiveness(cluster, ExclusivenessConfig(theta=1.0))
+        # With any context spread, θ=1 penalizes at least as much as θ=0.
+        assert strict <= relaxed + 1e-12
+
+    def test_score_clusters_descending(self, mined_quarter):
+        scored = score_clusters(mined_quarter.clusters[:20])
+        values = [score for _, score in scored]
+        assert values == sorted(values, reverse=True)

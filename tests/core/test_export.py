@@ -1,0 +1,96 @@
+"""Tests for JSON export / load round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import (
+    FORMAT_VERSION,
+    export_result,
+    load_export,
+    write_export,
+)
+from repro.core.ranking import RankingMethod
+from repro.errors import ConfigError, ValidationError
+
+
+class TestExport:
+    def test_payload_shape(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["dataset"]["n_reports"] == len(mined_quarter.dataset)
+        assert len(payload["clusters"]) == len(mined_quarter.clusters)
+
+    def test_cluster_record_contents(self, mined_quarter):
+        record = export_result(mined_quarter)["clusters"][0]
+        assert record["drugs"] and record["adrs"]
+        assert set(record["scores"]) == {
+            "confidence",
+            "lift",
+            "exclusiveness_confidence",
+            "exclusiveness_lift",
+            "improvement",
+        }
+        assert len(record["context"]) >= 2
+        assert record["support"] >= mined_quarter.config.min_support
+
+    def test_case_ids_match_support(self, mined_quarter):
+        record = export_result(mined_quarter)["clusters"][0]
+        assert len(record["case_ids"]) == record["support"]
+
+    def test_case_ids_optional(self, mined_quarter):
+        payload = export_result(mined_quarter, include_case_ids=False)
+        assert "case_ids" not in payload["clusters"][0]
+
+    def test_json_serializable(self, mined_quarter):
+        json.dumps(export_result(mined_quarter))
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, mined_quarter, tmp_path):
+        path = write_export(mined_quarter, tmp_path / "q1.json")
+        loaded = load_export(path)
+        assert loaded.n_reports == len(mined_quarter.dataset)
+        assert len(loaded.clusters) == len(mined_quarter.clusters)
+
+    def test_scores_survive_round_trip(self, mined_quarter, tmp_path):
+        path = write_export(mined_quarter, tmp_path / "q1.json")
+        loaded = load_export(path)
+        live_top = mined_quarter.rank(
+            RankingMethod.EXCLUSIVENESS_CONFIDENCE, top_k=5
+        )
+        exported_top = loaded.top("exclusiveness_confidence", k=5)
+        live_keys = [
+            (
+                mined_quarter.catalog.labels(e.cluster.target.antecedent),
+                mined_quarter.catalog.labels(e.cluster.target.consequent),
+            )
+            for e in live_top
+        ]
+        assert [c.key for c in exported_top] == live_keys
+
+    def test_load_from_dict(self, mined_quarter):
+        loaded = load_export(export_result(mined_quarter))
+        assert loaded.clusters
+
+    def test_unknown_version_rejected(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        payload["format_version"] = 999
+        with pytest.raises(ValidationError, match="version"):
+            load_export(payload)
+
+    def test_unknown_score_name_rejected(self, mined_quarter):
+        loaded = load_export(export_result(mined_quarter))
+        with pytest.raises(ConfigError, match="unknown score"):
+            loaded.top("astrology")
+
+    def test_top_on_empty_export(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "quarter": "",
+            "dataset": {"n_reports": 0, "n_drugs": 0, "n_adrs": 0},
+            "clusters": [],
+        }
+        assert load_export(payload).top("confidence") == []

@@ -1,0 +1,84 @@
+"""Tests for Bayardo's improvement baseline (Eq. 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import build_cluster
+from repro.core.improvement import improvement
+from repro.mining.fpclose import fpclose
+from repro.mining.rules import partitioned_rules
+
+
+def cluster_for(database, predicate):
+    rules = partitioned_rules(fpclose(database, 2), database)
+    rule = next(r for r in rules if predicate(r))
+    return build_cluster(rule, database)
+
+
+class TestImprovement:
+    def test_equals_p_minus_max_context(self, drug_adr_database):
+        cluster = cluster_for(drug_adr_database, lambda r: len(r.antecedent) == 2)
+        values = [
+            v
+            for level in cluster.context_values("confidence").values()
+            for v in level
+        ]
+        expected = cluster.target.metrics.confidence - max(values)
+        assert improvement(cluster) == pytest.approx(expected)
+
+    def test_positive_for_exclusive_signal(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        cluster = cluster_for(
+            drug_adr_database,
+            lambda r: r.antecedent == catalog.encode(["D1", "D2"])
+            and catalog.encode(["X"]) <= r.consequent,
+        )
+        assert improvement(cluster) > 0
+
+    def test_dominated_rule_is_nonpositive(self):
+        """A combination whose ADR is fully explained by one member drug."""
+        from repro.mining.transactions import TransactionDatabase
+
+        kinds = {"D1": "drug", "D2": "drug", "X": "adr", "Y": "adr"}
+        db = TransactionDatabase.from_labelled(
+            [
+                ["D1", "X"],
+                ["D1", "X"],
+                ["D1", "X"],
+                ["D1", "D2", "X"],
+                ["D1", "D2", "X", "Y"],
+                ["D2", "Y"],
+            ],
+            kinds=kinds,
+        )
+        cluster = cluster_for(
+            db,
+            lambda r: len(r.antecedent) == 2
+            and db.catalog.encode(["X"]) == r.consequent,
+        )
+        # conf(D1,D2 → X) = 1.0 but conf(D1 → X) = 1.0 as well → improvement 0.
+        assert improvement(cluster) <= 0
+
+    def test_improvement_vs_exclusiveness_sensitivity(self, mined_quarter):
+        """Improvement collapses contexts that exclusiveness distinguishes.
+
+        Find two clusters with (nearly) identical improvement but
+        different mean context strengths — the paper's §3.6 motivation.
+        """
+        from repro.core.exclusiveness import exclusiveness
+
+        clusters = [c for c in mined_quarter.clusters if c.n_drugs == 2]
+        by_improvement: dict[float, list] = {}
+        for cluster in clusters:
+            by_improvement.setdefault(round(improvement(cluster), 2), []).append(
+                cluster
+            )
+        groups = [group for group in by_improvement.values() if len(group) >= 2]
+        assert groups, "quarter should contain improvement ties"
+        found_distinct = any(
+            abs(exclusiveness(a) - exclusiveness(b)) > 1e-6
+            for group in groups
+            for a, b in [(group[0], group[1])]
+        )
+        assert found_distinct

@@ -1,0 +1,124 @@
+"""Tests for incremental surveillance over a report stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MarasConfig
+from repro.core.incremental import (
+    SurveillanceMonitor,
+    cluster_key,
+    spearman_correlation,
+)
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+
+
+def batches_from(reports, n_batches=3):
+    size = len(reports) // n_batches
+    return [
+        reports[i * size : (i + 1) * size if i < n_batches - 1 else len(reports)]
+        for i in range(n_batches)
+    ]
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        ranks = {("a",): 1, ("b",): 2, ("c",): 3}
+        assert spearman_correlation(ranks, ranks) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        old = {("a",): 1, ("b",): 2, ("c",): 3}
+        new = {("a",): 3, ("b",): 2, ("c",): 1}
+        assert spearman_correlation(old, new) == pytest.approx(-1.0)
+
+    def test_too_few_shared_is_none(self):
+        assert spearman_correlation({("a",): 1}, {("a",): 1}) is None
+
+    def test_disjoint_is_none(self):
+        assert spearman_correlation({("a",): 1}, {("b",): 1}) is None
+
+    def test_restricted_to_shared_subset(self):
+        old = {("a",): 1, ("b",): 2, ("c",): 3, ("x",): 4}
+        new = {("a",): 5, ("b",): 6, ("c",): 7, ("y",): 1}
+        assert spearman_correlation(old, new) == pytest.approx(1.0)
+
+
+class TestSurveillanceMonitor:
+    @pytest.fixture
+    def monitor(self):
+        return SurveillanceMonitor(
+            MarasConfig(min_support=4, clean=False), riser_threshold=3
+        )
+
+    def test_first_batch_all_new(self, monitor, small_quarter_reports):
+        first = batches_from(small_quarter_reports)[0]
+        delta = monitor.ingest(first)
+        assert delta.batch_index == 1
+        assert delta.n_reports_total == len(first)
+        assert delta.rank_correlation is None
+        assert not delta.dropped
+        assert len(delta.newly_surfaced) == len(monitor.result.clusters)
+
+    def test_growth_accumulates(self, monitor, small_quarter_reports):
+        batches = batches_from(small_quarter_reports)
+        for batch in batches:
+            monitor.ingest(batch)
+        assert len(monitor) == len(small_quarter_reports)
+        assert len(monitor.history) == len(batches)
+
+    def test_rank_correlation_high_between_large_batches(
+        self, monitor, small_quarter_reports
+    ):
+        batches = batches_from(small_quarter_reports, n_batches=2)
+        monitor.ingest(batches[0])
+        delta = monitor.ingest(batches[1])
+        assert delta.rank_correlation is not None
+        # Doubling the same-distribution data must not reshuffle wholesale.
+        assert delta.rank_correlation > 0.3
+
+    def test_new_signal_surfaces_in_later_batch(self, monitor):
+        background = [
+            CaseReport.build(f"bg{i}", [f"D{i % 7}"], [f"A{i % 5}"])
+            for i in range(60)
+        ]
+        monitor.ingest(background)
+        surge = [
+            CaseReport.build(f"new{i}", ["NEWDRUG1", "NEWDRUG2"], ["NEWADR"])
+            for i in range(8)
+        ]
+        delta = monitor.ingest(surge)
+        assert (("NEWDRUG1", "NEWDRUG2"), ("NEWADR",)) in delta.newly_surfaced
+
+    def test_duplicate_case_ids_ignored(self, monitor, small_quarter_reports):
+        first = batches_from(small_quarter_reports)[0]
+        monitor.ingest(first)
+        before = len(monitor)
+        monitor.ingest(first)  # same case ids again
+        assert len(monitor) == before
+
+    def test_watchlist_sorted_by_rank(self, monitor, small_quarter_reports):
+        monitor.ingest(small_quarter_reports[:700])
+        watchlist = monitor.watchlist(top_k=10)
+        ranks = [rank for _, rank in watchlist]
+        assert ranks == sorted(ranks)
+        assert all(rank <= 10 for rank in ranks)
+
+    def test_result_before_ingest_rejected(self, monitor):
+        with pytest.raises(ConfigError):
+            monitor.result
+        with pytest.raises(ConfigError):
+            monitor.watchlist()
+
+    def test_empty_first_batch_rejected(self, monitor):
+        with pytest.raises(ConfigError, match="no new reports"):
+            monitor.ingest([])
+
+    def test_invalid_riser_threshold(self):
+        with pytest.raises(ConfigError):
+            SurveillanceMonitor(riser_threshold=0)
+
+    def test_cluster_key_is_label_based(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        key = cluster_key(mined_quarter, cluster)
+        assert all(isinstance(label, str) for label in key[0] + key[1])

@@ -1,0 +1,123 @@
+"""Tests for the end-to-end Maras pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maras, MarasConfig, RankingMethod
+from repro.core.association import SupportType
+from repro.errors import ConfigError
+from repro.faers.dataset import ReportDataset
+from repro.faers.schema import CaseReport
+
+
+class TestMarasConfig:
+    def test_defaults_valid(self):
+        MarasConfig()
+
+    def test_max_drugs_floor(self):
+        with pytest.raises(ConfigError):
+            MarasConfig(max_drugs=1)
+
+    def test_max_itemset_len_floor(self):
+        with pytest.raises(ConfigError):
+            MarasConfig(max_itemset_len=2)
+
+    def test_min_confidence_range(self):
+        with pytest.raises(ConfigError):
+            MarasConfig(min_confidence=1.2)
+
+
+class TestPipelineRun:
+    def test_clusters_are_multi_drug_closed_rules(self, mined_quarter):
+        assert mined_quarter.clusters
+        config = mined_quarter.config
+        for cluster in mined_quarter.clusters:
+            assert 2 <= cluster.n_drugs <= config.max_drugs
+
+    def test_every_association_supported(self, mined_quarter):
+        assert all(
+            a.support_type is not SupportType.UNSUPPORTED
+            for a in mined_quarter.associations
+        )
+
+    def test_min_support_respected(self, mined_quarter):
+        threshold = mined_quarter.config.min_support
+        for cluster in mined_quarter.clusters:
+            assert cluster.target.metrics.n_joint >= threshold
+
+    def test_rank_shortcut_uses_config(self, mined_quarter):
+        ranked = mined_quarter.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE, top_k=3)
+        assert len(ranked) == 3
+
+    def test_accepts_dataset_directly(self, small_quarter_reports):
+        dataset = ReportDataset(small_quarter_reports)
+        result = Maras(MarasConfig(min_support=10, clean=False)).run(dataset)
+        assert result.dataset is dataset
+
+    def test_cleaning_stage_runs_when_enabled(self):
+        reports = [
+            CaseReport.build("c1", ["aspirin 81 mg", "warfarin"], ["haemorrhage"]),
+            CaseReport.build("c1", ["ASPIRIN"], ["HAEMORRHAGE"]),  # same case
+            CaseReport.build("c2", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]),
+            CaseReport.build("c3", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]),
+            CaseReport.build("c4", ["NEXIUM"], ["PAIN"]),
+        ]
+        result = Maras(MarasConfig(min_support=2, clean=True)).run(reports)
+        assert result.cleaning_stats is not None
+        assert result.cleaning_stats.cases_merged == 1
+        # c1 merged; c2 content-duplicates merged c1 → dropped.
+        assert len(result.dataset) < 5
+
+    def test_rule_space_counts_ordering(self, small_quarter_reports):
+        """Fig 5.1's invariant: total ≥ filtered ≥ MCACs."""
+        result = Maras(
+            MarasConfig(min_support=8, clean=False, count_rule_space=True)
+        ).run(small_quarter_reports[:800])
+        counts = result.rule_counts
+        assert counts is not None
+        assert counts.total_rules >= counts.filtered_rules >= counts.mcacs
+        assert counts.mcacs == len(result.clusters)
+
+    def test_rule_counts_none_by_default(self, mined_quarter):
+        assert mined_quarter.rule_counts is None
+
+
+class TestSearchAndDrilldown:
+    def test_search_by_drug(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        drug = mined_quarter.catalog.labels(cluster.target.antecedent)[0]
+        matches = mined_quarter.search(drug=drug)
+        assert cluster in matches
+        assert all(
+            drug in mined_quarter.catalog.labels(m.target.antecedent)
+            for m in matches
+        )
+
+    def test_search_by_adr(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        adr = mined_quarter.catalog.labels(cluster.target.consequent)[0]
+        matches = mined_quarter.search(adr=adr)
+        assert cluster in matches
+
+    def test_search_conjunction(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        drug = mined_quarter.catalog.labels(cluster.target.antecedent)[0]
+        adr = mined_quarter.catalog.labels(cluster.target.consequent)[0]
+        matches = mined_quarter.search(drug=drug, adr=adr)
+        assert cluster in matches
+
+    def test_search_unknown_term_returns_empty(self, mined_quarter):
+        assert mined_quarter.search(drug="NO-SUCH-DRUG") == []
+
+    def test_search_without_criteria_rejected(self, mined_quarter):
+        with pytest.raises(ConfigError):
+            mined_quarter.search()
+
+    def test_supporting_reports_contain_the_rule_items(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        labels = set(mined_quarter.catalog.labels(cluster.target.items))
+        reports = mined_quarter.supporting_reports(cluster)
+        assert len(reports) == cluster.target.metrics.n_joint
+        for report in reports:
+            assert labels <= report.items

@@ -1,0 +1,98 @@
+"""Tests for drug-centric risk profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.core.profile import build_drug_profile
+from repro.errors import ConfigError
+from repro.knowledge.severity import Severity
+
+
+@pytest.fixture(scope="module")
+def profiled_result():
+    """A dataset with one drug showing both a solo signal and an interaction."""
+    from repro.faers.schema import CaseReport
+
+    rows = []
+    index = 0
+
+    def add(n, drugs, adrs):
+        nonlocal index
+        for _ in range(n):
+            index += 1
+            rows.append(CaseReport.build(f"c{index}", drugs, adrs))
+
+    # HERODRUG alone strongly causes SOLOADR (solo signal).
+    add(20, ["HERODRUG"], ["SOLOADR"])
+    add(10, ["HERODRUG"], ["NOISEADR"])
+    # HERODRUG + PARTNER cause COMBOADR (interaction).
+    add(12, ["HERODRUG", "PARTNER"], ["COMBOADR"])
+    add(6, ["PARTNER"], ["NOISEADR"])
+    # Background so PRR has an unexposed margin.
+    add(60, ["BGDRUG"], ["NOISEADR"])
+    add(20, ["BGDRUG"], ["OTHERADR"])
+    return Maras(MarasConfig(min_support=3, clean=False)).run(rows)
+
+
+class TestDrugProfile:
+    def test_exposure_count(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "HERODRUG")
+        assert profile.n_reports == 42
+
+    def test_solo_signal_detected(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "HERODRUG")
+        adrs = {signal.adr for signal in profile.solo_signals}
+        assert "SOLOADR" in adrs
+        solo = next(s for s in profile.solo_signals if s.adr == "SOLOADR")
+        assert solo.prr > 2
+        assert solo.n_cases == 20
+
+    def test_interaction_clusters_listed_with_ranks(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "HERODRUG")
+        assert profile.n_interactions >= 1
+        catalog = profiled_result.catalog
+        drugs_of_first = catalog.labels(profile.clusters[0][1].target.antecedent)
+        assert "HERODRUG" in drugs_of_first
+        assert all(rank >= 1 for rank, _ in profile.clusters)
+
+    def test_partner_profile_sees_same_cluster(self, profiled_result):
+        hero = build_drug_profile(profiled_result, "HERODRUG")
+        partner = build_drug_profile(profiled_result, "PARTNER")
+        hero_keys = {
+            frozenset(c.target.items) for _, c in hero.clusters
+        }
+        partner_keys = {
+            frozenset(c.target.items) for _, c in partner.clusters
+        }
+        assert hero_keys & partner_keys
+
+    def test_severity_and_body_systems(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "HERODRUG")
+        assert isinstance(profile.worst_severity, Severity)
+        assert profile.body_systems
+
+    def test_background_drug_has_no_interactions(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "BGDRUG")
+        assert profile.n_interactions == 0
+
+    def test_unknown_drug_rejected(self, profiled_result):
+        with pytest.raises(ConfigError, match="unknown drug"):
+            build_drug_profile(profiled_result, "NO-SUCH-DRUG")
+
+    def test_adr_label_rejected_as_drug(self, profiled_result):
+        with pytest.raises(ConfigError):
+            build_drug_profile(profiled_result, "SOLOADR")
+
+    def test_max_solo_signals_cap(self, profiled_result):
+        profile = build_drug_profile(
+            profiled_result, "HERODRUG", max_solo_signals=0
+        )
+        assert profile.solo_signals == ()
+
+    def test_describe(self, profiled_result):
+        profile = build_drug_profile(profiled_result, "HERODRUG")
+        text = profile.describe(profiled_result.catalog)
+        assert text.startswith("HERODRUG:")
+        assert "solo" in text

@@ -1,0 +1,129 @@
+"""Tests for cluster similarity (§4.1 similar-interaction highlighting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.similarity import (
+    content_similarity,
+    shape_descriptor,
+    shape_similarity,
+    similar_clusters,
+)
+from repro.errors import ConfigError
+
+
+class TestShapeDescriptor:
+    def test_fixed_length(self, mined_quarter):
+        lengths = {
+            len(shape_descriptor(cluster))
+            for cluster in mined_quarter.clusters[:10]
+        }
+        assert len(lengths) == 1
+
+    def test_self_similarity_is_one(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        assert shape_similarity(cluster, cluster) == pytest.approx(1.0)
+
+    def test_similarity_symmetric(self, mined_quarter):
+        a, b = mined_quarter.clusters[0], mined_quarter.clusters[1]
+        assert shape_similarity(a, b) == pytest.approx(shape_similarity(b, a))
+
+    def test_similarity_in_unit_interval(self, mined_quarter):
+        a = mined_quarter.clusters[0]
+        for b in mined_quarter.clusters[1:8]:
+            assert 0.0 < shape_similarity(a, b) <= 1.0
+
+    def test_different_shapes_less_similar(self, mined_quarter):
+        clusters = mined_quarter.clusters
+        a = clusters[0]
+        # a cluster with very different target confidence should be
+        # less shape-similar than one with a close confidence
+        target = a.target.metrics.confidence
+        close = min(
+            clusters[1:],
+            key=lambda c: abs(c.target.metrics.confidence - target),
+        )
+        far = max(
+            clusters[1:],
+            key=lambda c: abs(c.target.metrics.confidence - target),
+        )
+        if close is not far:
+            assert shape_similarity(a, close) >= shape_similarity(a, far)
+
+
+class TestContentSimilarity:
+    def test_identical_rule_is_one(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        assert content_similarity(
+            cluster, cluster, mined_quarter.catalog
+        ) == pytest.approx(1.0)
+
+    def test_disjoint_rules_are_zero(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        a = mined_quarter.clusters[0]
+        a_items = set(catalog.labels(a.target.items))
+        disjoint = next(
+            (
+                c
+                for c in mined_quarter.clusters[1:]
+                if not a_items & set(catalog.labels(c.target.items))
+            ),
+            None,
+        )
+        if disjoint is None:
+            pytest.skip("quarter has no disjoint cluster pair")
+        assert content_similarity(a, disjoint, catalog) == 0.0
+
+
+class TestSimilarClusters:
+    def test_top_k_and_order(self, mined_quarter):
+        query = mined_quarter.clusters[0]
+        neighbors = similar_clusters(
+            mined_quarter.clusters, query, mined_quarter.catalog, top_k=5
+        )
+        assert len(neighbors) == 5
+        similarities = [n.similarity for n in neighbors]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_query_excluded(self, mined_quarter):
+        query = mined_quarter.clusters[0]
+        neighbors = similar_clusters(
+            mined_quarter.clusters, query, mined_quarter.catalog, top_k=50
+        )
+        assert all(n.cluster is not query for n in neighbors)
+
+    def test_shared_drug_clusters_rank_high_on_content(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        query = mined_quarter.clusters[0]
+        neighbors = similar_clusters(
+            mined_quarter.clusters,
+            query,
+            catalog,
+            top_k=3,
+            content_weight=1.0,
+        )
+        query_items = set(catalog.labels(query.target.items))
+        best = neighbors[0]
+        assert set(catalog.labels(best.cluster.target.items)) & query_items
+
+    def test_content_weight_blending(self, mined_quarter):
+        query = mined_quarter.clusters[0]
+        for neighbor in similar_clusters(
+            mined_quarter.clusters, query, mined_quarter.catalog, top_k=3,
+            content_weight=0.5,
+        ):
+            expected = 0.5 * neighbor.content + 0.5 * neighbor.shape
+            assert neighbor.similarity == pytest.approx(expected)
+
+    def test_invalid_parameters(self, mined_quarter):
+        query = mined_quarter.clusters[0]
+        with pytest.raises(ConfigError):
+            similar_clusters(
+                mined_quarter.clusters, query, mined_quarter.catalog,
+                content_weight=1.5,
+            )
+        with pytest.raises(ConfigError):
+            similar_clusters(
+                mined_quarter.clusters, query, mined_quarter.catalog, top_k=0
+            )

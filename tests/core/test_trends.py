@@ -1,0 +1,128 @@
+"""Tests for cross-quarter signal trends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.core.trends import (
+    SignalTrend,
+    TrendKind,
+    _classify,
+    build_trends,
+    emerging_signals,
+)
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+
+
+class TestClassify:
+    def test_transient(self):
+        assert _classify([0.5, None, None, None], change_threshold=0.05) is (
+            TrendKind.TRANSIENT
+        )
+
+    def test_emerging(self):
+        assert _classify([None, None, 0.3, 0.4], change_threshold=0.05) is (
+            TrendKind.EMERGING
+        )
+
+    def test_strengthening(self):
+        assert _classify([0.2, 0.3, 0.35, 0.5], change_threshold=0.05) is (
+            TrendKind.STRENGTHENING
+        )
+
+    def test_weakening_by_score(self):
+        assert _classify([0.5, 0.4, 0.3, 0.2], change_threshold=0.05) is (
+            TrendKind.WEAKENING
+        )
+
+    def test_weakening_by_disappearance(self):
+        assert _classify([0.4, 0.41, None, None], change_threshold=0.05) is (
+            TrendKind.WEAKENING
+        )
+
+    def test_stable(self):
+        assert _classify([0.4, 0.42, 0.39, 0.41], change_threshold=0.05) is (
+            TrendKind.STABLE
+        )
+
+
+def quarter_result(reports, quarter):
+    stamped = [
+        CaseReport.build(
+            f"{quarter}-{i}", r.drugs, r.adrs, quarter=quarter
+        )
+        for i, r in enumerate(reports)
+    ]
+    return Maras(MarasConfig(min_support=3, clean=False)).run(stamped)
+
+
+def signal_reports(n, drugs=("SIGA", "SIGB"), adr="SIGADR"):
+    return [CaseReport.build(f"s{i}", drugs, [adr]) for i in range(n)]
+
+
+def background_reports(n):
+    return [
+        CaseReport.build(f"b{i}", [f"BG{i % 6}", f"BG{(i + 1) % 6}"], [f"BA{i % 4}"])
+        for i in range(n)
+    ]
+
+
+class TestBuildTrends:
+    @pytest.fixture
+    def results(self):
+        base = background_reports(60)
+        return {
+            "2014Q1": quarter_result(base, "2014Q1"),
+            "2014Q2": quarter_result(base, "2014Q2"),
+            "2014Q3": quarter_result(base + signal_reports(4), "2014Q3"),
+            "2014Q4": quarter_result(base + signal_reports(8), "2014Q4"),
+        }
+
+    def test_trajectories_cover_all_quarters(self, results):
+        trends = build_trends(results)
+        assert trends
+        for trend in trends:
+            assert trend.quarters == ("2014Q1", "2014Q2", "2014Q3", "2014Q4")
+            assert len(trend.scores) == len(trend.supports) == 4
+
+    def test_planted_emergence_detected(self, results):
+        trends = build_trends(results)
+        by_key = {trend.key: trend for trend in trends}
+        signal = by_key[(("SIGA", "SIGB"), ("SIGADR",))]
+        assert signal.kind is TrendKind.EMERGING
+        assert signal.scores[0] is None and signal.scores[3] is not None
+        assert signal.supports[3] == 8
+
+    def test_background_clusters_are_stable(self, results):
+        trends = build_trends(results)
+        stable = [t for t in trends if t.kind is TrendKind.STABLE]
+        assert stable
+        for trend in stable:
+            assert trend.quarters_present == 4
+
+    def test_emerging_watchlist(self, results):
+        watchlist = emerging_signals(results)
+        assert watchlist
+        assert watchlist[0].key == (("SIGA", "SIGB"), ("SIGADR",))
+        scores = [trend.scores[-1] for trend in watchlist]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_final_score_filters(self, results):
+        everything = emerging_signals(results, min_final_score=0.0)
+        strict = emerging_signals(results, min_final_score=10.0)
+        assert len(strict) <= len(everything)
+
+    def test_describe(self, results):
+        trend = build_trends(results)[0]
+        text = trend.describe()
+        assert "=>" in text and trend.kind.value in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigError):
+            build_trends({})
+
+    def test_negative_threshold_rejected(self, results):
+        with pytest.raises(ConfigError):
+            build_trends(results, change_threshold=-0.1)

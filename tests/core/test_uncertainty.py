@@ -1,0 +1,117 @@
+"""Tests for bootstrap exclusiveness intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import build_cluster
+from repro.core.exclusiveness import ExclusivenessConfig, exclusiveness
+from repro.core.uncertainty import (
+    ScoreInterval,
+    bootstrap_exclusiveness,
+    score_intervals,
+)
+from repro.errors import ConfigError
+from repro.mining.fpclose import fpclose
+from repro.mining.rules import partitioned_rules
+from repro.mining.transactions import TransactionDatabase
+
+
+def strong_signal_database(n_signal=40, n_background=80):
+    kinds = {"D1": "drug", "D2": "drug", "D3": "drug", "X": "adr", "Y": "adr"}
+    rows = [["D1", "D2", "X"]] * n_signal
+    rows += [["D1", "Y"]] * (n_background // 2)
+    rows += [["D2", "Y"]] * (n_background // 2)
+    rows += [["D3", "X"]] * 10
+    return TransactionDatabase.from_labelled(rows, kinds=kinds)
+
+
+def cluster_of(db, drugs=("D1", "D2")):
+    catalog = db.catalog
+    rules = partitioned_rules(fpclose(db, 2), db)
+    rule = next(
+        r
+        for r in rules
+        if r.antecedent == catalog.encode(drugs)
+        and catalog.encode(["X"]) <= r.consequent
+    )
+    return build_cluster(rule, db)
+
+
+class TestScoreInterval:
+    def test_excludes_zero(self):
+        assert ScoreInterval(0.5, 0.2, 0.8, 0.95, 100).excludes_zero
+        assert ScoreInterval(-0.5, -0.8, -0.2, 0.95, 100).excludes_zero
+        assert not ScoreInterval(0.1, -0.1, 0.3, 0.95, 100).excludes_zero
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            ScoreInterval(0.5, 0.8, 0.2, 0.95, 100)
+
+    def test_width(self):
+        assert ScoreInterval(0.5, 0.2, 0.8, 0.95, 100).width == pytest.approx(0.6)
+
+
+class TestBootstrap:
+    def test_point_matches_exclusiveness(self):
+        db = strong_signal_database()
+        cluster = cluster_of(db)
+        interval = bootstrap_exclusiveness(db, cluster, n_bootstrap=50)
+        assert interval.point == pytest.approx(exclusiveness(cluster))
+
+    def test_point_within_interval(self):
+        db = strong_signal_database()
+        cluster = cluster_of(db)
+        interval = bootstrap_exclusiveness(db, cluster, n_bootstrap=200)
+        assert interval.low <= interval.point <= interval.high
+
+    def test_strong_signal_excludes_zero(self):
+        db = strong_signal_database()
+        interval = bootstrap_exclusiveness(db, cluster_of(db), n_bootstrap=300)
+        assert interval.excludes_zero
+        assert interval.low > 0
+
+    def test_more_evidence_narrows_interval(self):
+        small = strong_signal_database(n_signal=8, n_background=16)
+        large = strong_signal_database(n_signal=80, n_background=160)
+        narrow = bootstrap_exclusiveness(large, cluster_of(large), n_bootstrap=300)
+        wide = bootstrap_exclusiveness(small, cluster_of(small), n_bootstrap=300)
+        assert narrow.width < wide.width
+
+    def test_deterministic_per_seed(self):
+        db = strong_signal_database()
+        cluster = cluster_of(db)
+        first = bootstrap_exclusiveness(db, cluster, seed=7, n_bootstrap=100)
+        second = bootstrap_exclusiveness(db, cluster, seed=7, n_bootstrap=100)
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_three_drug_cluster_supported(self):
+        kinds = {"D1": "drug", "D2": "drug", "D3": "drug", "X": "adr"}
+        rows = [["D1", "D2", "D3", "X"]] * 20 + [["D1", "X"]] * 5 + [["D2"], ["D3"]] * 10
+        rows = [r + (["X"] if not set(r) & {"X"} else []) for r in rows]
+        db = TransactionDatabase.from_labelled(rows, kinds=kinds)
+        cluster = cluster_of(db, drugs=("D1", "D2", "D3"))
+        interval = bootstrap_exclusiveness(db, cluster, n_bootstrap=100)
+        assert interval.low <= interval.point <= interval.high
+
+    def test_lift_measure_rejected(self):
+        db = strong_signal_database()
+        with pytest.raises(ConfigError, match="confidence"):
+            bootstrap_exclusiveness(
+                db, cluster_of(db), config=ExclusivenessConfig(measure="lift")
+            )
+
+    def test_invalid_parameters(self):
+        db = strong_signal_database()
+        cluster = cluster_of(db)
+        with pytest.raises(ConfigError):
+            bootstrap_exclusiveness(db, cluster, n_bootstrap=5)
+        with pytest.raises(ConfigError):
+            bootstrap_exclusiveness(db, cluster, confidence_level=0.3)
+
+    def test_score_intervals_order_preserved(self, mined_quarter):
+        clusters = mined_quarter.clusters[:3]
+        pairs = score_intervals(
+            mined_quarter.encoded.database, clusters, n_bootstrap=50
+        )
+        assert [cluster for cluster, _ in pairs] == list(clusters)

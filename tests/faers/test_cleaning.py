@@ -1,0 +1,178 @@
+"""Tests for the cleaning pass: normalization, spelling, de-duplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.cleaning import (
+    ReportCleaner,
+    SpellingCorrector,
+    _edit_distance_at_most_one,
+    normalize_adr_term,
+    normalize_drug_name,
+)
+from repro.faers.schema import CaseReport
+
+
+class TestNormalizeDrugName:
+    def test_uppercases_and_trims(self):
+        assert normalize_drug_name("  aspirin ") == "ASPIRIN"
+
+    def test_strips_dosage_tail(self):
+        assert normalize_drug_name("ASPIRIN 81 MG") == "ASPIRIN"
+        assert normalize_drug_name("NEXIUM 40MG") == "NEXIUM"
+
+    def test_strips_form_suffixes(self):
+        assert normalize_drug_name("WARFARIN SODIUM TABLETS") == "WARFARIN"
+        assert normalize_drug_name("PROGRAF CAPSULES") == "PROGRAF"
+
+    def test_strips_repeated_tails(self):
+        assert normalize_drug_name("IBUPROFEN 200 MG TAB") == "IBUPROFEN"
+
+    def test_drops_parenthetical(self):
+        assert normalize_drug_name("TACROLIMUS (PROGRAF)") == "TACROLIMUS"
+
+    def test_removes_punctuation(self):
+        assert normalize_drug_name("ST. JOHN'S WORT") == "ST JOHN S WORT"
+
+    def test_collapses_whitespace(self):
+        assert normalize_drug_name("A    B") == "A B"
+
+    def test_all_noise_becomes_empty(self):
+        assert normalize_drug_name("(unknown)") == ""
+
+    def test_keeps_hyphens(self):
+        assert normalize_drug_name("co-trimoxazole") == "CO-TRIMOXAZOLE"
+
+
+class TestNormalizeAdrTerm:
+    def test_basic(self):
+        assert normalize_adr_term(" osteonecrosis of jaw ") == "OSTEONECROSIS OF JAW"
+
+    def test_no_dosage_stripping_for_adrs(self):
+        # ADR terms may legitimately end in words the drug cleaner strips.
+        assert normalize_adr_term("BLOOD SODIUM") == "BLOOD SODIUM"
+
+
+class TestSpellingCorrector:
+    def test_exact_match_untouched(self):
+        corrector = SpellingCorrector(["ASPIRIN", "WARFARIN"])
+        assert corrector.correct("ASPIRIN") == "ASPIRIN"
+
+    def test_single_deletion_fixed(self):
+        corrector = SpellingCorrector(["ASPIRIN"])
+        assert corrector.correct("ASPIRN") == "ASPIRIN"
+
+    def test_single_insertion_fixed(self):
+        corrector = SpellingCorrector(["ASPIRIN"])
+        assert corrector.correct("ASPIIRIN") == "ASPIRIN"
+
+    def test_single_substitution_fixed(self):
+        corrector = SpellingCorrector(["ASPIRIN"])
+        assert corrector.correct("ASPIRON") == "ASPIRIN"
+
+    def test_distance_two_untouched(self):
+        corrector = SpellingCorrector(["ASPIRIN"])
+        assert corrector.correct("ASPRN") == "ASPRN"
+
+    def test_ambiguous_untouched(self):
+        corrector = SpellingCorrector(["PRILOSEC", "PRILOSEG"])
+        # One substitution away from both → leave as-is.
+        assert corrector.correct("PRILOSEK") == "PRILOSEK"
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ConfigError):
+            SpellingCorrector([])
+
+
+class TestEditDistanceAtMostOne:
+    @pytest.mark.parametrize(
+        ("left", "right", "expected"),
+        [
+            ("ABC", "ABC", True),
+            ("ABC", "ABD", True),
+            ("ABC", "AB", True),
+            ("ABC", "ABCD", True),
+            ("ABC", "AXD", False),
+            ("ABC", "A", False),
+            ("", "A", True),
+            ("", "", True),
+        ],
+    )
+    def test_cases(self, left, right, expected):
+        assert _edit_distance_at_most_one(left, right) is expected
+
+
+class TestReportCleaner:
+    def test_normalization_applied(self):
+        reports = [CaseReport.build("c1", ["aspirin 81 mg"], ["pain"])]
+        cleaned, stats = ReportCleaner().clean(reports)
+        assert cleaned[0].drugs == ("ASPIRIN",)
+        assert cleaned[0].adrs == ("PAIN",)
+        assert stats.reports_out == 1
+
+    def test_case_versions_merged(self):
+        reports = [
+            CaseReport.build("c1", ["A"], ["X"]),
+            CaseReport.build("c1", ["B"], ["Y"]),
+        ]
+        cleaned, stats = ReportCleaner().clean(reports)
+        assert len(cleaned) == 1
+        assert cleaned[0].drugs == ("A", "B")
+        assert cleaned[0].adrs == ("X", "Y")
+        assert stats.cases_merged == 1
+
+    def test_exact_content_duplicates_dropped(self):
+        reports = [
+            CaseReport.build("c1", ["A"], ["X"]),
+            CaseReport.build("c2", ["A"], ["X"]),
+            CaseReport.build("c3", ["A"], ["Y"]),
+        ]
+        cleaned, stats = ReportCleaner().clean(reports)
+        assert [r.case_id for r in cleaned] == ["c1", "c3"]
+        assert stats.exact_duplicates_dropped == 1
+
+    def test_report_emptied_by_normalization_dropped(self):
+        reports = [
+            CaseReport.build("c1", ["(unknown)"], ["PAIN"]),
+            CaseReport.build("c2", ["ASPIRIN"], ["PAIN"]),
+        ]
+        cleaned, stats = ReportCleaner().clean(reports)
+        assert len(cleaned) == 1
+        assert stats.empty_reports_dropped == 1
+
+    def test_misspelling_corrected_against_vocabulary(self):
+        cleaner = ReportCleaner(drug_vocabulary=["ASPIRIN", "WARFARIN"])
+        reports = [CaseReport.build("c1", ["ASPIRN"], ["PAIN"])]
+        cleaned, stats = cleaner.clean(reports)
+        assert cleaned[0].drugs == ("ASPIRIN",)
+        assert stats.drug_names_corrected == 1
+
+    def test_adr_correction_counted_separately(self):
+        cleaner = ReportCleaner(adr_vocabulary=["OSTEOPOROSIS"])
+        reports = [CaseReport.build("c1", ["A"], ["OSTEOPOROSI"])]
+        cleaned, stats = cleaner.clean(reports)
+        assert cleaned[0].adrs == ("OSTEOPOROSIS",)
+        assert stats.adr_terms_corrected == 1
+        assert stats.drug_names_corrected == 0
+
+    def test_order_of_first_appearance_preserved(self):
+        reports = [
+            CaseReport.build("c2", ["B"], ["Y"]),
+            CaseReport.build("c1", ["A"], ["X"]),
+        ]
+        cleaned, _ = ReportCleaner().clean(reports)
+        assert [r.case_id for r in cleaned] == ["c2", "c1"]
+
+    def test_stats_row_accounting(self):
+        reports = [
+            CaseReport.build("c1", ["A"], ["X"]),
+            CaseReport.build("c1", ["A"], ["X"]),
+            CaseReport.build("c2", ["A"], ["X"]),
+        ]
+        cleaned, stats = ReportCleaner().clean(reports)
+        assert stats.rows_in == 3
+        assert stats.reports_out == len(cleaned) == 1
+        assert stats.cases_merged == 1
+        assert stats.exact_duplicates_dropped == 1

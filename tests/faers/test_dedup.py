@@ -1,0 +1,125 @@
+"""Tests for near-duplicate report detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.dedup import (
+    DuplicatePair,
+    NearDuplicatePolicy,
+    find_near_duplicates,
+    jaccard_similarity,
+    resolve_near_duplicates,
+)
+from repro.faers.schema import CaseReport
+
+
+def report(i, drugs, adrs):
+    return CaseReport.build(f"c{i}", drugs, adrs)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity(frozenset("ab"), frozenset("ab")) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity(frozenset("abc"), frozenset("abd")) == pytest.approx(
+            2 / 4
+        )
+
+    def test_both_empty(self):
+        assert jaccard_similarity(frozenset(), frozenset()) == 1.0
+
+
+class TestFindNearDuplicates:
+    def test_near_pair_found(self):
+        reports = [
+            report(1, ["RAREDRUG", "ASPIRIN"], ["RAREADR", "PAIN"]),
+            report(2, ["RAREDRUG", "ASPIRIN"], ["RAREADR", "PAIN", "NAUSEA"]),
+            report(3, ["OTHER"], ["FEVER"]),
+        ]
+        pairs = find_near_duplicates(reports, threshold=0.7)
+        assert pairs == [DuplicatePair(0, 1, pytest.approx(4 / 5))]
+
+    def test_threshold_respected(self):
+        reports = [
+            report(1, ["A", "B", "C"], ["X"]),
+            report(2, ["A", "B", "C"], ["Y"]),  # Jaccard 3/5 = 0.6
+        ]
+        assert find_near_duplicates(reports, threshold=0.8) == []
+        assert find_near_duplicates(reports, threshold=0.6)
+
+    def test_short_reports_never_flagged(self):
+        # Two independent patients on one common drug with one common
+        # reaction are not duplicates, however identical the reports.
+        reports = [
+            report(1, ["ASPIRIN"], ["PAIN"]),
+            report(2, ["ASPIRIN"], ["PAIN"]),
+        ]
+        assert find_near_duplicates(reports, threshold=0.8) == []
+        assert find_near_duplicates(reports, threshold=0.8, min_items=2)
+
+    def test_dissimilar_reports_never_flagged(self):
+        reports = [report(i, [f"D{i}"], [f"A{i}"]) for i in range(20)]
+        assert find_near_duplicates(reports, threshold=0.5) == []
+
+    def test_pairs_sorted_by_similarity(self):
+        reports = [
+            report(1, ["Q", "W"], ["X", "Y"]),
+            report(2, ["Q", "W"], ["X", "Y"]),  # identical to 1
+            report(3, ["R", "T"], ["X", "Z", "V"]),
+            report(4, ["R", "T"], ["X", "Z"]),  # close to 3
+        ]
+        pairs = find_near_duplicates(reports, threshold=0.5)
+        similarities = [pair.similarity for pair in pairs]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_huge_blocks_skipped(self):
+        # Everyone shares the same items: block of 50 > max_block_size.
+        reports = [report(i, ["COMMON"], ["EVENT"]) for i in range(50)]
+        assert find_near_duplicates(reports, max_block_size=10) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            find_near_duplicates([], threshold=0.0)
+
+
+class TestResolve:
+    def _trio(self):
+        return [
+            report(1, ["Q", "W"], ["X", "Y"]),
+            report(2, ["Q", "W"], ["X", "Y", "Z"]),
+            report(3, ["UNRELATED"], ["FEVER"]),
+        ]
+
+    def test_drop_later_keeps_first(self):
+        kept, pairs = resolve_near_duplicates(self._trio(), threshold=0.7)
+        assert pairs
+        assert [r.case_id for r in kept] == ["c1", "c3"]
+
+    def test_merge_unions_items(self):
+        kept, _ = resolve_near_duplicates(
+            self._trio(), threshold=0.7, policy=NearDuplicatePolicy.MERGE
+        )
+        merged = kept[0]
+        assert merged.case_id == "c1"
+        assert set(merged.adrs) == {"X", "Y", "Z"}
+
+    def test_transitive_chains_collapse_to_one(self):
+        reports = [
+            report(1, ["Q", "W", "E"], ["X"]),
+            report(2, ["Q", "W", "E"], ["X", "Y"]),
+            report(3, ["Q", "W", "E"], ["X", "Y"]),
+        ]
+        kept, _ = resolve_near_duplicates(reports, threshold=0.6)
+        assert [r.case_id for r in kept] == ["c1"]
+
+    def test_no_duplicates_is_identity(self):
+        reports = [report(i, [f"D{i}"], [f"A{i}"]) for i in range(5)]
+        kept, pairs = resolve_near_duplicates(reports)
+        assert pairs == []
+        assert [r.case_id for r in kept] == [r.case_id for r in reports]

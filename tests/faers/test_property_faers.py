@@ -1,0 +1,88 @@
+"""Property-based tests of the FAERS substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faers.cleaning import ReportCleaner, normalize_drug_name
+from repro.faers.dataset import ReportDataset
+from repro.faers.parser import parse_quarter
+from repro.faers.schema import CaseReport
+
+term = st.text(
+    alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ"),
+    min_size=2,
+    max_size=8,
+)
+
+reports_strategy = st.lists(
+    st.builds(
+        lambda i, drugs, adrs: CaseReport.build(f"case-{i}", drugs, adrs),
+        i=st.integers(0, 10**6),
+        drugs=st.sets(term, min_size=1, max_size=4),
+        adrs=st.sets(term, min_size=1, max_size=3),
+    ),
+    min_size=1,
+    max_size=25,
+    unique_by=lambda report: report.case_id,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reports=reports_strategy)
+def test_cleaning_is_idempotent(reports):
+    cleaner = ReportCleaner()
+    once, _ = cleaner.clean(reports)
+    twice, stats = cleaner.clean(once)
+    assert [r.signature() for r in twice] == [r.signature() for r in once]
+    assert stats.cases_merged == 0
+    assert stats.drug_names_corrected == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(verbatim=st.text(min_size=0, max_size=30))
+def test_drug_normalization_is_idempotent_and_clean(verbatim):
+    once = normalize_drug_name(verbatim)
+    assert normalize_drug_name(once) == once
+    assert once == once.strip()
+    assert "  " not in once
+
+
+@settings(max_examples=25, deadline=None)
+@given(reports=reports_strategy)
+def test_parser_round_trip(reports, tmp_path_factory):
+    """Writing reports in FAERS ASCII format and parsing them back
+    preserves every (drugs, adrs) signature."""
+    directory = tmp_path_factory.mktemp("quarter")
+    demo_lines = ["primaryid$rept_cod"]
+    drug_lines = ["primaryid$drugname"]
+    reac_lines = ["primaryid$pt"]
+    for report in reports:
+        demo_lines.append(f"{report.case_id}$EXP")
+        drug_lines.extend(f"{report.case_id}${d}" for d in report.drugs)
+        reac_lines.extend(f"{report.case_id}${a}" for a in report.adrs)
+    demo = directory / "demo.txt"
+    drug = directory / "drug.txt"
+    reac = directory / "reac.txt"
+    demo.write_text("\n".join(demo_lines) + "\n", encoding="latin-1")
+    drug.write_text("\n".join(drug_lines) + "\n", encoding="latin-1")
+    reac.write_text("\n".join(reac_lines) + "\n", encoding="latin-1")
+
+    parsed, stats = parse_quarter(demo, drug, reac)
+    assert stats.reports == len(reports)
+    assert sorted(r.signature() for r in parsed) == sorted(
+        r.signature() for r in reports
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(reports=reports_strategy)
+def test_encoding_preserves_report_contents(reports):
+    encoded = ReportDataset(reports).encode()
+    catalog = encoded.catalog
+    for tid, report in enumerate(reports):
+        labels = set(catalog.labels(encoded.database[tid]))
+        # Collision suffixing may rename an ADR; strip the suffix back.
+        restored = {label.removesuffix(" (REACTION)") for label in labels}
+        assert restored == set(report.items)
+        assert encoded.case_id_of(tid) == report.case_id

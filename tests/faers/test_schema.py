@@ -1,0 +1,73 @@
+"""Tests for FAERS record dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faers.schema import CaseReport, ReportType
+
+
+class TestReportType:
+    def test_from_code_known(self):
+        assert ReportType.from_code("EXP") is ReportType.EXPEDITED
+        assert ReportType.from_code("per") is ReportType.PERIODIC
+        assert ReportType.from_code(" DIR ") is ReportType.DIRECT
+
+    def test_from_code_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            ReportType.from_code("BOGUS")
+
+
+class TestCaseReportBuild:
+    def test_terms_sorted_and_deduplicated(self):
+        report = CaseReport.build("c1", ["B", "A", "A"], ["Y", "X"])
+        assert report.drugs == ("A", "B")
+        assert report.adrs == ("X", "Y")
+
+    def test_whitespace_trimmed(self):
+        report = CaseReport.build("c1", [" ASPIRIN "], ["PAIN"])
+        assert report.drugs == ("ASPIRIN",)
+
+    def test_empty_case_id_rejected(self):
+        with pytest.raises(ValidationError):
+            CaseReport.build("", ["A"], ["X"])
+
+    def test_missing_drugs_rejected(self):
+        with pytest.raises(ValidationError, match="at least one drug"):
+            CaseReport.build("c1", [], ["X"])
+
+    def test_missing_adrs_rejected(self):
+        with pytest.raises(ValidationError):
+            CaseReport.build("c1", ["A"], [])
+
+    def test_bare_string_drugs_rejected(self):
+        with pytest.raises(ValidationError, match="bare string"):
+            CaseReport.build("c1", "ASPIRIN", ["X"])
+
+    def test_blank_term_rejected(self):
+        with pytest.raises(ValidationError):
+            CaseReport.build("c1", ["  "], ["X"])
+
+    def test_implausible_age_rejected(self):
+        with pytest.raises(ValidationError, match="age"):
+            CaseReport.build("c1", ["A"], ["X"], age=200.0)
+
+    def test_valid_age_kept(self):
+        report = CaseReport.build("c1", ["A"], ["X"], age=64.0)
+        assert report.age == 64.0
+
+
+class TestCaseReportViews:
+    def test_items_union(self):
+        report = CaseReport.build("c1", ["A"], ["X", "Y"])
+        assert report.items == {"A", "X", "Y"}
+
+    def test_signature_ignores_case_id(self):
+        left = CaseReport.build("c1", ["A"], ["X"])
+        right = CaseReport.build("c2", ["A"], ["X"])
+        assert left.signature() == right.signature()
+
+    def test_reports_are_hashable(self):
+        report = CaseReport.build("c1", ["A"], ["X"])
+        assert {report}

@@ -1,0 +1,206 @@
+"""Tests for the synthetic FAERS generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.dataset import ReportDataset
+from repro.faers.schema import ReportType
+from repro.faers.synthetic import (
+    InteractionSpec,
+    PAPER_QUARTER_REPORTS,
+    SyntheticConfig,
+    SyntheticFAERSGenerator,
+    generate_year,
+    quarter_config,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(n_reports=600, n_drugs=300, n_adrs=80, seed=7)
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+class TestInteractionSpec:
+    def test_genuine_classification(self):
+        genuine = InteractionSpec(("A", "B"), ("X",), 0.7, 0.05)
+        confounded = InteractionSpec(("A", "B"), ("X",), 0.6, 0.5)
+        assert genuine.is_genuine
+        assert not confounded.is_genuine
+
+    def test_single_drug_rejected(self):
+        with pytest.raises(ConfigError):
+            InteractionSpec(("A",), ("X",), 0.5, 0.1)
+
+    def test_duplicate_drugs_rejected(self):
+        with pytest.raises(ConfigError):
+            InteractionSpec(("A", "A"), ("X",), 0.5, 0.1)
+
+    def test_empty_adrs_rejected(self):
+        with pytest.raises(ConfigError):
+            InteractionSpec(("A", "B"), (), 0.5, 0.1)
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ConfigError):
+            InteractionSpec(("A", "B"), ("X",), 1.5, 0.1)
+
+
+class TestSyntheticConfig:
+    def test_interaction_drugs_must_be_in_universe(self):
+        spec = InteractionSpec(("NOT-A-DRUG", "ALSO-NOT"), ("X",), 0.5, 0.1)
+        with pytest.raises(ConfigError, match="missing from the drug universe"):
+            SyntheticConfig(n_reports=100, n_drugs=100, n_adrs=30, interactions=(spec,))
+
+    def test_tiny_universe_rejected(self):
+        with pytest.raises(ConfigError, match="universe too small"):
+            SyntheticConfig(n_reports=100, n_drugs=10, n_adrs=30)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        left = SyntheticFAERSGenerator(small_config()).generate()
+        right = SyntheticFAERSGenerator(small_config()).generate()
+        assert [r.signature() for r in left] == [r.signature() for r in right]
+
+    def test_different_seeds_differ(self):
+        left = SyntheticFAERSGenerator(small_config(seed=1)).generate()
+        right = SyntheticFAERSGenerator(small_config(seed=2)).generate()
+        assert [r.signature() for r in left] != [r.signature() for r in right]
+
+    def test_report_count_and_validity(self):
+        reports = SyntheticFAERSGenerator(small_config()).generate()
+        assert len(reports) == 600
+        for report in reports:
+            assert report.drugs and report.adrs
+            assert report.report_type is ReportType.EXPEDITED
+            assert report.quarter == "2014Q1"
+
+    def test_case_ids_unique(self):
+        reports = SyntheticFAERSGenerator(small_config()).generate()
+        ids = [r.case_id for r in reports]
+        assert len(set(ids)) == len(ids)
+
+    def test_planted_combination_occurs(self):
+        config = small_config(n_reports=2000)
+        generator = SyntheticFAERSGenerator(config)
+        reports = generator.generate()
+        spec = generator.genuine_interactions()[0]
+        combo = set(spec.drugs)
+        exposed = [r for r in reports if combo <= set(r.drugs)]
+        assert len(exposed) >= 3
+
+    def test_planted_signal_is_exclusive(self):
+        """The joint ADR rate under full exposure dwarfs the partial rate."""
+        config = small_config(n_reports=4000)
+        generator = SyntheticFAERSGenerator(config)
+        reports = generator.generate()
+        spec = generator.genuine_interactions()[0]
+        combo, adr = set(spec.drugs), spec.adrs[0]
+        full = [r for r in reports if combo <= set(r.drugs)]
+        partial = [
+            r
+            for r in reports
+            if set(r.drugs) & combo and not combo <= set(r.drugs)
+        ]
+        assert full and partial
+        full_rate = sum(adr in r.adrs for r in full) / len(full)
+        partial_rate = sum(adr in r.adrs for r in partial) / len(partial)
+        assert full_rate > 3 * partial_rate
+
+    def test_ground_truth_partition(self):
+        generator = SyntheticFAERSGenerator(small_config())
+        truth = set(generator.ground_truth())
+        genuine = set(generator.genuine_interactions())
+        confounded = set(generator.confounded_combinations())
+        assert genuine | confounded == truth
+        assert not genuine & confounded
+
+    def test_demographics_plausible(self):
+        reports = SyntheticFAERSGenerator(small_config()).generate()
+        assert all(0 <= r.age <= 120 for r in reports if r.age is not None)
+        assert {r.sex for r in reports} <= {"F", "M"}
+
+
+class TestQuarterConfig:
+    def test_scaled_report_counts(self):
+        config = quarter_config("2014Q1", scale=0.04)
+        expected = round(PAPER_QUARTER_REPORTS["2014Q1"] * 0.04)
+        assert config.n_reports == expected
+        assert config.quarter == "2014Q1"
+
+    def test_quarters_have_distinct_seeds(self):
+        seeds = {quarter_config(q).seed for q in PAPER_QUARTER_REPORTS}
+        assert len(seeds) == 4
+
+    def test_unknown_quarter_rejected(self):
+        with pytest.raises(ConfigError):
+            quarter_config("2019Q1")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            quarter_config("2014Q1", scale=0.0)
+
+    def test_table_5_1_shape(self):
+        """Distinct drugs ≫ distinct ADRs, as in every Table 5.1 row."""
+        config = quarter_config("2014Q2", scale=0.02)
+        stats = ReportDataset(SyntheticFAERSGenerator(config).generate()).stats()
+        assert stats.n_drugs > 3 * stats.n_adrs
+        assert stats.n_reports == config.n_reports
+
+
+class TestGenerateYear:
+    def test_all_four_quarters(self):
+        year = generate_year(scale=0.005)
+        assert sorted(year) == ["2014Q1", "2014Q2", "2014Q3", "2014Q4"]
+        assert all(len(reports) >= 500 for reports in year.values())
+
+    def test_quarters_are_distinct_data(self):
+        year = generate_year(scale=0.005)
+        signatures = {
+            quarter: tuple(r.signature() for r in reports[:50])
+            for quarter, reports in year.items()
+        }
+        assert len(set(signatures.values())) == 4
+
+
+class TestTherapyClasses:
+    def test_class_affinity_raises_within_class_cooccurrence(self):
+        from repro.mining.transactions import TransactionDatabase
+
+        def mean_classmate_fraction(affinity):
+            config = small_config(
+                n_reports=1500, class_affinity=affinity, n_therapy_classes=30
+            )
+            generator = SyntheticFAERSGenerator(config)
+            classes = generator._therapy_classes
+            reports = generator.generate()
+            fractions = []
+            for report in reports:
+                drugs = list(report.drugs)
+                if len(drugs) < 2:
+                    continue
+                pairs = classmates = 0
+                for i, left in enumerate(drugs):
+                    for right in drugs[i + 1 :]:
+                        pairs += 1
+                        if right in classes.get(left, ()):
+                            classmates += 1
+                fractions.append(classmates / pairs)
+            return sum(fractions) / len(fractions)
+
+        assert mean_classmate_fraction(0.6) > 2 * mean_classmate_fraction(0.0)
+
+    def test_classes_partition_the_universe(self):
+        generator = SyntheticFAERSGenerator(small_config())
+        classes = generator._therapy_classes
+        assert set(classes) == set(generator._drugs)
+        for drug, members in classes.items():
+            assert drug in members
+
+    def test_invalid_class_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            small_config(n_therapy_classes=0)
+        with pytest.raises(ConfigError):
+            small_config(class_affinity=1.0)

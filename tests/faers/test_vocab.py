@@ -1,0 +1,86 @@
+"""Tests for the drug/ADR vocabularies and name synthesizers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.vocab import (
+    ADR_VOCABULARY,
+    DRUG_VOCABULARY,
+    adr_universe,
+    drug_universe,
+    synthesize_adr_term,
+    synthesize_drug_name,
+)
+
+
+class TestNamedVocabulary:
+    def test_paper_drugs_present(self):
+        for name in ("ASPIRIN", "WARFARIN", "XOLAIR", "PROGRAF", "METAMIZOLE"):
+            assert name in DRUG_VOCABULARY
+
+    def test_paper_adrs_present(self):
+        for term in ("ASTHMA", "OSTEOPOROSIS", "ACUTE RENAL FAILURE", "HAEMORRHAGE"):
+            assert term in ADR_VOCABULARY
+
+    def test_no_duplicates(self):
+        assert len(set(DRUG_VOCABULARY)) == len(DRUG_VOCABULARY)
+        assert len(set(ADR_VOCABULARY)) == len(ADR_VOCABULARY)
+
+    def test_vocabularies_disjoint(self):
+        assert not set(DRUG_VOCABULARY) & set(ADR_VOCABULARY)
+
+
+class TestSynthesizers:
+    def test_deterministic(self):
+        assert synthesize_drug_name(123) == synthesize_drug_name(123)
+        assert synthesize_adr_term(45) == synthesize_adr_term(45)
+
+    def test_distinct_over_base_space(self):
+        names = {synthesize_drug_name(i) for i in range(2000)}
+        assert len(names) == 2000
+
+    def test_cycle_suffix_beyond_base_space(self):
+        # 9600 base drug names; index 9600 wraps with a series suffix.
+        wrapped = synthesize_drug_name(9600)
+        assert wrapped.endswith(" 2")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize_drug_name(-1)
+        with pytest.raises(ConfigError):
+            synthesize_adr_term(-1)
+
+
+class TestUniverses:
+    def test_universe_starts_with_named_vocabulary(self):
+        universe = drug_universe(40)
+        assert universe[: len(DRUG_VOCABULARY)] == DRUG_VOCABULARY
+
+    def test_universe_size_and_uniqueness(self):
+        for size in (10, 100, 1000):
+            universe = drug_universe(size)
+            assert len(universe) == size
+            assert len(set(universe)) == size
+
+    def test_adr_universe_unique(self):
+        universe = adr_universe(500)
+        assert len(set(universe)) == 500
+
+    def test_small_universe_truncates_named(self):
+        assert drug_universe(3) == DRUG_VOCABULARY[:3]
+
+    def test_zero_size(self):
+        assert drug_universe(0) == ()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            adr_universe(-5)
+
+    def test_universes_are_prefix_stable(self):
+        # Growing the universe never reshuffles existing names — quarters
+        # with different sizes still share item identities.
+        small = drug_universe(200)
+        large = drug_universe(400)
+        assert large[:200] == small

@@ -1,0 +1,88 @@
+"""Tests for the DDI reference (Drugs.com/DrugBank stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.knowledge.ddi_reference import (
+    DDIReference,
+    KnownInteraction,
+    default_reference,
+)
+
+
+class TestKnownInteraction:
+    def test_requires_two_drugs(self):
+        with pytest.raises(ConfigError):
+            KnownInteraction(frozenset({"A"}), frozenset({"X"}), source="s")
+
+    def test_requires_adrs(self):
+        with pytest.raises(ConfigError):
+            KnownInteraction(frozenset({"A", "B"}), frozenset(), source="s")
+
+
+class TestDefaultReference:
+    def test_papers_case_studies_present(self):
+        reference = default_reference()
+        assert reference.lookup({"IBUPROFEN", "METAMIZOLE"})
+        assert reference.lookup({"METHOTREXATE", "PROGRAF"})
+        assert reference.lookup({"NEXIUM", "PREVACID"})
+        assert reference.lookup({"ASPIRIN", "WARFARIN"})
+
+    def test_sources_recorded(self):
+        reference = default_reference()
+        (interaction,) = reference.lookup({"IBUPROFEN", "METAMIZOLE"})
+        assert "WHO" in interaction.source
+
+
+class TestLookupAndClassify:
+    def test_exact_lookup_only(self):
+        reference = default_reference()
+        assert reference.lookup({"ASPIRIN"}) == []
+        assert reference.lookup({"ASPIRIN", "WARFARIN", "NEXIUM"}) == []
+
+    def test_is_known_combination_covers_subsets(self):
+        reference = default_reference()
+        assert reference.is_known_combination({"ASPIRIN", "WARFARIN", "NEXIUM"})
+        assert not reference.is_known_combination({"ASPIRIN", "NEXIUM"})
+
+    def test_classify_known(self):
+        reference = default_reference()
+        assert (
+            reference.classify({"ASPIRIN", "WARFARIN"}, {"HAEMORRHAGE"})
+            == "known"
+        )
+
+    def test_classify_known_combination_new_adr(self):
+        reference = default_reference()
+        assert (
+            reference.classify({"ASPIRIN", "WARFARIN"}, {"PAIN"})
+            == "known-combination-new-adr"
+        )
+
+    def test_classify_unknown(self):
+        reference = default_reference()
+        assert reference.classify({"TUMS", "AMBIEN"}, {"PAIN"}) == "unknown"
+
+    def test_classify_superset_combination_counts_as_known(self):
+        reference = default_reference()
+        result = reference.classify(
+            {"ASPIRIN", "WARFARIN", "TUMS"}, {"HAEMORRHAGE"}
+        )
+        assert result == "known"
+
+    def test_merged_with(self):
+        reference = default_reference()
+        extra = KnownInteraction(
+            frozenset({"TUMS", "AMBIEN"}), frozenset({"PAIN"}), source="unit test"
+        )
+        merged = reference.merged_with([extra])
+        assert len(merged) == len(reference) + 1
+        assert merged.lookup({"TUMS", "AMBIEN"})
+        # original untouched
+        assert not reference.lookup({"TUMS", "AMBIEN"})
+
+    def test_iteration_and_len(self):
+        reference = default_reference()
+        assert len(list(reference)) == len(reference)

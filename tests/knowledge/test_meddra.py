@@ -1,0 +1,73 @@
+"""Tests for the MedDRA-style SOC hierarchy."""
+
+from __future__ import annotations
+
+from repro.faers.vocab import ADR_VOCABULARY, adr_universe
+from repro.knowledge.meddra import (
+    ALL_SOCS,
+    MedDRAHierarchy,
+    SOC_GENERAL,
+    SOC_MSK,
+    SOC_RENAL,
+    SOC_RESPIRATORY,
+    SOC_VASCULAR,
+    default_hierarchy,
+)
+
+
+class TestCuratedAssignments:
+    def test_paper_terms(self):
+        hierarchy = default_hierarchy()
+        assert hierarchy.soc_of("ACUTE RENAL FAILURE") == SOC_RENAL
+        assert hierarchy.soc_of("HAEMORRHAGE") == SOC_VASCULAR
+        assert hierarchy.soc_of("ASTHMA") == SOC_RESPIRATORY
+        assert hierarchy.soc_of("OSTEONECROSIS OF JAW") == SOC_MSK
+
+    def test_every_named_term_has_a_soc(self):
+        hierarchy = default_hierarchy()
+        for term in ADR_VOCABULARY:
+            assert hierarchy.soc_of(term) in ALL_SOCS
+
+    def test_case_insensitive(self):
+        assert default_hierarchy().soc_of("asthma") == SOC_RESPIRATORY
+
+
+class TestKeywordInference:
+    def test_synthetic_universe_mostly_classified(self):
+        hierarchy = default_hierarchy()
+        terms = adr_universe(400)
+        classified = sum(
+            1 for term in terms if hierarchy.soc_of(term) != SOC_GENERAL
+        )
+        assert classified / len(terms) > 0.9
+
+    def test_site_keywords(self):
+        hierarchy = default_hierarchy()
+        assert hierarchy.soc_of("ACUTE HEPATIC NECROSIS") == (
+            "Hepatobiliary disorders"
+        )
+        assert hierarchy.soc_of("TRANSIENT CEREBRAL OEDEMA") == (
+            "Nervous system disorders"
+        )
+
+    def test_unknown_falls_back_to_general(self):
+        assert default_hierarchy().soc_of("FEELING JAZZY") == SOC_GENERAL
+
+
+class TestGrouping:
+    def test_socs_of_cluster(self):
+        hierarchy = default_hierarchy()
+        socs = hierarchy.socs_of(["ACUTE RENAL FAILURE", "HAEMORRHAGE"])
+        assert socs == {SOC_RENAL, SOC_VASCULAR}
+
+    def test_group_by_soc_sorted(self):
+        hierarchy = default_hierarchy()
+        grouped = hierarchy.group_by_soc(
+            ["HAEMORRHAGE", "ACUTE RENAL FAILURE", "PAIN"]
+        )
+        assert list(grouped) == sorted(grouped)
+        assert grouped[SOC_RENAL] == ["ACUTE RENAL FAILURE"]
+
+    def test_custom_curation(self):
+        hierarchy = MedDRAHierarchy({"PAIN": SOC_RENAL})
+        assert hierarchy.soc_of("PAIN") == SOC_RENAL

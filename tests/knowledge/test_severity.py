@@ -1,0 +1,62 @@
+"""Tests for the ADR severity index."""
+
+from __future__ import annotations
+
+from repro.knowledge.severity import Severity, SeverityIndex, default_severity_index
+
+
+class TestSeverityOrdering:
+    def test_ordered_by_urgency(self):
+        assert Severity.MILD < Severity.MODERATE < Severity.SEVERE
+        assert Severity.SEVERE < Severity.LIFE_THREATENING
+
+
+class TestCuratedLookups:
+    def test_curated_terms(self):
+        index = default_severity_index()
+        assert index.severity_of("ACUTE RENAL FAILURE") is Severity.LIFE_THREATENING
+        assert index.severity_of("OSTEONECROSIS OF JAW") is Severity.SEVERE
+        assert index.severity_of("PAIN") is Severity.MILD
+
+    def test_lookup_is_case_insensitive(self):
+        index = default_severity_index()
+        assert index.severity_of("haemorrhage") is Severity.LIFE_THREATENING
+
+
+class TestKeywordHeuristics:
+    def test_failure_keyword(self):
+        index = default_severity_index()
+        assert index.severity_of("CHRONIC HEPATIC INSUFFICIENCY") is Severity.SEVERE
+
+    def test_life_threatening_keyword(self):
+        index = default_severity_index()
+        assert index.severity_of("SPLENIC RUPTURE") is Severity.LIFE_THREATENING
+
+    def test_moderate_keyword(self):
+        index = default_severity_index()
+        assert index.severity_of("TRANSIENT GASTRIC OEDEMA") is Severity.MODERATE
+
+    def test_unmatched_term_defaults_to_mild(self):
+        index = default_severity_index()
+        assert index.severity_of("FEELING JAZZY") is Severity.MILD
+
+
+class TestAggregates:
+    def test_max_severity(self):
+        index = default_severity_index()
+        assert (
+            index.max_severity(["PAIN", "HAEMORRHAGE"])
+            is Severity.LIFE_THREATENING
+        )
+
+    def test_max_severity_empty(self):
+        assert default_severity_index().max_severity([]) is Severity.MILD
+
+    def test_is_severe_filter(self):
+        index = default_severity_index()
+        assert index.is_severe(["OSTEONECROSIS OF JAW"])
+        assert not index.is_severe(["PAIN", "ANXIETY"])
+
+    def test_custom_curation_overrides(self):
+        index = SeverityIndex({"PAIN": Severity.LIFE_THREATENING})
+        assert index.severity_of("PAIN") is Severity.LIFE_THREATENING

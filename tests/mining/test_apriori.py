@@ -1,0 +1,63 @@
+"""Tests for the Apriori baseline miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.apriori import apriori, _generate_candidates
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+
+def as_dict(itemsets):
+    return {fi.items: fi.support for fi in itemsets}
+
+
+class TestApriori:
+    def test_matches_fpgrowth_on_toy_database(self, toy_database):
+        for threshold in (1, 2, 3):
+            assert as_dict(apriori(toy_database, threshold)) == as_dict(
+                fpgrowth(toy_database, threshold)
+            )
+
+    def test_exact_values(self, toy_database):
+        catalog = toy_database.catalog
+        mined = as_dict(apriori(toy_database, 2))
+        assert mined[catalog.encode(["a", "b", "c"])] == 2
+        assert catalog.encode(["c", "d"]) not in mined
+
+    def test_max_len(self, toy_database):
+        mined = apriori(toy_database, 1, max_len=2)
+        assert max(len(fi.items) for fi in mined) == 2
+
+    def test_empty_database(self):
+        assert apriori(TransactionDatabase([], ItemCatalog()), 1) == []
+
+    def test_invalid_max_len(self, toy_database):
+        with pytest.raises(ConfigError):
+            apriori(toy_database, 1, max_len=0)
+
+
+class TestCandidateGeneration:
+    def test_join_requires_shared_prefix(self):
+        frequent = [frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})]
+        candidates = _generate_candidates(frequent, 3)
+        assert candidates == {frozenset({0, 1, 2})}
+
+    def test_prune_removes_candidates_with_infrequent_subset(self):
+        # {1,2} missing → {0,1,2} must be pruned.
+        frequent = [frozenset({0, 1}), frozenset({0, 2})]
+        assert _generate_candidates(frequent, 3) == set()
+
+    def test_singleton_join(self):
+        frequent = [frozenset({0}), frozenset({1}), frozenset({2})]
+        candidates = _generate_candidates(frequent, 2)
+        assert candidates == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+    def test_empty_input(self):
+        assert _generate_candidates([], 2) == set()

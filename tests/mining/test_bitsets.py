@@ -1,0 +1,80 @@
+"""Tests for the bitset support oracle (equivalence with the set backend)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiningError
+from repro.mining.bitsets import BitsetIndex
+from repro.mining.transactions import TransactionDatabase
+from repro.signals.contingency import contingency_for
+
+ITEMS = [f"i{k}" for k in range(9)]
+transactions_strategy = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=1, max_size=6),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestBitsetIndex:
+    def test_single_item_support(self, toy_database):
+        index = BitsetIndex(toy_database)
+        for item, count in toy_database.item_supports().items():
+            assert index.support({item}) == count
+
+    def test_itemset_support_matches(self, toy_database):
+        index = BitsetIndex(toy_database)
+        catalog = toy_database.catalog
+        for labels in (["a", "b"], ["a", "b", "c"], ["a", "f"], ["d", "e"]):
+            items = catalog.encode(labels)
+            assert index.support(items) == toy_database.support(items)
+
+    def test_empty_itemset_is_full_support(self, toy_database):
+        assert BitsetIndex(toy_database).support(frozenset()) == len(toy_database)
+
+    def test_tidset_matches(self, toy_database):
+        index = BitsetIndex(toy_database)
+        catalog = toy_database.catalog
+        items = catalog.encode(["a", "b"])
+        assert index.tidset(items) == toy_database.tidset_of(items)
+
+    def test_unknown_item_zero_support(self, toy_database):
+        ghost = toy_database.catalog.add("ghost")
+        assert BitsetIndex(toy_database).support({ghost}) == 0
+
+    def test_contingency_matches_reference(self, drug_adr_database):
+        index = BitsetIndex(drug_adr_database)
+        catalog = drug_adr_database.catalog
+        exposure = catalog.encode(["D1", "D2"])
+        outcome = catalog.encode(["X"])
+        table = contingency_for(drug_adr_database, exposure, outcome)
+        assert index.contingency_counts(exposure, outcome) == (
+            table.a,
+            table.b,
+            table.c,
+            table.d,
+        )
+
+    def test_contingency_empty_side_rejected(self, drug_adr_database):
+        index = BitsetIndex(drug_adr_database)
+        with pytest.raises(MiningError):
+            index.contingency_counts(frozenset(), frozenset({0}))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    query=st.sets(st.sampled_from(ITEMS), min_size=1, max_size=4),
+)
+def test_bitset_equals_set_backend(transactions, query):
+    db = TransactionDatabase.from_labelled(transactions)
+    index = BitsetIndex(db)
+    items = frozenset(
+        db.catalog.id(label) for label in query if label in db.catalog
+    )
+    if not items:
+        return
+    assert index.support(items) == db.support(items)
+    assert index.tidset(items) == db.tidset_of(items)

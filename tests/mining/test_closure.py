@@ -1,0 +1,76 @@
+"""Tests for the Galois closure operator."""
+
+from __future__ import annotations
+
+from repro.mining.closure import closure, filter_closed, is_closed
+from repro.mining.transactions import TransactionDatabase
+
+
+class TestClosure:
+    def test_closure_adds_always_cooccurring_items(self, toy_database):
+        catalog = toy_database.catalog
+        # b only ever occurs with a.
+        closed = closure(toy_database, catalog.encode(["b"]))
+        assert closed == catalog.encode(["a", "b"])
+
+    def test_closed_itemset_is_fixed_point(self, toy_database):
+        catalog = toy_database.catalog
+        items = catalog.encode(["a", "b"])
+        assert closure(toy_database, items) == items
+
+    def test_closure_is_idempotent(self, toy_database):
+        catalog = toy_database.catalog
+        once = closure(toy_database, catalog.encode(["c"]))
+        assert closure(toy_database, once) == once
+
+    def test_closure_is_extensive(self, toy_database):
+        catalog = toy_database.catalog
+        for labels in (["a"], ["b"], ["c"], ["a", "e"]):
+            items = catalog.encode(labels)
+            assert items <= closure(toy_database, items)
+
+    def test_closure_preserves_support(self, toy_database):
+        catalog = toy_database.catalog
+        for labels in (["b"], ["c"], ["e"]):
+            items = catalog.encode(labels)
+            closed = closure(toy_database, items)
+            assert toy_database.support(closed) == toy_database.support(items)
+
+    def test_closure_of_unsupported_itemset_is_identity(self, toy_database):
+        catalog = toy_database.catalog
+        items = catalog.encode(["a", "f"])  # never co-occur
+        assert closure(toy_database, items) == items
+
+    def test_closure_of_empty_itemset(self, toy_database):
+        # No item occurs in every transaction → closure(∅) = ∅.
+        assert closure(toy_database, frozenset()) == frozenset()
+
+    def test_closure_of_empty_with_universal_item(self):
+        db = TransactionDatabase.from_labelled([["u", "a"], ["u", "b"]])
+        assert closure(db, frozenset()) == db.catalog.encode(["u"])
+
+
+class TestIsClosed:
+    def test_closed_cases(self, toy_database):
+        catalog = toy_database.catalog
+        assert is_closed(toy_database, catalog.encode(["a"]))
+        assert is_closed(toy_database, catalog.encode(["a", "b"]))
+
+    def test_non_closed_cases(self, toy_database):
+        catalog = toy_database.catalog
+        assert not is_closed(toy_database, catalog.encode(["b"]))
+        assert not is_closed(toy_database, catalog.encode(["c"]))  # c ⇒ a,b
+
+    def test_unsupported_itemset_is_not_closed(self, toy_database):
+        catalog = toy_database.catalog
+        assert not is_closed(toy_database, catalog.encode(["a", "f"]))
+
+    def test_filter_closed(self, toy_database):
+        catalog = toy_database.catalog
+        candidates = [
+            catalog.encode(["a"]),
+            catalog.encode(["b"]),
+            catalog.encode(["a", "b"]),
+        ]
+        kept = filter_closed(toy_database, candidates)
+        assert kept == [catalog.encode(["a"]), catalog.encode(["a", "b"])]

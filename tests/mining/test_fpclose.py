@@ -1,0 +1,121 @@
+"""Tests for the closed frequent itemset miner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.closure import is_closed
+from repro.mining.fpclose import fpclose
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+
+def as_dict(itemsets):
+    return {fi.items: fi.support for fi in itemsets}
+
+
+class TestFPCloseBasics:
+    def test_every_result_is_closed(self, toy_database):
+        for fi in fpclose(toy_database, 1):
+            assert is_closed(toy_database, fi.items), toy_database.catalog.labels(
+                fi.items
+            )
+
+    def test_non_closed_itemsets_absent(self, toy_database):
+        catalog = toy_database.catalog
+        mined = as_dict(fpclose(toy_database, 1))
+        # {b} always co-occurs with {a}: not closed.
+        assert catalog.encode(["b"]) not in mined
+        assert catalog.encode(["a", "b"]) in mined
+
+    def test_supports_match_database(self, toy_database):
+        for fi in fpclose(toy_database, 1):
+            assert fi.support == toy_database.support(fi.items)
+
+    def test_matches_bruteforce_closed_filter(self, toy_database):
+        closed = as_dict(fpclose(toy_database, 1))
+        brute = {
+            fi.items: fi.support
+            for fi in fpgrowth(toy_database, 1)
+            if is_closed(toy_database, fi.items)
+        }
+        assert closed == brute
+
+    def test_no_duplicates(self, toy_database):
+        mined = fpclose(toy_database, 1)
+        itemsets = [fi.items for fi in mined]
+        assert len(itemsets) == len(set(itemsets))
+
+    def test_closed_count_never_exceeds_frequent_count(self, toy_database):
+        for threshold in (1, 2, 3):
+            assert len(fpclose(toy_database, threshold)) <= len(
+                fpgrowth(toy_database, threshold)
+            )
+
+    def test_max_supports_preserved(self, toy_database):
+        # Every frequent itemset's support equals the support of some
+        # closed superset (the compression property of closed sets).
+        closed = fpclose(toy_database, 1)
+        for fi in fpgrowth(toy_database, 1):
+            covering = [
+                c.support for c in closed if fi.items <= c.items
+            ]
+            assert fi.support in covering
+
+    def test_empty_database(self):
+        assert fpclose(TransactionDatabase([], ItemCatalog()), 1) == []
+
+    def test_universal_item_forms_root_closure(self):
+        db = TransactionDatabase.from_labelled([["u", "a"], ["u", "b"], ["u"]])
+        mined = as_dict(fpclose(db, 1))
+        u = db.catalog.encode(["u"])
+        assert mined[u] == 3
+
+    def test_identical_transactions_collapse_to_one_closed_set(self):
+        db = TransactionDatabase.from_labelled([["a", "b"]] * 4)
+        mined = fpclose(db, 1)
+        assert len(mined) == 1
+        assert mined[0].support == 4
+        assert mined[0].items == db.catalog.encode(["a", "b"])
+
+
+class TestFPCloseMaxLen:
+    def test_emitted_closures_respect_cap(self, toy_database):
+        for fi in fpclose(toy_database, 1, max_len=2):
+            assert len(fi.items) <= 2
+
+    def test_small_closures_unaffected_by_cap(self, toy_database):
+        capped = as_dict(fpclose(toy_database, 1, max_len=2))
+        full = {
+            items: support
+            for items, support in as_dict(fpclose(toy_database, 1)).items()
+            if len(items) <= 2
+        }
+        assert capped == full
+
+    def test_invalid_max_len(self, toy_database):
+        with pytest.raises(ConfigError):
+            fpclose(toy_database, 1, max_len=0)
+
+
+class TestFPCloseRandomized:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_databases_match_bruteforce(self, seed):
+        rng = random.Random(seed)
+        items = [f"i{k}" for k in range(10)]
+        transactions = [
+            [item for item in items if rng.random() < 0.35] or [items[0]]
+            for _ in range(60)
+        ]
+        db = TransactionDatabase.from_labelled(transactions)
+        for threshold in (1, 3, 6):
+            closed = as_dict(fpclose(db, threshold))
+            brute = {
+                fi.items: fi.support
+                for fi in fpgrowth(db, threshold)
+                if is_closed(db, fi.items)
+            }
+            assert closed == brute, f"seed={seed} threshold={threshold}"

@@ -1,0 +1,104 @@
+"""Tests for FP-Growth frequent itemset mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+
+def as_dict(itemsets):
+    return {fi.items: fi.support for fi in itemsets}
+
+
+class TestFPGrowthBasics:
+    def test_toy_database_exact_results(self, toy_database):
+        catalog = toy_database.catalog
+        mined = as_dict(fpgrowth(toy_database, 2))
+        assert mined[catalog.encode(["a"])] == 4
+        assert mined[catalog.encode(["a", "b"])] == 3
+        assert mined[catalog.encode(["a", "b", "c"])] == 2
+        assert mined[catalog.encode(["e"])] == 2
+        assert catalog.encode(["f"]) not in mined  # support 1 < 2
+
+    def test_no_duplicate_itemsets(self, toy_database):
+        mined = fpgrowth(toy_database, 1)
+        itemsets = [fi.items for fi in mined]
+        assert len(itemsets) == len(set(itemsets))
+
+    def test_supports_match_database(self, toy_database):
+        for fi in fpgrowth(toy_database, 1):
+            assert fi.support == toy_database.support(fi.items)
+
+    def test_empty_itemset_never_emitted(self, toy_database):
+        assert all(fi.items for fi in fpgrowth(toy_database, 1))
+
+    def test_threshold_monotonicity(self, toy_database):
+        low = {fi.items for fi in fpgrowth(toy_database, 1)}
+        high = {fi.items for fi in fpgrowth(toy_database, 3)}
+        assert high <= low
+
+    def test_fraction_threshold(self, toy_database):
+        # 0.4 of 5 transactions → absolute 2
+        by_fraction = as_dict(fpgrowth(toy_database, 0.4))
+        by_absolute = as_dict(fpgrowth(toy_database, 2))
+        assert by_fraction == by_absolute
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], ItemCatalog())
+        assert fpgrowth(db, 1) == []
+
+    def test_all_items_infrequent(self, toy_database):
+        assert fpgrowth(toy_database, 100) == []
+
+
+class TestMaxLen:
+    def test_max_len_caps_cardinality(self, toy_database):
+        mined = fpgrowth(toy_database, 1, max_len=2)
+        assert max(len(fi.items) for fi in mined) == 2
+
+    def test_max_len_keeps_short_itemsets_intact(self, toy_database):
+        unbounded = {
+            fi.items: fi.support
+            for fi in fpgrowth(toy_database, 1)
+            if len(fi.items) <= 2
+        }
+        bounded = as_dict(fpgrowth(toy_database, 1, max_len=2))
+        assert bounded == unbounded
+
+    def test_max_len_one_is_item_supports(self, toy_database):
+        mined = as_dict(fpgrowth(toy_database, 1, max_len=1))
+        expected = {
+            frozenset({item}): count
+            for item, count in toy_database.item_supports().items()
+        }
+        assert mined == expected
+
+    def test_invalid_max_len_rejected(self, toy_database):
+        with pytest.raises(ConfigError):
+            fpgrowth(toy_database, 1, max_len=0)
+
+
+class TestSinglePathShortcut:
+    def test_chain_database_enumerates_all_subsets(self):
+        # Transactions nest, so the FP-tree is one chain.
+        db = TransactionDatabase.from_labelled(
+            [["a", "b", "c"], ["a", "b"], ["a"]]
+        )
+        mined = as_dict(fpgrowth(db, 1))
+        catalog = db.catalog
+        assert len(mined) == 7  # 2^3 - 1 subsets
+        assert mined[catalog.encode(["a"])] == 3
+        assert mined[catalog.encode(["b", "c"])] == 1
+        assert mined[catalog.encode(["a", "b", "c"])] == 1
+
+    def test_chain_with_max_len(self):
+        db = TransactionDatabase.from_labelled(
+            [["a", "b", "c", "d"], ["a", "b", "c", "d"]]
+        )
+        mined = fpgrowth(db, 1, max_len=2)
+        assert all(len(fi.items) <= 2 for fi in mined)
+        # 4 singletons + 6 pairs
+        assert len(mined) == 10

@@ -1,0 +1,113 @@
+"""Tests for the FP-tree data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.fptree import FPTree, rank_items
+
+
+class TestRankItems:
+    def test_descending_support_order(self):
+        order = rank_items({1: 5, 2: 9, 3: 1})
+        assert order == {2: 0, 1: 1, 3: 2}
+
+    def test_ties_break_by_item_id(self):
+        order = rank_items({5: 3, 2: 3})
+        assert order == {2: 0, 5: 1}
+
+
+class TestFPTreeConstruction:
+    def _tree(self):
+        transactions = [
+            {0, 1, 2},
+            {0, 1},
+            {0, 2},
+            {1, 2},
+            {0},
+        ]
+        supports = {0: 4, 1: 3, 2: 3}
+        return FPTree.from_transactions(transactions, supports)
+
+    def test_item_support_totals(self):
+        tree = self._tree()
+        assert tree.item_support(0) == 4
+        assert tree.item_support(1) == 3
+        assert tree.item_support(2) == 3
+
+    def test_shared_prefix_compression(self):
+        tree = self._tree()
+        # Item 0 heads every transaction containing it → exactly one node.
+        assert len(tree.headers[0]) == 1
+        assert tree.headers[0][0].count == 4
+
+    def test_infrequent_items_filtered_at_build(self):
+        tree = FPTree.from_transactions([{0, 1}, {0, 2}], {0: 2})
+        assert tree.item_support(1) == 0
+        assert tree.item_support(2) == 0
+
+    def test_insert_unknown_item_raises(self):
+        tree = FPTree({0: 0})
+        with pytest.raises(MiningError, match="item order"):
+            tree.insert([7], count=1)
+
+    def test_insert_nonpositive_count_raises(self):
+        tree = FPTree({0: 0})
+        with pytest.raises(MiningError):
+            tree.insert([0], count=0)
+
+    def test_is_empty(self):
+        assert FPTree({}).is_empty()
+        tree = FPTree({0: 0})
+        tree.insert([0], 1)
+        assert not tree.is_empty()
+
+
+class TestPrefixPathsAndConditionals:
+    def test_prefix_paths_counts(self):
+        tree = FPTree.from_transactions(
+            [{0, 1, 2}, {0, 1, 2}, {1, 2}], {0: 2, 1: 3, 2: 3}
+        )
+        # Order is 1, 2, 0 (support 3, 3, 2; ties by id). Paths of item 0:
+        paths = tree.prefix_paths(0)
+        assert len(paths) == 1
+        items, count = paths[0]
+        assert set(items) == {1, 2}
+        assert count == 2
+
+    def test_conditional_tree_filters_below_support(self):
+        tree = FPTree.from_transactions(
+            [{0, 1}, {0, 2}, {0, 1}], {0: 3, 1: 2, 2: 1}
+        )
+        conditional = tree.conditional_tree(1, min_support=2)
+        assert conditional.item_support(0) == 2
+        conditional_low = tree.conditional_tree(2, min_support=2)
+        # Item 0 appears once in 2's pattern base → dropped.
+        assert conditional_low.is_empty()
+
+    def test_path_to_root_excludes_root(self):
+        tree = FPTree.from_transactions([{0, 1, 2}], {0: 1, 1: 1, 2: 1})
+        deepest = tree.headers[2][0] if tree.item_order[2] == 2 else None
+        # find the node whose item has the deepest rank
+        deepest_item = max(tree.item_order, key=tree.item_order.__getitem__)
+        node = tree.headers[deepest_item][0]
+        assert set(node.path_to_root()) == {0, 1, 2} - {deepest_item}
+
+
+class TestSinglePath:
+    def test_chain_detected(self):
+        tree = FPTree.from_transactions([{0, 1, 2}, {0, 1}], {0: 2, 1: 2, 2: 1})
+        path = tree.single_path()
+        assert path is not None
+        items = [item for item, _ in path]
+        counts = [count for _, count in path]
+        assert items == sorted(items, key=lambda i: tree.item_order[i])
+        assert counts == sorted(counts, reverse=True)
+
+    def test_branching_returns_none(self):
+        tree = FPTree.from_transactions([{0, 1}, {0, 2}], {0: 2, 1: 1, 2: 1})
+        assert tree.single_path() is None
+
+    def test_empty_tree_is_trivial_single_path(self):
+        assert FPTree({}).single_path() == []

@@ -1,0 +1,135 @@
+"""Tests for minimal generators and non-redundant rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.closure import closure
+from repro.mining.fpclose import fpclose
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.generators import (
+    minimal_generators,
+    minimal_generators_of,
+    non_redundant_rules,
+    redundancy_ratio,
+)
+from repro.mining.rules import generate_rules
+from repro.mining.transactions import TransactionDatabase
+
+
+class TestMinimalGenerators:
+    def test_generators_have_the_closed_sets_closure(self, toy_database):
+        for fi in fpclose(toy_database, 1):
+            for generator in minimal_generators_of(
+                toy_database, fi.items, fi.support
+            ):
+                assert closure(toy_database, generator) == fi.items
+
+    def test_generators_are_minimal(self, toy_database):
+        for fi in fpclose(toy_database, 1):
+            for generator in minimal_generators_of(
+                toy_database, fi.items, fi.support
+            ):
+                for item in generator:
+                    smaller = generator - {item}
+                    if smaller:
+                        assert toy_database.support(smaller) != fi.support
+
+    def test_known_generator(self, toy_database):
+        # {a, b} is closed with support 3; {b} alone has support 3 →
+        # {b} is its unique minimal generator.
+        catalog = toy_database.catalog
+        generators = minimal_generators_of(
+            toy_database, catalog.encode(["a", "b"]), 3
+        )
+        assert generators == [catalog.encode(["b"])]
+
+    def test_closed_singleton_is_its_own_generator(self, toy_database):
+        catalog = toy_database.catalog
+        generators = minimal_generators_of(toy_database, catalog.encode(["a"]), 4)
+        assert generators == [catalog.encode(["a"])]
+
+    def test_every_closed_set_has_a_generator(self, toy_database):
+        closed = fpclose(toy_database, 1)
+        by_closed = minimal_generators(toy_database, closed)
+        assert all(generators for generators in by_closed.values())
+
+    def test_empty_itemset_rejected(self, toy_database):
+        with pytest.raises(ConfigError):
+            minimal_generators_of(toy_database, frozenset(), 1)
+
+
+class TestNonRedundantRules:
+    def test_antecedents_are_generators(self, toy_database):
+        closed = fpclose(toy_database, 1)
+        generator_sets = {
+            g
+            for generators in minimal_generators(toy_database, closed).values()
+            for g in generators
+        }
+        for rule in non_redundant_rules(toy_database, closed):
+            assert rule.antecedent in generator_sets
+
+    def test_rule_metrics_exact(self, toy_database):
+        closed = fpclose(toy_database, 1)
+        for rule in non_redundant_rules(toy_database, closed):
+            assert rule.metrics.n_joint == toy_database.support(rule.items)
+            assert rule.metrics.n_antecedent == toy_database.support(
+                rule.antecedent
+            )
+
+    def test_confidence_filter(self, toy_database):
+        closed = fpclose(toy_database, 1)
+        strict = non_redundant_rules(toy_database, closed, min_confidence=0.9)
+        assert all(rule.confidence >= 0.9 for rule in strict)
+        loose = non_redundant_rules(toy_database, closed)
+        assert len(strict) <= len(loose)
+
+    def test_covers_all_traditional_rules(self, toy_database):
+        """Every traditional rule's (support, confidence) is witnessed by
+        a non-redundant rule with more-general antecedent and
+        more-specific consequent — the losslessness claim."""
+        closed = fpclose(toy_database, 1)
+        non_redundant = non_redundant_rules(toy_database, closed)
+        traditional = generate_rules(fpgrowth(toy_database, 1), toy_database)
+        for rule in traditional:
+            witnesses = [
+                nr
+                for nr in non_redundant
+                if nr.antecedent <= rule.antecedent
+                and rule.items <= nr.items
+                and nr.metrics.n_joint == rule.metrics.n_joint
+                and nr.metrics.n_antecedent == rule.metrics.n_antecedent
+            ]
+            assert witnesses, rule.describe(toy_database.catalog)
+
+    def test_smaller_than_traditional_rule_space(self):
+        db = TransactionDatabase.from_labelled(
+            [["a", "b", "c"], ["a", "b", "c"], ["a", "b"], ["a", "c"], ["a"]]
+        )
+        closed = fpclose(db, 1)
+        non_redundant = non_redundant_rules(db, closed)
+        traditional = generate_rules(fpgrowth(db, 1), db)
+        assert len(non_redundant) < len(traditional)
+
+    def test_no_duplicate_rules(self, toy_database):
+        closed = fpclose(toy_database, 1)
+        rules = non_redundant_rules(toy_database, closed)
+        keys = [(rule.antecedent, rule.consequent) for rule in rules]
+        assert len(keys) == len(set(keys))
+
+
+class TestRedundancyRatio:
+    def test_basic(self):
+        assert redundancy_ratio(100, 25) == pytest.approx(0.75)
+
+    def test_zero_rules(self):
+        assert redundancy_ratio(0, 0) == 0.0
+
+    def test_clamped(self):
+        assert redundancy_ratio(10, 20) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            redundancy_ratio(-1, 0)

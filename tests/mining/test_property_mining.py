@@ -1,0 +1,118 @@
+"""Property-based tests of the mining substrate (hypothesis).
+
+The invariants checked here are the load-bearing ones:
+
+- FP-Growth ≡ Apriori on arbitrary databases (two independent
+  implementations must agree exactly);
+- the closed miner ≡ brute-force closure filtering of FP-Growth output;
+- the closure operator is extensive, idempotent, monotone and
+  support-preserving;
+- mined supports always equal directly counted supports;
+- anti-monotonicity: a superset never has higher support.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.apriori import apriori
+from repro.mining.closure import closure, is_closed
+from repro.mining.fpclose import fpclose
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import TransactionDatabase
+
+ITEMS = [f"i{k}" for k in range(8)]
+
+transactions_strategy = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=1, max_size=6),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build_db(transactions) -> TransactionDatabase:
+    return TransactionDatabase.from_labelled(transactions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, threshold=st.integers(1, 5))
+def test_fpgrowth_equals_apriori(transactions, threshold):
+    db = build_db(transactions)
+    fg = {(fi.items, fi.support) for fi in fpgrowth(db, threshold)}
+    ap = {(fi.items, fi.support) for fi in apriori(db, threshold)}
+    assert fg == ap
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, threshold=st.integers(1, 5))
+def test_fpclose_equals_bruteforce(transactions, threshold):
+    db = build_db(transactions)
+    closed = {(fi.items, fi.support) for fi in fpclose(db, threshold)}
+    brute = {
+        (fi.items, fi.support)
+        for fi in fpgrowth(db, threshold)
+        if is_closed(db, fi.items)
+    }
+    assert closed == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, threshold=st.integers(1, 4))
+def test_mined_supports_are_exact(transactions, threshold):
+    db = build_db(transactions)
+    for fi in fpgrowth(db, threshold):
+        assert fi.support == db.support(fi.items)
+        assert fi.support >= threshold
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    seed_items=st.sets(st.sampled_from(ITEMS), min_size=1, max_size=3),
+)
+def test_closure_axioms(transactions, seed_items):
+    db = build_db(transactions)
+    items = frozenset(
+        db.catalog.id(label) for label in seed_items if label in db.catalog
+    )
+    if not items:
+        return
+    closed = closure(db, items)
+    # extensive
+    assert items <= closed
+    # idempotent
+    assert closure(db, closed) == closed
+    # support-preserving (when the itemset occurs at all)
+    if db.tidset_of(items):
+        assert db.support(closed) == db.support(items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transactions_strategy)
+def test_support_anti_monotone(transactions):
+    db = build_db(transactions)
+    mined = fpgrowth(db, 1)
+    by_items = {fi.items: fi.support for fi in mined}
+    for items, support in by_items.items():
+        for item in items:
+            smaller = items - {item}
+            if smaller and smaller in by_items:
+                assert by_items[smaller] >= support
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transactions_strategy, threshold=st.integers(1, 4))
+def test_every_transaction_itemset_is_covered_by_a_closed_set(
+    transactions, threshold
+):
+    """Each transaction with support ≥ threshold lies inside some closed set
+    of at least that support (closed sets compress without losing covers)."""
+    db = build_db(transactions)
+    closed = fpclose(db, threshold)
+    for transaction in db:
+        support = db.support(transaction)
+        if support < threshold:
+            continue
+        assert any(
+            transaction <= fi.items and fi.support >= support for fi in closed
+        )

@@ -1,0 +1,157 @@
+"""Tests for association-rule generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.fpclose import fpclose
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.measures import RuleMetrics
+from repro.mining.rules import (
+    AssociationRule,
+    count_all_splits,
+    count_partitioned_splits,
+    generate_rules,
+    partitioned_rules,
+)
+from repro.mining.transactions import FrequentItemset
+
+
+def _metrics():
+    return RuleMetrics.from_counts(2, 3, 4, 10)
+
+
+class TestAssociationRule:
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ConfigError, match="overlap"):
+            AssociationRule(frozenset({1, 2}), frozenset({2, 3}), _metrics())
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ConfigError):
+            AssociationRule(frozenset(), frozenset({1}), _metrics())
+
+    def test_items_union(self):
+        rule = AssociationRule(frozenset({1}), frozenset({2}), _metrics())
+        assert rule.items == {1, 2}
+
+    def test_metric_shortcuts(self):
+        rule = AssociationRule(frozenset({1}), frozenset({2}), _metrics())
+        assert rule.confidence == rule.metrics.confidence
+        assert rule.support == rule.metrics.support
+        assert rule.lift == rule.metrics.lift
+
+    def test_describe(self, toy_database):
+        catalog = toy_database.catalog
+        rule = AssociationRule(
+            frozenset({catalog.id("a")}),
+            frozenset({catalog.id("b")}),
+            _metrics(),
+        )
+        assert rule.describe(catalog) == "[a] => [b]"
+
+
+class TestGenerateRules:
+    def test_all_splits_of_pair(self, toy_database):
+        itemsets = [
+            fi for fi in fpgrowth(toy_database, 2) if len(fi.items) == 2
+        ]
+        rules = generate_rules(itemsets, toy_database)
+        # each 2-itemset yields exactly 2 rules
+        assert len(rules) == 2 * len(itemsets)
+
+    def test_split_count_matches_formula(self, toy_database):
+        itemsets = fpgrowth(toy_database, 1)
+        rules = generate_rules(itemsets, toy_database)
+        assert len(rules) == count_all_splits(itemsets)
+
+    def test_confidence_filter(self, toy_database):
+        itemsets = fpgrowth(toy_database, 1)
+        all_rules = generate_rules(itemsets, toy_database)
+        strict = generate_rules(itemsets, toy_database, min_confidence=0.8)
+        assert len(strict) < len(all_rules)
+        assert all(rule.confidence >= 0.8 for rule in strict)
+
+    def test_rule_metrics_are_exact(self, toy_database):
+        catalog = toy_database.catalog
+        itemsets = [FrequentItemset(catalog.encode(["a", "b"]), 3)]
+        rules = generate_rules(itemsets, toy_database)
+        by_antecedent = {tuple(catalog.labels(r.antecedent)): r for r in rules}
+        a_to_b = by_antecedent[("a",)]
+        assert a_to_b.metrics.n_antecedent == 4
+        assert a_to_b.confidence == pytest.approx(3 / 4)
+        b_to_a = by_antecedent[("b",)]
+        assert b_to_a.confidence == pytest.approx(1.0)
+
+    def test_singletons_skipped(self, toy_database):
+        itemsets = [fi for fi in fpgrowth(toy_database, 1) if len(fi.items) == 1]
+        assert generate_rules(itemsets, toy_database) == []
+
+    def test_invalid_confidence_rejected(self, toy_database):
+        with pytest.raises(ConfigError):
+            generate_rules([], toy_database, min_confidence=1.5)
+
+
+class TestCountAllSplits:
+    def test_formula(self):
+        itemsets = [
+            FrequentItemset(frozenset({1}), 5),
+            FrequentItemset(frozenset({1, 2}), 4),
+            FrequentItemset(frozenset({1, 2, 3}), 3),
+        ]
+        # 0 + (2^2-2) + (2^3-2) = 0 + 2 + 6
+        assert count_all_splits(itemsets) == 8
+
+
+class TestPartitionedRules:
+    def test_one_rule_per_clean_split(self, drug_adr_database):
+        closed = fpclose(drug_adr_database, 2)
+        rules = partitioned_rules(closed, drug_adr_database)
+        catalog = drug_adr_database.catalog
+        drug_ids = catalog.ids_of_kind("drug")
+        adr_ids = catalog.ids_of_kind("adr")
+        for rule in rules:
+            assert rule.antecedent <= drug_ids
+            assert rule.consequent <= adr_ids
+
+    def test_planted_signal_present(self, drug_adr_database):
+        closed = fpclose(drug_adr_database, 2)
+        rules = partitioned_rules(closed, drug_adr_database)
+        catalog = drug_adr_database.catalog
+        signal = [
+            r
+            for r in rules
+            if r.antecedent == catalog.encode(["D1", "D2"])
+            and catalog.encode(["X"]) <= r.consequent
+        ]
+        assert signal, "the D1+D2 => X rule must be mined"
+        assert signal[0].confidence >= 0.9
+
+    def test_drug_only_itemsets_skipped(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        itemsets = [FrequentItemset(catalog.encode(["D1", "D2"]), 4)]
+        assert partitioned_rules(itemsets, drug_adr_database) == []
+
+    def test_adr_only_itemsets_skipped(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        itemsets = [FrequentItemset(catalog.encode(["X", "Y"]), 1)]
+        assert partitioned_rules(itemsets, drug_adr_database) == []
+
+    def test_itemsets_with_foreign_kind_skipped(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        foreign = catalog.add("NOTE", kind="annotation")
+        itemsets = [
+            FrequentItemset(
+                catalog.encode(["D1", "X"]) | {foreign}, 1
+            )
+        ]
+        assert partitioned_rules(itemsets, drug_adr_database) == []
+
+    def test_count_partitioned_matches_generation(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        itemsets = fpgrowth(drug_adr_database, 2)
+        rules = partitioned_rules(itemsets, drug_adr_database)
+        count = count_partitioned_splits(
+            itemsets, catalog.ids_of_kind("drug"), catalog.ids_of_kind("adr")
+        )
+        assert count == len(rules)

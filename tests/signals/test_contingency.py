@@ -1,0 +1,62 @@
+"""Tests for 2×2 contingency-table construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.contingency import ContingencyTable, contingency_for
+
+
+class TestContingencyTable:
+    def test_margins(self):
+        table = ContingencyTable(3, 2, 5, 10)
+        assert table.n == 20
+        assert table.n_exposed == 5
+        assert table.n_outcome == 8
+
+    def test_negative_cell_rejected(self):
+        with pytest.raises(ConfigError):
+            ContingencyTable(-1, 0, 0, 0)
+
+    def test_zero_cell_detection(self):
+        assert ContingencyTable(1, 0, 2, 3).has_zero_cell
+        assert not ContingencyTable(1, 1, 2, 3).has_zero_cell
+
+    def test_haldane_preserves_ratios_semantics(self):
+        corrected = ContingencyTable(1, 0, 2, 3).haldane_corrected()
+        assert (corrected.a, corrected.b, corrected.c, corrected.d) == (3, 1, 5, 7)
+        assert not corrected.has_zero_cell
+
+
+class TestContingencyFor:
+    def test_counts_from_database(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        table = contingency_for(
+            drug_adr_database,
+            catalog.encode(["D1", "D2"]),
+            catalog.encode(["X"]),
+        )
+        # D1+D2 in 4 reports, all with X; X also occurs once with D3.
+        assert table.a == 4
+        assert table.b == 0
+        assert table.c == 1
+        assert table.n == len(drug_adr_database)
+
+    def test_cells_sum_to_n(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        table = contingency_for(
+            drug_adr_database, catalog.encode(["D1"]), catalog.encode(["Y"])
+        )
+        assert table.a + table.b + table.c + table.d == len(drug_adr_database)
+
+    def test_overlapping_sides_rejected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        items = catalog.encode(["D1"])
+        with pytest.raises(ConfigError, match="overlap"):
+            contingency_for(drug_adr_database, items, items)
+
+    def test_empty_exposure_rejected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        with pytest.raises(ConfigError):
+            contingency_for(drug_adr_database, frozenset(), catalog.encode(["X"]))

@@ -1,0 +1,105 @@
+"""Tests for PRR, ROR, RRR, IC and the Evans screening rule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.signals.contingency import ContingencyTable
+from repro.signals.disproportionality import (
+    chi_squared,
+    information_component,
+    proportional_reporting_ratio,
+    prr_signal_test,
+    relative_reporting_ratio,
+    reporting_odds_ratio,
+)
+
+
+def independent_table(n=400):
+    # Exposure and outcome independent: a=25, b=75, c=75, d=225 (rates 0.25).
+    return ContingencyTable(25, 75, 75, 225)
+
+
+class TestPRR:
+    def test_independence_is_one(self):
+        assert proportional_reporting_ratio(independent_table()) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # exposed rate 0.8, unexposed rate 0.2 → PRR 4
+        table = ContingencyTable(8, 2, 20, 80)
+        assert proportional_reporting_ratio(table) == pytest.approx(4.0)
+
+    def test_zero_exposure_margin(self):
+        assert proportional_reporting_ratio(ContingencyTable(0, 0, 5, 5)) == 0.0
+
+    def test_haldane_applied_on_zero_cell(self):
+        table = ContingencyTable(5, 0, 1, 10)
+        value = proportional_reporting_ratio(table)
+        assert math.isfinite(value) and value > 1
+
+
+class TestROR:
+    def test_independence_is_one(self):
+        assert reporting_odds_ratio(independent_table()) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        table = ContingencyTable(10, 10, 5, 20)
+        assert reporting_odds_ratio(table) == pytest.approx(4.0)
+
+    def test_zero_margins(self):
+        assert reporting_odds_ratio(ContingencyTable(0, 0, 5, 5)) == 0.0
+        assert reporting_odds_ratio(ContingencyTable(0, 5, 0, 5)) == 0.0
+
+
+class TestRRR:
+    def test_independence_is_one(self):
+        assert relative_reporting_ratio(independent_table()) == pytest.approx(1.0)
+
+    def test_observed_over_expected(self):
+        table = ContingencyTable(10, 10, 10, 70)
+        expected = 20 * 20 / 100
+        assert relative_reporting_ratio(table) == pytest.approx(10 / expected)
+
+    def test_zero_margin(self):
+        assert relative_reporting_ratio(ContingencyTable(0, 0, 5, 5)) == 0.0
+
+
+class TestInformationComponent:
+    def test_independence_near_zero(self):
+        assert abs(information_component(independent_table())) < 0.05
+
+    def test_positive_for_overrepresentation(self):
+        assert information_component(ContingencyTable(50, 10, 10, 330)) > 1
+
+    def test_negative_for_underrepresentation(self):
+        assert information_component(ContingencyTable(1, 99, 99, 201)) < 0
+
+    def test_empty_table(self):
+        assert information_component(ContingencyTable(0, 0, 0, 0)) == 0.0
+
+    def test_shrinkage_bounds_small_counts(self):
+        # a=1 with tiny expectation: raw ratio huge, IC must stay modest.
+        assert information_component(ContingencyTable(1, 0, 0, 9999)) < 2
+
+
+class TestChiSquaredAndScreen:
+    def test_chi_squared_independence_zero(self):
+        assert chi_squared(independent_table()) == pytest.approx(0.0)
+
+    def test_chi_squared_known_value(self):
+        # Perfect association 2×2: χ² = n.
+        table = ContingencyTable(10, 0, 0, 10)
+        assert chi_squared(table) == pytest.approx(20.0)
+
+    def test_evans_screen_positive(self):
+        table = ContingencyTable(10, 10, 10, 170)
+        assert prr_signal_test(table)
+
+    def test_evans_screen_blocks_small_counts(self):
+        table = ContingencyTable(2, 0, 1, 197)
+        assert not prr_signal_test(table)  # a < 3
+
+    def test_evans_screen_blocks_weak_prr(self):
+        assert not prr_signal_test(independent_table())

@@ -1,0 +1,166 @@
+"""Tests for the MGPS/EBGM empirical-Bayes shrinker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.ebgm import (
+    DEFAULT_PRIOR_START,
+    EBGMScorer,
+    GammaMixturePrior,
+    fit_prior,
+    score_pair,
+)
+
+
+class TestGammaMixturePrior:
+    def test_positive_parameters_required(self):
+        with pytest.raises(ConfigError):
+            GammaMixturePrior(alpha1=0, beta1=1, alpha2=1, beta2=1, weight=0.5)
+
+    def test_weight_in_open_interval(self):
+        with pytest.raises(ConfigError):
+            GammaMixturePrior(alpha1=1, beta1=1, alpha2=1, beta2=1, weight=1.0)
+
+
+class TestScorePair:
+    def test_shrinkage_of_tiny_evidence(self):
+        """n=1, E=0.01: raw ratio 100 but EBGM must shrink far below it."""
+        scores = score_pair(1, 0.01, DEFAULT_PRIOR_START)
+        assert scores.ebgm < 30
+        assert scores.eb05 < scores.ebgm < scores.eb95
+
+    def test_large_evidence_tracks_raw_ratio(self):
+        """n=200, E=50: λ̂=4 with heaps of evidence → EBGM near 4."""
+        scores = score_pair(200, 50.0, DEFAULT_PRIOR_START)
+        assert 3.2 < scores.ebgm < 4.8
+        assert 3.0 < scores.eb05 < scores.ebgm
+
+    def test_null_pair_scores_near_or_below_one(self):
+        scores = score_pair(10, 10.0, DEFAULT_PRIOR_START)
+        assert scores.eb05 < 1.5
+        assert 0.3 < scores.ebgm < 2.0
+
+    def test_quantiles_ordered(self):
+        for n, e in [(0, 1.0), (3, 1.0), (50, 10.0)]:
+            scores = score_pair(n, e, DEFAULT_PRIOR_START)
+            assert 0 <= scores.eb05 <= scores.eb95
+
+    def test_eb05_more_conservative_than_ebgm_for_small_n(self):
+        small = score_pair(3, 0.5, DEFAULT_PRIOR_START)
+        big = score_pair(300, 50.0, DEFAULT_PRIOR_START)
+        # Relative width of the credible interval shrinks with evidence.
+        assert (small.eb95 - small.eb05) / small.ebgm > (
+            big.eb95 - big.eb05
+        ) / big.ebgm
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            score_pair(-1, 1.0, DEFAULT_PRIOR_START)
+        with pytest.raises(ConfigError):
+            score_pair(1, 0.0, DEFAULT_PRIOR_START)
+
+
+class TestFitPrior:
+    def test_fit_improves_or_keeps_start(self):
+        # Mostly-null data with a contaminating signal component.
+        observed = [1, 0, 2, 1, 0, 1, 3, 0, 1, 2, 40, 35, 3, 1, 0, 2]
+        expected = [1.0, 0.8, 2.1, 1.2, 0.5, 0.9, 2.8, 0.4, 1.1, 2.0, 8.0, 7.0, 3.1, 0.9, 0.6, 1.8]
+        prior = fit_prior(observed, expected)
+        assert isinstance(prior, GammaMixturePrior)
+
+    def test_fitted_prior_separates_signal_from_null(self):
+        rng_null = [(i % 3, 1.0 + (i % 5) * 0.3) for i in range(40)]
+        signal = [(30, 5.0), (25, 4.0), (40, 6.0)]
+        observed = [n for n, _ in rng_null + signal]
+        expected = [e for _, e in rng_null + signal]
+        prior = fit_prior(observed, expected)
+        null_scores = score_pair(1, 1.0, prior)
+        signal_scores = score_pair(30, 5.0, prior)
+        assert signal_scores.ebgm > 2 * null_scores.ebgm
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            fit_prior([1, 2], [1.0])
+
+    def test_invalid_expected_rejected(self):
+        with pytest.raises(ConfigError):
+            fit_prior([1], [0.0])
+
+
+class TestEBGMScorer:
+    @pytest.fixture
+    def surveillance_database(self):
+        """A few hundred reports: background pairs plus a planted signal.
+
+        Small toy databases make maximum likelihood collapse the prior;
+        this is the realistic regime the scorer is meant for.
+        """
+        import random
+
+        from repro.mining.transactions import TransactionDatabase
+
+        rng = random.Random(17)
+        drugs = [f"DRUG{i}" for i in range(12)]
+        adrs = [f"ADR{i}" for i in range(8)]
+        kinds = {d: "drug" for d in drugs} | {a: "adr" for a in adrs}
+        rows = []
+        for _ in range(400):
+            row = rng.sample(drugs, rng.randint(1, 3))
+            row += rng.sample(adrs, rng.randint(1, 2))
+            rows.append(row)
+        # Planted: DRUG0+DRUG1 strongly produce ADR0.
+        rows.extend([["DRUG0", "DRUG1", "ADR0"]] * 25)
+        return TransactionDatabase.from_labelled(rows, kinds=kinds)
+
+    def test_fit_and_score_over_database(self, surveillance_database):
+        catalog = surveillance_database.catalog
+        drugs = sorted(catalog.ids_of_kind("drug"))
+        adrs = sorted(catalog.ids_of_kind("adr"))
+        pairs = [
+            (frozenset({d}), frozenset({a})) for d in drugs for a in adrs
+        ]
+        scorer = EBGMScorer.fit(surveillance_database, pairs)
+        planted = scorer.score(
+            catalog.encode(["DRUG0", "DRUG1"]), catalog.encode(["ADR0"])
+        )
+        background = scorer.score(
+            catalog.encode(["DRUG5"]), catalog.encode(["ADR5"])
+        )
+        assert planted.ebgm > 1.5 * background.ebgm
+        assert planted.eb05 > 1.0
+
+    def test_ic025_counterpart(self, surveillance_database):
+        """IC025 agrees with EB05 on signal vs background direction."""
+        from repro.signals.contingency import contingency_for
+        from repro.signals.disproportionality import ic025
+
+        catalog = surveillance_database.catalog
+        planted = ic025(
+            contingency_for(
+                surveillance_database,
+                catalog.encode(["DRUG0", "DRUG1"]),
+                catalog.encode(["ADR0"]),
+            )
+        )
+        background = ic025(
+            contingency_for(
+                surveillance_database,
+                catalog.encode(["DRUG5"]),
+                catalog.encode(["ADR5"]),
+            )
+        )
+        assert planted > 0 > background
+
+    def test_unobserved_margin_rejected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        ghost = catalog.add("GHOST", "drug")
+        pairs = [(catalog.encode(["D1"]), catalog.encode(["X"]))]
+        scorer = EBGMScorer.fit(drug_adr_database, pairs)
+        with pytest.raises(ConfigError):
+            scorer.score(frozenset({ghost}), catalog.encode(["X"]))
+
+    def test_empty_candidates_rejected(self, drug_adr_database):
+        with pytest.raises(ConfigError):
+            EBGMScorer.fit(drug_adr_database, [])

@@ -1,0 +1,126 @@
+"""Tests for the multi-drug interaction baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.interaction import (
+    harpaz_multi_item_signals,
+    omega_shrinkage,
+    rank_pairs_by_omega,
+)
+
+
+class TestHarpazSignals:
+    def test_planted_pair_detected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        signals = harpaz_multi_item_signals(drug_adr_database, min_support=2)
+        planted = [
+            s
+            for s in signals
+            if s.rule.antecedent == catalog.encode(["D1", "D2"])
+            and catalog.encode(["X"]) <= s.rule.consequent
+        ]
+        assert planted
+        assert planted[0].score >= 2.0
+
+    def test_only_multi_drug_rules(self, drug_adr_database):
+        signals = harpaz_multi_item_signals(drug_adr_database, min_support=2)
+        assert all(len(s.rule.antecedent) >= 2 for s in signals)
+
+    def test_sorted_by_descending_score(self, drug_adr_database):
+        signals = harpaz_multi_item_signals(drug_adr_database, min_support=2)
+        scores = [s.score for s in signals]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rrr_threshold_filters(self, drug_adr_database):
+        loose = harpaz_multi_item_signals(
+            drug_adr_database, min_support=2, min_rrr=1.0
+        )
+        strict = harpaz_multi_item_signals(
+            drug_adr_database, min_support=2, min_rrr=2.5
+        )
+        assert len(strict) <= len(loose)
+        assert all(s.score >= 2.5 for s in strict)
+
+    def test_invalid_threshold(self, drug_adr_database):
+        with pytest.raises(ConfigError):
+            harpaz_multi_item_signals(drug_adr_database, min_rrr=0.0)
+
+    def test_describe(self, drug_adr_database):
+        signals = harpaz_multi_item_signals(drug_adr_database, min_support=2)
+        text = signals[0].describe(drug_adr_database.catalog)
+        assert "score=" in text and "=>" in text
+
+
+class TestOmegaShrinkage:
+    def test_positive_for_planted_interaction(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        omega = omega_shrinkage(
+            drug_adr_database,
+            catalog.id("D1"),
+            catalog.id("D2"),
+            catalog.encode(["X"]),
+        )
+        # X never fires under single exposure, always under joint → strongly positive.
+        assert omega > 1.0
+
+    def test_zero_when_pair_never_cooccurs(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        omega = omega_shrinkage(
+            drug_adr_database,
+            catalog.id("D1"),
+            catalog.id("D3"),
+            catalog.encode(["X"]),
+        )
+        assert omega == 0.0
+
+    def test_additive_risks_score_near_zero(self):
+        """When the joint rate matches the independent-risk expectation."""
+        from repro.mining.transactions import TransactionDatabase
+
+        kinds = {"A": "drug", "B": "drug", "X": "adr", "O": "adr"}
+        # f10 = f01 = 0.5; expected joint ≈ 0.75, observed joint = 0.75.
+        rows = (
+            [["A", "X"], ["A", "O"]] * 10
+            + [["B", "X"], ["B", "O"]] * 10
+            + [["A", "B", "X"]] * 15
+            + [["A", "B", "O"]] * 5
+        )
+        db = TransactionDatabase.from_labelled(rows, kinds=kinds)
+        catalog = db.catalog
+        omega = omega_shrinkage(
+            db, catalog.id("A"), catalog.id("B"), catalog.encode(["X"])
+        )
+        assert abs(omega) < 0.3
+
+    def test_same_drug_rejected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        with pytest.raises(ConfigError):
+            omega_shrinkage(
+                drug_adr_database,
+                catalog.id("D1"),
+                catalog.id("D1"),
+                catalog.encode(["X"]),
+            )
+
+    def test_drug_in_outcome_rejected(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        with pytest.raises(ConfigError):
+            omega_shrinkage(
+                drug_adr_database,
+                catalog.id("D1"),
+                catalog.id("D2"),
+                frozenset({catalog.id("D1")}),
+            )
+
+    def test_rank_pairs(self, drug_adr_database):
+        catalog = drug_adr_database.catalog
+        pairs = [
+            (catalog.id("D1"), catalog.id("D2"), catalog.encode(["X"])),
+            (catalog.id("D1"), catalog.id("D2"), catalog.encode(["Z"])),
+        ]
+        ranked = rank_pairs_by_omega(drug_adr_database, pairs)
+        assert ranked[0][0][2] == catalog.encode(["X"])
+        assert ranked[0][1] >= ranked[1][1]

@@ -1,0 +1,108 @@
+"""Property-based tests of the disproportionality statistics."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.signals.contingency import ContingencyTable
+from repro.signals.disproportionality import (
+    chi_squared,
+    ic025,
+    information_component,
+    proportional_reporting_ratio,
+    relative_reporting_ratio,
+    reporting_odds_ratio,
+)
+from repro.signals.stratified import mantel_haenszel_ror
+
+cells = st.integers(min_value=0, max_value=500)
+tables = st.builds(ContingencyTable, a=cells, b=cells, c=cells, d=cells)
+positive_tables = st.builds(
+    ContingencyTable,
+    a=st.integers(1, 500),
+    b=st.integers(1, 500),
+    c=st.integers(1, 500),
+    d=st.integers(1, 500),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=tables)
+def test_statistics_are_finite_or_inf_nonnegative(table):
+    assume(table.n > 0)
+    for statistic in (
+        proportional_reporting_ratio,
+        reporting_odds_ratio,
+        relative_reporting_ratio,
+        chi_squared,
+    ):
+        value = statistic(table)
+        assert value >= 0.0 or math.isinf(value)
+        assert not math.isnan(value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=positive_tables)
+def test_rrr_symmetric_in_exposure_and_outcome(table):
+    """RRR = aN / ((a+b)(a+c)) is invariant under transposing the table."""
+    transposed = ContingencyTable(table.a, table.c, table.b, table.d)
+    assert relative_reporting_ratio(table) == relative_reporting_ratio(transposed)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=positive_tables)
+def test_ic_sign_matches_association_direction(table):
+    """IC > 0 iff observed exceeds expected (up to the ½ shrinkage)."""
+    expected = table.n_exposed * table.n_outcome / table.n
+    ic = information_component(table)
+    if table.a > expected:
+        assert ic > 0 or math.isclose(ic, 0, abs_tol=0.2)
+    if table.a < expected * 0.5 and expected > 2:
+        assert ic < 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=positive_tables)
+def test_ic025_below_ic(table):
+    assert ic025(table) < information_component(table)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=positive_tables, factor=st.integers(2, 9))
+def test_ror_invariant_under_scaling(table, factor):
+    """Multiplying every cell by a constant leaves the odds ratio fixed."""
+    scaled = ContingencyTable(
+        table.a * factor, table.b * factor, table.c * factor, table.d * factor
+    )
+    assert math.isclose(
+        reporting_odds_ratio(table), reporting_odds_ratio(scaled), rel_tol=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(strata=st.lists(positive_tables, min_size=1, max_size=5))
+def test_mh_or_within_stratum_or_range(strata):
+    """The pooled MH odds ratio lies between the per-stratum extremes."""
+    per_stratum = [
+        (t.a * t.d) / (t.b * t.c) for t in strata
+    ]
+    pooled = mantel_haenszel_ror(strata)
+    assert min(per_stratum) - 1e-9 <= pooled <= max(per_stratum) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=positive_tables)
+def test_mh_single_stratum_equals_plain_or(table):
+    plain = (table.a * table.d) / (table.b * table.c)
+    assert math.isclose(mantel_haenszel_ror([table]), plain, rel_tol=1e-12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=positive_tables)
+def test_chi_squared_invariant_under_transpose(table):
+    transposed = ContingencyTable(table.a, table.c, table.b, table.d)
+    assert math.isclose(
+        chi_squared(table), chi_squared(transposed), rel_tol=1e-9
+    )

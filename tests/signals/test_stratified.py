@@ -1,0 +1,179 @@
+"""Tests for Mantel-Haenszel stratified disproportionality."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+from repro.signals.contingency import ContingencyTable
+from repro.signals.stratified import (
+    age_band,
+    crude_ror,
+    mantel_haenszel_ror,
+    stratified_signal,
+    stratify_reports,
+    stratum_of,
+)
+
+
+class TestAgeBand:
+    def test_bands(self):
+        assert age_band(5) == "[0,18)"
+        assert age_band(30) == "[18,45)"
+        assert age_band(70) == "[65,80)"
+        assert age_band(92) == "[80,inf)"
+
+    def test_boundaries_half_open(self):
+        assert age_band(18) == "[18,45)"
+        assert age_band(17.99) == "[0,18)"
+
+    def test_none_is_unknown(self):
+        assert age_band(None) == "unknown"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            age_band(-1)
+
+
+class TestStratification:
+    def _report(self, i, drugs, adrs, age, sex):
+        return CaseReport.build(f"c{i}", drugs, adrs, age=age, sex=sex)
+
+    def test_stratum_key_composition(self):
+        report = self._report(1, ["D"], ["X"], age=70, sex="F")
+        assert stratum_of(report) == ("[65,80)", "F")
+        assert stratum_of(report, by_sex=False) == ("[65,80)",)
+        assert stratum_of(report, by_age=False) == ("F",)
+
+    def test_tables_partition_reports(self):
+        reports = [
+            self._report(1, ["D"], ["X"], 30, "F"),
+            self._report(2, ["D"], ["Y"], 30, "F"),
+            self._report(3, ["E"], ["X"], 70, "M"),
+            self._report(4, ["E"], ["Y"], None, None),
+        ]
+        tables = stratify_reports(
+            reports, frozenset({"D"}), frozenset({"X"})
+        )
+        assert sum(t.n for t in tables.values()) == 4
+        assert ("unknown", "unknown") in tables
+
+    def test_cell_assignment(self):
+        reports = [self._report(1, ["D"], ["X"], 30, "F")]
+        ((_, table),) = stratify_reports(
+            reports, frozenset({"D"}), frozenset({"X"})
+        ).items()
+        assert (table.a, table.b, table.c, table.d) == (1, 0, 0, 0)
+
+    def test_empty_exposure_rejected(self):
+        with pytest.raises(ConfigError):
+            stratify_reports([], frozenset(), frozenset({"X"}))
+
+
+class TestMantelHaenszel:
+    def test_matches_single_stratum_or(self):
+        table = ContingencyTable(10, 10, 5, 20)
+        assert mantel_haenszel_ror([table]) == pytest.approx(4.0)
+
+    def test_pooled_across_homogeneous_strata(self):
+        # Two strata with identical OR=4 → pooled OR 4.
+        tables = [ContingencyTable(10, 10, 5, 20), ContingencyTable(20, 20, 10, 40)]
+        assert mantel_haenszel_ror(tables) == pytest.approx(4.0)
+
+    def test_empty_strata_contribute_nothing(self):
+        tables = [ContingencyTable(0, 0, 0, 0), ContingencyTable(10, 10, 5, 20)]
+        assert mantel_haenszel_ror(tables) == pytest.approx(4.0)
+
+    def test_no_information_is_zero(self):
+        assert mantel_haenszel_ror([ContingencyTable(0, 5, 0, 5)]) == 0.0
+
+    def test_pure_numerator_is_inf(self):
+        assert mantel_haenszel_ror([ContingencyTable(5, 0, 0, 5)]) == math.inf
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(ConfigError):
+            mantel_haenszel_ror([])
+
+
+class TestConfoundingDetection:
+    @pytest.fixture
+    def confounded_reports(self):
+        """Age-confounded association: DRUG and ADR are both common in
+        the elderly but independent *within* each age band."""
+        reports = []
+        i = 0
+
+        def add(n, drugs, adrs, age):
+            nonlocal i
+            for _ in range(n):
+                i += 1
+                reports.append(
+                    CaseReport.build(f"c{i}", drugs, adrs, age=age, sex="F")
+                )
+
+        # Elderly: 50% exposed, 50% outcome, independent.
+        add(25, ["DRUG"], ["ADR"], 85)
+        add(25, ["DRUG"], ["OTHER"], 85)
+        add(25, ["PLACEBO"], ["ADR"], 85)
+        add(25, ["PLACEBO"], ["OTHER"], 85)
+        # Young: 10% exposed, 10% outcome, independent.
+        add(1, ["DRUG"], ["ADR"], 30)
+        add(9, ["DRUG"], ["OTHER"], 30)
+        add(9, ["PLACEBO"], ["ADR"], 30)
+        add(81, ["PLACEBO"], ["OTHER"], 30)
+        return reports
+
+    def test_crude_inflated_adjusted_near_null(self, confounded_reports):
+        signal = stratified_signal(
+            confounded_reports,
+            frozenset({"DRUG"}),
+            frozenset({"ADR"}),
+            by_sex=False,
+        )
+        assert signal.crude > 1.5  # looks like a signal...
+        assert 0.7 < signal.adjusted < 1.4  # ...but is age confounding
+        assert signal.is_confounded
+
+    def test_genuine_association_survives_adjustment(self):
+        reports = []
+        i = 0
+        for age in (30, 85):
+            for _ in range(20):
+                i += 1
+                reports.append(
+                    CaseReport.build(f"e{i}", ["DRUG"], ["ADR"], age=age, sex="M")
+                )
+            for _ in range(5):
+                i += 1
+                reports.append(
+                    CaseReport.build(f"f{i}", ["DRUG"], ["OTHER"], age=age, sex="M")
+                )
+            for _ in range(5):
+                i += 1
+                reports.append(
+                    CaseReport.build(f"g{i}", ["PLACEBO"], ["ADR"], age=age, sex="M")
+                )
+            for _ in range(20):
+                i += 1
+                reports.append(
+                    CaseReport.build(f"h{i}", ["PLACEBO"], ["OTHER"], age=age, sex="M")
+                )
+        signal = stratified_signal(
+            reports, frozenset({"DRUG"}), frozenset({"ADR"}), by_sex=False
+        )
+        assert signal.adjusted > 5
+        assert not signal.is_confounded
+
+    def test_crude_matches_collapsed_table(self, confounded_reports):
+        tables = stratify_reports(
+            confounded_reports,
+            frozenset({"DRUG"}),
+            frozenset({"ADR"}),
+            by_sex=False,
+        )
+        # Collapsing by hand: exposed-with 26, exposed-without 34,
+        # unexposed-with 34, unexposed-without 106.
+        assert crude_ror(tables) == pytest.approx((26 * 106) / (34 * 34))

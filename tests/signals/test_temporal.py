@@ -1,0 +1,142 @@
+"""Tests for temporal signal analysis over event dates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers.schema import CaseReport
+from repro.signals.temporal import (
+    TemporalTrend,
+    monthly_series,
+    reporting_trend,
+)
+
+
+def dated_report(i, drugs, adrs, date):
+    return CaseReport.build(f"c{i}", drugs, adrs, event_date=date)
+
+
+def month_stream(rates):
+    """One exposed cohort of 10 reports per month; ``rates`` sets the
+    per-month fraction with the outcome."""
+    reports = []
+    index = 0
+    for month_index, rate in enumerate(rates, start=1):
+        with_outcome = round(10 * rate)
+        for k in range(10):
+            index += 1
+            adrs = ["ADR"] if k < with_outcome else ["OTHER"]
+            reports.append(
+                dated_report(
+                    index, ["DRUG"], adrs, f"2014-{month_index:02d}-15"
+                )
+            )
+    return reports
+
+
+class TestMonthlySeries:
+    def test_counts_per_month(self):
+        reports = month_stream([0.2, 0.5])
+        series = monthly_series(
+            reports, frozenset({"DRUG"}), frozenset({"ADR"})
+        )
+        assert [point.month for point in series] == ["2014-01", "2014-02"]
+        assert [point.n_exposed for point in series] == [10, 10]
+        assert [point.n_outcome for point in series] == [2, 5]
+        assert series[1].rate == pytest.approx(0.5)
+
+    def test_undated_reports_ignored(self):
+        reports = month_stream([0.5]) + [
+            CaseReport.build("undated", ["DRUG"], ["ADR"])
+        ]
+        series = monthly_series(reports, frozenset({"DRUG"}), frozenset({"ADR"}))
+        assert sum(point.n_exposed for point in series) == 10
+
+    def test_unexposed_reports_ignored(self):
+        reports = month_stream([0.5]) + [
+            dated_report(99, ["OTHERDRUG"], ["ADR"], "2014-01-10")
+        ]
+        series = monthly_series(reports, frozenset({"DRUG"}), frozenset({"ADR"}))
+        assert series[0].n_exposed == 10
+
+    def test_chronological_order(self):
+        reports = [
+            dated_report(1, ["DRUG"], ["ADR"], "2014-03-01"),
+            dated_report(2, ["DRUG"], ["ADR"], "2014-01-01"),
+            dated_report(3, ["DRUG"], ["ADR"], "2014-02-01"),
+        ]
+        series = monthly_series(reports, frozenset({"DRUG"}), frozenset({"ADR"}))
+        months = [point.month for point in series]
+        assert months == sorted(months)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ConfigError):
+            monthly_series([], frozenset(), frozenset({"ADR"}))
+
+
+class TestReportingTrend:
+    def test_rising_rate_detected(self):
+        result = reporting_trend(
+            month_stream([0.1, 0.3, 0.5, 0.7]),
+            frozenset({"DRUG"}),
+            frozenset({"ADR"}),
+        )
+        assert result.trend is TemporalTrend.RISING
+        assert result.slope_per_month > 0.1
+
+    def test_falling_rate_detected(self):
+        result = reporting_trend(
+            month_stream([0.7, 0.5, 0.3, 0.1]),
+            frozenset({"DRUG"}),
+            frozenset({"ADR"}),
+        )
+        assert result.trend is TemporalTrend.FALLING
+
+    def test_flat_rate(self):
+        result = reporting_trend(
+            month_stream([0.4, 0.4, 0.4, 0.4]),
+            frozenset({"DRUG"}),
+            frozenset({"ADR"}),
+        )
+        assert result.trend is TemporalTrend.FLAT
+        assert abs(result.slope_per_month) < 1e-9
+
+    def test_insufficient_months(self):
+        result = reporting_trend(
+            month_stream([0.5, 0.5]), frozenset({"DRUG"}), frozenset({"ADR"})
+        )
+        assert result.trend is TemporalTrend.INSUFFICIENT
+
+    def test_flat_band_widening(self):
+        stream = month_stream([0.40, 0.42, 0.44, 0.46])
+        narrow = reporting_trend(
+            stream, frozenset({"DRUG"}), frozenset({"ADR"}), flat_band=0.001
+        )
+        wide = reporting_trend(
+            stream, frozenset({"DRUG"}), frozenset({"ADR"}), flat_band=0.1
+        )
+        assert narrow.trend is TemporalTrend.RISING
+        assert wide.trend is TemporalTrend.FLAT
+
+    def test_negative_flat_band_rejected(self):
+        with pytest.raises(ConfigError):
+            reporting_trend([], frozenset({"D"}), frozenset({"A"}), flat_band=-1)
+
+
+class TestOnSyntheticQuarter:
+    def test_synthetic_dates_cover_the_quarter(self, small_quarter_reports):
+        months = {
+            report.event_date[:7]
+            for report in small_quarter_reports
+            if report.event_date
+        }
+        assert months == {"2014-01", "2014-02", "2014-03"}
+
+    def test_trend_runs_on_planted_pair(self, small_quarter_reports):
+        result = reporting_trend(
+            small_quarter_reports,
+            frozenset({"IBUPROFEN", "METAMIZOLE"}),
+            frozenset({"ACUTE RENAL FAILURE"}),
+        )
+        assert result.trend in TemporalTrend

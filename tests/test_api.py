@@ -1,0 +1,77 @@
+"""Public-API surface guard.
+
+Every package's ``__all__`` must resolve to a real attribute, every
+public callable/class must carry a docstring, and the top-level
+re-exports must stay importable — the cheapest way to catch a refactor
+that silently breaks the documented surface.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.faers",
+    "repro.knowledge",
+    "repro.mining",
+    "repro.signals",
+    "repro.userstudy",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    exported = importlib.import_module(package_name).__all__
+    assert len(set(exported)) == len(exported), f"duplicates in {package_name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_objects_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in package.__all__:
+        attribute = getattr(package, name)
+        if inspect.isclass(attribute) or inspect.isfunction(attribute):
+            if not (attribute.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"{package_name}: missing docstrings on {undocumented}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_docstring_present(package_name):
+    package = importlib.import_module(package_name)
+    assert (package.__doc__ or "").strip(), package_name
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    parser = cli.build_parser()
+    assert parser.prog == "mediar"
+
+
+def test_exception_hierarchy_rooted():
+    from repro import errors
+
+    for name in ("ConfigError", "MiningError", "ParseError", "ValidationError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)

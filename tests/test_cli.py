@@ -1,0 +1,186 @@
+"""Tests for the mediar command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+SYNTH = ("--synthetic", "2014Q1", "--scale", "0.005")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--method", "astrology"])
+
+
+class TestStats:
+    def test_synthetic_stats(self, capsys):
+        code, out, _ = run(capsys, "stats", *SYNTH)
+        assert code == 0
+        assert "reports:" in out and "drugs:" in out
+
+    def test_missing_input_is_an_error(self, capsys):
+        with pytest.raises(SystemExit, match="provide --synthetic"):
+            main(["stats"])
+
+
+class TestGenerateAndParseBack:
+    def test_generate_then_stats_on_files(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "generate", "2014Q1", "--scale", "0.005", "--out", str(tmp_path)
+        )
+        assert code == 0
+        demo = tmp_path / "DEMO14Q1.txt"
+        drug = tmp_path / "DRUG14Q1.txt"
+        reac = tmp_path / "REAC14Q1.txt"
+        assert demo.exists() and drug.exists() and reac.exists()
+
+        code, out, _ = run(
+            capsys,
+            "stats",
+            "--demo",
+            str(demo),
+            "--drug-file",
+            str(drug),
+            "--reac",
+            str(reac),
+        )
+        assert code == 0
+        assert "reports:" in out
+
+
+class TestMine:
+    def test_mine_prints_ranked_clusters(self, capsys):
+        code, out, _ = run(capsys, "mine", *SYNTH, "--min-support", "4", "--top", "3")
+        assert code == 0
+        assert "#1" in out and "=>" in out
+
+    def test_mine_with_context(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "mine",
+            *SYNTH,
+            "--min-support",
+            "4",
+            "--top",
+            "1",
+            "--show-context",
+        )
+        assert code == 0
+        assert "R~1" in out
+
+    def test_mine_search_no_match(self, capsys):
+        code, out, _ = run(
+            capsys, "mine", *SYNTH, "--min-support", "4", "--drug", "NO-SUCH-DRUG"
+        )
+        assert code == 1
+        assert "no clusters match" in out
+
+    def test_mine_method_choice(self, capsys):
+        code, out, _ = run(
+            capsys, "mine", *SYNTH, "--min-support", "4", "--method", "confidence"
+        )
+        assert code == 0
+        assert "by confidence" in out
+
+
+class TestRender:
+    def test_render_writes_svgs(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys,
+            "render",
+            *SYNTH,
+            "--min-support",
+            "4",
+            "--top",
+            "4",
+            "--out",
+            str(tmp_path / "glyphs"),
+        )
+        assert code == 0
+        assert (tmp_path / "glyphs" / "panorama.svg").exists()
+        assert (tmp_path / "glyphs" / "top1_zoom.svg").exists()
+
+
+class TestValidate:
+    def test_validate_prints_novelty(self, capsys):
+        code, out, _ = run(capsys, "validate", *SYNTH, "--min-support", "4")
+        assert code == 0
+        assert "unknown" in out or "known" in out
+
+
+class TestStudy:
+    def test_study_prints_accuracy_table(self, capsys):
+        code, out, _ = run(
+            capsys, "study", "--synthetic", "2014Q1", "--scale", "0.02",
+            "--min-support", "5", "--annotators", "10",
+        )
+        assert code == 0
+        assert "glyph" in out and "%" in out
+
+
+class TestReport:
+    def test_report_written(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "report", *SYNTH, "--min-support", "4",
+            "--out", str(tmp_path / "q.md"),
+        )
+        assert code == 0
+        content = (tmp_path / "q.md").read_text()
+        assert content.startswith("# MeDIAR quarterly surveillance report")
+
+
+class TestExport:
+    def test_export_written_and_loadable(self, capsys, tmp_path):
+        from repro.core.export import load_export
+
+        code, out, _ = run(
+            capsys, "export", *SYNTH, "--min-support", "4",
+            "--out", str(tmp_path / "q.json"),
+        )
+        assert code == 0
+        loaded = load_export(tmp_path / "q.json")
+        assert loaded.clusters
+
+
+class TestDashboard:
+    def test_dashboard_written(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "dashboard", *SYNTH, "--min-support", "4", "--top", "5",
+            "--out", str(tmp_path / "d.html"),
+        )
+        assert code == 0
+        content = (tmp_path / "d.html").read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "<svg" in content
+
+
+class TestProfile:
+    def test_profile_known_drug(self, capsys):
+        code, out, _ = run(
+            capsys, "profile", "ASPIRIN", "--synthetic", "2014Q1",
+            "--scale", "0.02", "--min-support", "5",
+        )
+        assert code == 0
+        assert out.startswith("ASPIRIN:")
+        assert "body systems:" in out
+
+    def test_profile_unknown_drug_exits_2(self, capsys):
+        code, out, err = run(
+            capsys, "profile", "NO-SUCH-DRUG", *SYNTH, "--min-support", "4",
+        )
+        assert code == 2
+        assert "unknown drug" in err

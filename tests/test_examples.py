@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must actually run.
+
+Each example is executed in-process via :func:`runpy.run_path` with
+``__name__ == "__main__"`` so its ``main()`` fires. Only the faster
+examples run here (the full set is exercised manually / in CI-style
+runs); each asserts on a fragment of its expected stdout so a silently
+broken example cannot pass.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "top 5 by exclusiveness_confidence:" in out
+        assert "winning cluster in detail:" in out
+        assert "supported by" in out
+
+    def test_parse_real_faers(self, capsys):
+        out = run_example("parse_real_faers.py", capsys)
+        assert "parsed" in out and "EXP reports" in out
+        assert "drug names corrected" in out
+        assert "top 5 interactions" in out
+
+    def test_glyph_gallery_writes_svgs(self, capsys):
+        out = run_example("glyph_gallery.py", capsys)
+        assert "glyph_top1.svg" in out
+        assert "panorama.svg" in out
+        assert "stimuli" in out
+        for line in out.splitlines():
+            if line.startswith("wrote "):
+                path = Path(line.split(" ")[1])
+                assert path.exists(), path
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "faers_quarterly_analysis.py",
+            "case_study_interactions.py",
+            "signal_methods_comparison.py",
+            "surveillance_stream.py",
+            "evaluator_toolkit.py",
+        ],
+    )
+    def test_other_examples_importable(self, name):
+        """The slower examples at least parse and import cleanly."""
+        source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+        compile(source, name, "exec")

@@ -1,0 +1,107 @@
+"""Tests for the perception models."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.userstudy.perception import (
+    BARCHART_MODEL,
+    GLYPH_MODEL,
+    Annotator,
+    PerceptionModel,
+)
+
+
+class TestPerceptionModel:
+    def test_sigma_grows_with_context(self):
+        model = PerceptionModel("m", base_noise=0.05, per_element_noise=0.01)
+        assert model.sigma(10) > model.sigma(2)
+        assert model.sigma(0) == 0.05
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigError):
+            PerceptionModel("m", base_noise=-0.1, per_element_noise=0.0)
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ConfigError):
+            GLYPH_MODEL.sigma(-1)
+
+    def test_glyph_flatter_than_barchart(self):
+        """The structural claim behind Fig 5.2."""
+        assert GLYPH_MODEL.per_element_noise < BARCHART_MODEL.per_element_noise
+        for context_size in (2, 6, 14):
+            assert GLYPH_MODEL.sigma(context_size) < BARCHART_MODEL.sigma(
+                context_size
+            )
+
+
+class TestAnnotator:
+    def test_deterministic_per_seed(self):
+        left = Annotator(seed=5)
+        right = Annotator(seed=5)
+        scores = [0.5, 0.4, 0.3]
+        sizes = [2, 2, 2]
+        picks_left = [left.choose(scores, sizes, GLYPH_MODEL) for _ in range(20)]
+        picks_right = [right.choose(scores, sizes, GLYPH_MODEL) for _ in range(20)]
+        assert picks_left == picks_right
+
+    def test_perception_unbiased(self):
+        annotator = Annotator(seed=1)
+        readings = [
+            annotator.perceive(0.5, GLYPH_MODEL, context_size=4)
+            for _ in range(3000)
+        ]
+        assert statistics.mean(readings) == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_noise_always_correct(self):
+        noiseless = PerceptionModel("exact", base_noise=0.0, per_element_noise=0.0)
+        annotator = Annotator(seed=2)
+        assert annotator.choose([0.2, 0.9, 0.5], [2, 2, 2], noiseless) == 1
+
+    def test_large_gap_usually_correct(self):
+        annotator = Annotator(seed=3)
+        correct = sum(
+            annotator.choose([0.9, 0.1, 0.1], [2, 2, 2], GLYPH_MODEL) == 0
+            for _ in range(200)
+        )
+        assert correct >= 195
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            Annotator(seed=4).choose([0.5], [2, 3], GLYPH_MODEL)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            Annotator(seed=4).choose([], [], GLYPH_MODEL)
+
+
+class TestResponseTimeModel:
+    def test_reading_time_grows_with_context(self):
+        assert BARCHART_MODEL.reading_seconds(14) > BARCHART_MODEL.reading_seconds(2)
+
+    def test_glyph_scan_cost_below_barchart(self):
+        for context_size in (2, 6, 14):
+            assert GLYPH_MODEL.reading_seconds(
+                context_size
+            ) < BARCHART_MODEL.reading_seconds(context_size)
+
+    def test_negative_context_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ConfigError):
+            GLYPH_MODEL.reading_seconds(-1)
+
+    def test_answer_returns_choice_and_time(self):
+        annotator = Annotator(seed=9)
+        choice, seconds = annotator.answer([0.9, 0.1], [2, 2], GLYPH_MODEL)
+        assert choice in (0, 1)
+        assert seconds > 0
+
+    def test_invalid_time_parameters_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ConfigError):
+            PerceptionModel("m", 0.1, 0.0, base_seconds=0.0)

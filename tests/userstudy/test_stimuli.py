@@ -1,0 +1,68 @@
+"""Tests for the Appendix A stimulus-sheet renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.userstudy.stimuli import render_question_sheet, render_study_sheets
+from repro.userstudy.study import build_questions
+
+
+@pytest.fixture
+def question(mined_quarter):
+    return build_questions(mined_quarter.clusters, drug_counts=(2,))[0]
+
+
+class TestQuestionSheet:
+    def test_glyph_sheet_well_formed(self, question):
+        sheet = render_question_sheet(question, encoding="glyph")
+        root = ET.fromstring(sheet.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_candidate_labels_present(self, question):
+        rendered = render_question_sheet(question, encoding="glyph").to_string()
+        root = ET.fromstring(rendered)
+        texts = [el.text for el in root if el.tag.endswith("text")]
+        for label in ("A", "B", "C", "D")[: len(question.clusters)]:
+            assert label in texts
+
+    def test_prompt_mentions_drug_count(self, question):
+        rendered = render_question_sheet(question).to_string()
+        assert f"{question.n_drugs}-drug" in rendered
+
+    def test_barchart_encoding(self, question):
+        rendered = render_question_sheet(question, encoding="barchart").to_string()
+        root = ET.fromstring(rendered)
+        rects = [
+            el
+            for el in root
+            if el.tag.endswith("rect") and el.get("fill") not in ("#ffffff",)
+        ]
+        expected = sum(1 + c.context_size for c in question.clusters)
+        # every bar with nonzero confidence is drawn
+        assert 0 < len(rects) <= expected
+
+    def test_answer_key_marker(self, question):
+        plain = render_question_sheet(question, show_answer=False).to_string()
+        keyed = render_question_sheet(question, show_answer=True).to_string()
+        assert keyed.count("<circle") == plain.count("<circle") + 1
+
+    def test_unknown_encoding_rejected(self, question):
+        with pytest.raises(ConfigError):
+            render_question_sheet(question, encoding="hologram")
+
+
+class TestStudySheets:
+    def test_sheets_written_for_both_encodings(self, mined_quarter, tmp_path):
+        questions = build_questions(
+            mined_quarter.clusters, drug_counts=(2,), questions_per_count=2
+        )
+        paths = render_study_sheets(questions, tmp_path)
+        assert len(paths) == 2 * len(questions)
+        assert all(path.exists() for path in paths)
+        names = {path.name for path in paths}
+        assert any("glyph" in name for name in names)
+        assert any("barchart" in name for name in names)

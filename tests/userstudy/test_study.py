@@ -1,0 +1,138 @@
+"""Tests for the simulated user-study harness (Fig 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.userstudy.perception import PerceptionModel
+from repro.userstudy.study import Question, StudyResult, UserStudy, build_questions
+
+
+class TestQuestion:
+    def _clusters(self, mined_quarter, count=3):
+        return tuple(c for c in mined_quarter.clusters if c.n_drugs == 2)[:count]
+
+    def test_correct_index_must_be_argmax(self, mined_quarter):
+        clusters = self._clusters(mined_quarter)
+        with pytest.raises(ConfigError, match="highest true score"):
+            Question(2, clusters, (0.9, 0.1, 0.2), correct_index=1)
+
+    def test_needs_two_candidates(self, mined_quarter):
+        clusters = self._clusters(mined_quarter, count=1)
+        with pytest.raises(ConfigError):
+            Question(2, clusters, (0.9,), correct_index=0)
+
+    def test_context_sizes(self, mined_quarter):
+        clusters = self._clusters(mined_quarter)
+        question = Question(2, clusters, (0.9, 0.1, 0.2), correct_index=0)
+        assert question.context_sizes == [c.context_size for c in clusters]
+
+
+class TestBuildQuestions:
+    def test_questions_for_each_covered_drug_count(self, mined_quarter):
+        questions = build_questions(mined_quarter.clusters)
+        counts = {q.n_drugs for q in questions}
+        assert 2 in counts  # 2-drug clusters always abundant
+
+    def test_deterministic(self, mined_quarter):
+        first = build_questions(mined_quarter.clusters, seed=11)
+        second = build_questions(mined_quarter.clusters, seed=11)
+        assert [q.true_scores for q in first] == [q.true_scores for q in second]
+
+    def test_candidate_count_respected(self, mined_quarter):
+        questions = build_questions(
+            mined_quarter.clusters, candidates_per_question=3
+        )
+        assert all(len(q.clusters) == 3 for q in questions)
+
+    def test_candidates_share_cardinality(self, mined_quarter):
+        questions = build_questions(mined_quarter.clusters)
+        for question in questions:
+            assert {c.n_drugs for c in question.clusters} == {question.n_drugs}
+
+    def test_too_few_clusters_raises(self, mined_quarter):
+        only_fours = [c for c in mined_quarter.clusters if c.n_drugs == 4][:2]
+        with pytest.raises(ConfigError, match="no questions"):
+            build_questions(only_fours, drug_counts=(4,))
+
+    def test_invalid_candidate_count(self, mined_quarter):
+        with pytest.raises(ConfigError):
+            build_questions(mined_quarter.clusters, candidates_per_question=1)
+
+
+class TestUserStudy:
+    @pytest.fixture
+    def questions(self, mined_quarter):
+        return build_questions(mined_quarter.clusters, drug_counts=(2, 3))
+
+    def test_accuracies_in_unit_interval(self, questions):
+        result = UserStudy(n_annotators=20).run(questions)
+        for series in result.accuracy.values():
+            assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_fig_5_2_shape_glyph_beats_barchart(self, questions):
+        """The paper's headline: CG accuracy > bar-chart at every drug count."""
+        result = UserStudy(n_annotators=50).run(questions)
+        glyph = result.series("contextual-glyph")
+        barchart = result.series("bar-chart")
+        for n_drugs in glyph:
+            assert glyph[n_drugs] > barchart[n_drugs], n_drugs
+
+    def test_deterministic(self, questions):
+        first = UserStudy(n_annotators=10, seed=5).run(questions)
+        second = UserStudy(n_annotators=10, seed=5).run(questions)
+        assert first.accuracy == second.accuracy
+
+    def test_unknown_series_rejected(self, questions):
+        result = UserStudy(n_annotators=5).run(questions)
+        with pytest.raises(ConfigError):
+            result.series("pie-chart")
+
+    def test_empty_questions_rejected(self):
+        with pytest.raises(ConfigError):
+            UserStudy(n_annotators=5).run([])
+
+    def test_invalid_annotator_count(self):
+        with pytest.raises(ConfigError):
+            UserStudy(n_annotators=0)
+
+    def test_custom_models(self, questions):
+        perfect = PerceptionModel("perfect", 0.0, 0.0)
+        hopeless = PerceptionModel("hopeless", 5.0, 0.0)
+        result = UserStudy(
+            n_annotators=10, glyph_model=perfect, barchart_model=hopeless
+        ).run(questions)
+        assert all(v == 1.0 for v in result.series("perfect").values())
+        assert all(v < 0.8 for v in result.series("hopeless").values())
+
+
+class TestResponseTimes:
+    @pytest.fixture
+    def questions(self, mined_quarter):
+        return build_questions(mined_quarter.clusters, drug_counts=(2, 3))
+
+    def test_glyph_faster_than_barchart(self, questions):
+        """The other half of §5.4.1's claim: glyph readers are quicker."""
+        result = UserStudy(n_annotators=30).run(questions)
+        glyph = result.time_series("contextual-glyph")
+        barchart = result.time_series("bar-chart")
+        for n_drugs in glyph:
+            assert glyph[n_drugs] < barchart[n_drugs], n_drugs
+
+    def test_barchart_slows_with_more_drugs(self, questions):
+        result = UserStudy(n_annotators=30).run(questions)
+        barchart = result.time_series("bar-chart")
+        if {2, 3} <= set(barchart):
+            # 3-drug clusters show 6 context bars vs 2 → longer scans.
+            assert barchart[3] > barchart[2]
+
+    def test_times_positive(self, questions):
+        result = UserStudy(n_annotators=5).run(questions)
+        for series in result.mean_seconds.values():
+            assert all(value > 0 for value in series.values())
+
+    def test_unknown_encoding_rejected(self, questions):
+        result = UserStudy(n_annotators=5).run(questions)
+        with pytest.raises(ConfigError):
+            result.time_series("telepathy")

@@ -1,0 +1,56 @@
+"""Tests for the MCAC bar-chart rendering (Fig 5.3)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.barchart import render_barchart
+
+
+@pytest.fixture
+def cluster(mined_quarter):
+    return next(c for c in mined_quarter.clusters if c.n_drugs >= 2)
+
+
+def bars_of(rendered: str):
+    root = ET.fromstring(rendered)
+    rects = [el for el in root if el.tag.endswith("rect")]
+    # skip the background rect
+    return [r for r in rects if r.get("fill") not in (None, "#ffffff", "none")]
+
+
+class TestBarchart:
+    def test_bar_count_is_target_plus_context(self, cluster):
+        bars = bars_of(render_barchart(cluster).to_string())
+        assert len(bars) == 1 + cluster.context_size
+
+    def test_target_bar_height_encodes_confidence(self, cluster):
+        rendered = render_barchart(cluster, plot_height=100.0)
+        bars = bars_of(rendered.to_string())
+        target_height = float(bars[0].get("height"))
+        assert target_height == pytest.approx(
+            100.0 * cluster.target.metrics.confidence, abs=0.01
+        )
+
+    def test_labels_with_catalog_use_drug_initials(self, cluster, mined_quarter):
+        rendered = render_barchart(cluster, mined_quarter.catalog).to_string()
+        root = ET.fromstring(rendered)
+        labels = [el.text for el in root if el.tag.endswith("text") and el.text]
+        assert "R" in labels  # target bar label
+
+    def test_labels_without_catalog_are_level_indexed(self, cluster):
+        rendered = render_barchart(cluster).to_string()
+        assert "1.1" in rendered
+
+    def test_axis_gridlines_present(self, cluster):
+        rendered = render_barchart(cluster).to_string()
+        root = ET.fromstring(rendered)
+        lines = [el for el in root if el.tag.endswith("line")]
+        assert len(lines) == 3  # 0, 0.5, 1.0
+
+    def test_width_scales_with_context(self, mined_quarter):
+        small = next(c for c in mined_quarter.clusters if c.n_drugs == 2)
+        large = next(c for c in mined_quarter.clusters if c.n_drugs >= 3)
+        assert render_barchart(large).width > render_barchart(small).width

@@ -1,0 +1,163 @@
+"""Tests for the grouped bar charts behind Figs 5.1 and 5.2."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.pipeline import RuleSpaceCounts
+from repro.errors import ConfigError
+from repro.viz.charts import render_fig_5_1, render_fig_5_2, render_grouped_bars
+
+
+def bars_of(doc):
+    root = ET.fromstring(doc.to_string())
+    return [
+        el
+        for el in root
+        if el.tag.endswith("rect")
+        and el.get("fill") not in (None, "#ffffff", "none")
+    ]
+
+
+class TestGroupedBars:
+    def test_bar_count(self):
+        doc = render_grouped_bars(
+            ["a", "b", "c"], {"s1": [1, 2, 3], "s2": [3, 2, 1]}
+        )
+        # 6 bars + 2 legend swatches
+        assert len(bars_of(doc)) == 8
+
+    def test_heights_proportional_on_linear_scale(self):
+        doc = render_grouped_bars(["a", "b"], {"s": [50.0, 100.0]})
+        bars = [b for b in bars_of(doc)][:2]
+        heights = [float(b.get("height")) for b in bars]
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+    def test_log_scale_compresses(self):
+        doc = render_grouped_bars(
+            ["a", "b"], {"s": [10.0, 1000.0]}, log_scale=True
+        )
+        bars = bars_of(doc)[:2]
+        heights = [float(b.get("height")) for b in bars]
+        # log10: 1 decade vs 3 decades → factor 3, not 100.
+        assert heights[1] == pytest.approx(3 * heights[0], rel=0.02)
+
+    def test_zero_value_draws_no_bar(self):
+        doc = render_grouped_bars(["a", "b"], {"s": [0.0, 5.0]})
+        assert len(bars_of(doc)) == 2  # one bar + one legend swatch
+
+    def test_legend_labels_present(self):
+        doc = render_grouped_bars(["a"], {"alpha": [1.0], "beta": [2.0]})
+        rendered = doc.to_string()
+        assert "alpha" in rendered and "beta" in rendered
+
+    def test_percent_ticks(self):
+        doc = render_grouped_bars(["a"], {"s": [0.5]}, percent=True)
+        assert "50%" in doc.to_string()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            render_grouped_bars(["a", "b"], {"s": [1.0]})
+
+    def test_log_scale_requires_values_at_least_one(self):
+        with pytest.raises(ConfigError):
+            render_grouped_bars(["a"], {"s": [0.5]}, log_scale=True)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigError):
+            render_grouped_bars(["a"], {"s": [-1.0]})
+
+    def test_log_and_percent_exclusive(self):
+        with pytest.raises(ConfigError):
+            render_grouped_bars(["a"], {"s": [1.0]}, log_scale=True, percent=True)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            render_grouped_bars([], {"s": []})
+        with pytest.raises(ConfigError):
+            render_grouped_bars(["a"], {})
+
+
+class TestFigureWrappers:
+    def test_fig_5_1_three_series_per_quarter(self):
+        counts = {
+            "2014Q1": RuleSpaceCounts(10_000, 900, 80),
+            "2014Q2": RuleSpaceCounts(20_000, 1_100, 90),
+        }
+        doc = render_fig_5_1(counts)
+        # 2 quarters × 3 series + 3 legend swatches
+        assert len(bars_of(doc)) == 9
+        assert "Total Rules" in doc.to_string()
+
+    def test_fig_5_2_shared_drug_counts_only(self):
+        doc = render_fig_5_2({2: 0.7, 3: 0.6, 4: 0.9}, {2: 0.5, 3: 0.4})
+        rendered = doc.to_string()
+        assert "2 drugs" in rendered and "3 drugs" in rendered
+        assert "4 drugs" not in rendered
+
+    def test_fig_5_2_disjoint_rejected(self):
+        with pytest.raises(ConfigError):
+            render_fig_5_2({2: 0.7}, {3: 0.5})
+
+    def test_fig_5_1_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_fig_5_1({})
+
+
+class TestLineChart:
+    def make(self, **kwargs):
+        from repro.viz.charts import render_line_chart
+
+        defaults = dict(
+            x_labels=["Q1", "Q2", "Q3"],
+            series={"s": [0.1, 0.2, 0.3]},
+        )
+        defaults.update(kwargs)
+        return render_line_chart(**defaults)
+
+    def test_well_formed(self):
+        root = ET.fromstring(self.make().to_string())
+        assert root.tag.endswith("svg")
+
+    def test_points_and_segments(self):
+        doc = self.make()
+        root = ET.fromstring(doc.to_string())
+        circles = [el for el in root if el.tag.endswith("circle")]
+        assert len(circles) == 3  # one marker per value
+        # segment lines: gridlines (3) + 2 connecting segments
+        lines = [el for el in root if el.tag.endswith("line")]
+        assert len(lines) == 5
+
+    def test_none_breaks_the_line(self):
+        doc = self.make(series={"s": [0.1, None, 0.3]})
+        root = ET.fromstring(doc.to_string())
+        circles = [el for el in root if el.tag.endswith("circle")]
+        lines = [el for el in root if el.tag.endswith("line")]
+        assert len(circles) == 2
+        assert len(lines) == 3  # gridlines only, no connecting segment
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            self.make(series={"s": [0.1]})
+
+    def test_all_none_rejected(self):
+        with pytest.raises(ConfigError):
+            self.make(series={"s": [None, None, None]})
+
+
+class TestTrendChart:
+    def test_renders_from_signal_trends(self, mined_quarter):
+        from repro.core.trends import build_trends
+        from repro.viz.charts import render_trend_chart
+
+        trends = build_trends({"2014Q1": mined_quarter})
+        doc = render_trend_chart(trends, max_series=3)
+        assert "Signal trajectories" in doc.to_string()
+
+    def test_empty_rejected(self):
+        from repro.viz.charts import render_trend_chart
+
+        with pytest.raises(ConfigError):
+            render_trend_chart([])

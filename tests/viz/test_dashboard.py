@@ -1,0 +1,51 @@
+"""Tests for the static HTML dashboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz.dashboard import render_dashboard, write_dashboard
+
+
+class TestDashboard:
+    def test_page_structure(self, mined_quarter):
+        page = render_dashboard(mined_quarter, top_k=5, detail_k=2)
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<h3>") == 2  # detail sections
+        assert "Panoramagram" in page
+        assert "<svg" in page
+
+    def test_table_rows_match_top_k(self, mined_quarter):
+        page = render_dashboard(mined_quarter, top_k=6, detail_k=0)
+        # header row + 6 data rows
+        assert page.count("<tr") == 7
+
+    def test_only_the_sorter_script_present(self, mined_quarter):
+        # Exactly one script element (the table sorter); all data content
+        # is HTML-escaped, so nothing else can smuggle one in.
+        page = render_dashboard(mined_quarter, top_k=3, detail_k=1)
+        assert page.lower().count("<script") == 1
+
+    def test_ranking_table_is_sortable(self, mined_quarter):
+        page = render_dashboard(mined_quarter, top_k=3, detail_k=0)
+        assert "table class='sortable'" in page
+        assert "localeCompare" in page
+
+    def test_supporting_cases_listed(self, mined_quarter):
+        page = render_dashboard(mined_quarter, top_k=3, detail_k=1)
+        assert "supporting cases (" in page
+
+    def test_invalid_parameters(self, mined_quarter):
+        with pytest.raises(ConfigError):
+            render_dashboard(mined_quarter, top_k=0)
+
+    def test_write_to_disk(self, mined_quarter, tmp_path):
+        path = write_dashboard(mined_quarter, tmp_path / "dash.html", top_k=4)
+        assert path.exists()
+        assert path.stat().st_size > 5_000
+
+    def test_severity_highlight_class_used(self, mined_quarter):
+        page = render_dashboard(mined_quarter, top_k=20, detail_k=0)
+        # With 20 rows over synthetic MedDRA-ish terms, at least one is severe.
+        assert "class='severe'" in page

@@ -1,0 +1,114 @@
+"""Tests for the contextual glyph (Figs 4.1 / 4.3)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz.glyph import (
+    GlyphGeometry,
+    glyph_layout,
+    level_color,
+    render_glyph,
+    render_zoom_view,
+)
+
+
+@pytest.fixture
+def cluster(mined_quarter):
+    return next(c for c in mined_quarter.clusters if c.n_drugs >= 3)
+
+
+class TestGeometry:
+    def test_defaults_valid(self):
+        geometry = GlyphGeometry()
+        assert geometry.extent == geometry.ring_inner + geometry.ring_depth
+
+    def test_inner_radius_monotone_in_confidence(self):
+        geometry = GlyphGeometry()
+        assert (
+            geometry.inner_radius(0.0)
+            < geometry.inner_radius(0.5)
+            < geometry.inner_radius(1.0)
+        )
+        assert geometry.inner_radius(1.0) == geometry.inner_max
+
+    def test_confidence_clamped(self):
+        geometry = GlyphGeometry()
+        assert geometry.inner_radius(2.0) == geometry.inner_radius(1.0)
+        assert geometry.sector_outer_radius(-1.0) == geometry.ring_inner
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ConfigError):
+            GlyphGeometry(inner_max=50.0, ring_inner=40.0)
+
+
+class TestLevelColor:
+    def test_darker_for_more_drugs(self):
+        assert level_color(1) != level_color(2) != level_color(3)
+
+    def test_beyond_palette_reuses_darkest(self):
+        assert level_color(9) == level_color(5)
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(ConfigError):
+            level_color(0)
+
+
+class TestLayout:
+    def test_sectors_cover_full_circle_uniformly(self, cluster):
+        layout = glyph_layout(cluster)
+        assert len(layout) == cluster.context_size
+        widths = {round(end - start, 9) for _, start, end in layout}
+        assert len(widths) == 1
+        assert layout[0][1] == 0.0  # starts at 12 o'clock
+        assert layout[-1][2] == pytest.approx(2 * 3.141592653589793)
+
+    def test_levels_ascend_then_confidence_descends(self, cluster):
+        layout = glyph_layout(cluster)
+        cardinalities = [rule.cardinality for rule, _, _ in layout]
+        assert cardinalities == sorted(cardinalities)
+        for level in set(cardinalities):
+            confidences = [
+                rule.metrics.confidence
+                for rule, _, _ in layout
+                if rule.cardinality == level
+            ]
+            assert confidences == sorted(confidences, reverse=True)
+
+
+class TestRenderGlyph:
+    def test_well_formed_svg(self, cluster):
+        root = ET.fromstring(render_glyph(cluster).to_string())
+        assert root.tag.endswith("svg")
+
+    def test_sector_count(self, cluster):
+        root = ET.fromstring(render_glyph(cluster).to_string())
+        paths = [el for el in root if el.tag.endswith("path")]
+        nonzero = sum(
+            1
+            for rule, _, _ in glyph_layout(cluster)
+            if rule.metrics.confidence > 0
+        )
+        assert len(paths) == nonzero
+
+    def test_inner_circle_encodes_target_confidence(self, cluster):
+        geometry = GlyphGeometry()
+        root = ET.fromstring(render_glyph(cluster, geometry=geometry).to_string())
+        circles = [el for el in root if el.tag.endswith("circle")]
+        # last circle drawn is the target
+        target = circles[-1]
+        expected = geometry.inner_radius(cluster.target.metrics.confidence)
+        assert float(target.get("r")) == pytest.approx(expected, abs=0.01)
+
+
+class TestZoomView:
+    def test_labels_present(self, cluster, mined_quarter):
+        rendered = render_zoom_view(cluster, mined_quarter.catalog).to_string()
+        root = ET.fromstring(rendered)
+        texts = [el.text for el in root if el.tag.endswith("text")]
+        assert any(text and text.startswith("Target:") for text in texts)
+        # one label per contextual rule plus the header
+        assert len(texts) == cluster.context_size + 1

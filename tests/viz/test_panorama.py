@@ -1,0 +1,46 @@
+"""Tests for the glyph panoramagram (Fig 4.2)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.ranking import RankingMethod
+from repro.errors import ConfigError
+from repro.viz.panorama import render_panorama
+
+
+@pytest.fixture
+def ranked(mined_quarter):
+    return mined_quarter.rank(RankingMethod.EXCLUSIVENESS_CONFIDENCE, top_k=7)
+
+
+class TestPanorama:
+    def test_well_formed(self, ranked, mined_quarter):
+        root = ET.fromstring(render_panorama(ranked, mined_quarter.catalog).to_string())
+        assert root.tag.endswith("svg")
+
+    def test_captions_in_rank_order(self, ranked, mined_quarter):
+        rendered = render_panorama(ranked, mined_quarter.catalog).to_string()
+        positions = [rendered.index(f"#{entry.rank} ") for entry in ranked]
+        assert positions == sorted(positions)
+
+    def test_grid_height_grows_with_rows(self, ranked, mined_quarter):
+        two_columns = render_panorama(ranked, mined_quarter.catalog, columns=2)
+        seven_columns = render_panorama(ranked, mined_quarter.catalog, columns=7)
+        assert two_columns.height > seven_columns.height
+
+    def test_empty_input_rejected(self, mined_quarter):
+        with pytest.raises(ConfigError):
+            render_panorama([], mined_quarter.catalog)
+
+    def test_invalid_columns_rejected(self, ranked, mined_quarter):
+        with pytest.raises(ConfigError):
+            render_panorama(ranked, mined_quarter.catalog, columns=0)
+
+    def test_long_drug_lists_truncated(self, ranked, mined_quarter):
+        rendered = render_panorama(ranked, mined_quarter.catalog).to_string()
+        root = ET.fromstring(rendered)
+        captions = [el.text for el in root if el.tag.endswith("text") and el.text]
+        assert all(len(c) <= 40 for c in captions)

@@ -1,0 +1,73 @@
+"""Tests for the textual report renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import RuleSpaceCounts
+from repro.core.ranking import RankingMethod
+from repro.viz.report import (
+    cluster_detail,
+    ranking_markdown,
+    rule_reduction_table,
+    top_k_table,
+)
+
+
+class TestClusterDetail:
+    def test_layout(self, mined_quarter):
+        cluster = next(c for c in mined_quarter.clusters if c.n_drugs >= 2)
+        text = cluster_detail(cluster, mined_quarter.catalog)
+        lines = text.splitlines()
+        assert lines[0].startswith("R ")
+        assert len(lines) == 1 + cluster.context_size
+        assert all("conf=" in line for line in lines)
+
+    def test_levels_deepest_first(self, mined_quarter):
+        cluster = next(c for c in mined_quarter.clusters if c.n_drugs >= 3)
+        text = cluster_detail(cluster, mined_quarter.catalog)
+        level_markers = [
+            int(line.split()[0][2]) for line in text.splitlines()[1:]
+        ]
+        assert level_markers == sorted(level_markers, reverse=True)
+
+
+class TestTopKTable:
+    def test_sections_per_method(self, mined_quarter):
+        table = mined_quarter.ranking_table(top_k=3)
+        text = top_k_table(table, mined_quarter.catalog)
+        assert "== Confidence ==" in text
+        assert "== Exclusiveness w/ Confidence ==" in text
+        assert text.count("1.") >= 4  # one rank-1 row per method
+
+    def test_markdown_shape(self, mined_quarter):
+        table = mined_quarter.ranking_table(top_k=3)
+        markdown = ranking_markdown(table, mined_quarter.catalog)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| Rank |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + 3  # header + divider + 3 rank rows
+
+    def test_markdown_handles_uneven_columns(self, mined_quarter):
+        table = {
+            RankingMethod.CONFIDENCE: mined_quarter.rank(
+                RankingMethod.CONFIDENCE, top_k=3
+            ),
+            RankingMethod.LIFT: mined_quarter.rank(RankingMethod.LIFT, top_k=1),
+        }
+        markdown = ranking_markdown(table, mined_quarter.catalog)
+        assert len(markdown.splitlines()) == 2 + 3
+
+
+class TestRuleReductionTable:
+    def test_formatting(self):
+        counts = {
+            "2014Q1": RuleSpaceCounts(1_000_000, 50_000, 900),
+            "2014Q2": RuleSpaceCounts(2_000_000, 60_000, 1_100),
+        }
+        text = rule_reduction_table(counts)
+        lines = text.splitlines()
+        assert "Quarter" in lines[0]
+        assert "1,000,000" in lines[1]
+        assert lines[1].startswith("2014Q1")
+        assert lines[2].startswith("2014Q2")

@@ -1,0 +1,106 @@
+"""Tests for the minimal SVG builder."""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz.svg import SVGDocument, _fmt, _polar
+
+
+def parse(doc: SVGDocument) -> ET.Element:
+    return ET.fromstring(doc.to_string())
+
+
+class TestDocument:
+    def test_valid_xml(self):
+        doc = SVGDocument(100, 50)
+        doc.circle(10, 10, 5)
+        root = parse(doc)
+        assert root.tag.endswith("svg")
+        assert root.get("width") == "100"
+
+    def test_invalid_canvas_rejected(self):
+        with pytest.raises(ConfigError):
+            SVGDocument(0, 10)
+
+    def test_background_rect(self):
+        doc = SVGDocument(10, 10, background="#ffffff")
+        root = parse(doc)
+        rects = [el for el in root if el.tag.endswith("rect")]
+        assert rects and rects[0].get("fill") == "#ffffff"
+
+    def test_save_creates_parents(self, tmp_path):
+        doc = SVGDocument(10, 10)
+        target = doc.save(tmp_path / "nested" / "dir" / "out.svg")
+        assert target.exists()
+        assert target.read_text().startswith("<svg")
+
+
+class TestPrimitives:
+    def test_text_escapes_content(self):
+        doc = SVGDocument(10, 10)
+        doc.text(1, 1, "A<B>&C")
+        rendered = doc.to_string()
+        assert "A&lt;B&gt;&amp;C" in rendered
+        parse(doc)  # must stay well-formed
+
+    def test_attribute_quoting(self):
+        doc = SVGDocument(10, 10)
+        doc.circle(1, 1, 1, fill='he"llo')
+        parse(doc)
+
+    def test_line_dash(self):
+        doc = SVGDocument(10, 10)
+        doc.line(0, 0, 5, 5, dashed=True)
+        root = parse(doc)
+        line = next(el for el in root if el.tag.endswith("line"))
+        assert line.get("stroke-dasharray") == "4 3"
+
+
+class TestAnnularSector:
+    def test_path_generated(self):
+        doc = SVGDocument(100, 100)
+        doc.annular_sector(50, 50, 10, 20, 0.0, math.pi / 2)
+        root = parse(doc)
+        path = next(el for el in root if el.tag.endswith("path"))
+        d = path.get("d")
+        assert d.startswith("M") and "A" in d and d.strip().endswith("Z")
+
+    def test_large_arc_flag(self):
+        doc = SVGDocument(100, 100)
+        doc.annular_sector(50, 50, 10, 20, 0.0, 1.5 * math.pi)
+        d = next(
+            el for el in parse(doc) if el.tag.endswith("path")
+        ).get("d")
+        # large-arc flag 1 appears in both arcs
+        assert " 1 1 " in d
+
+    def test_invalid_radii_rejected(self):
+        doc = SVGDocument(100, 100)
+        with pytest.raises(ConfigError):
+            doc.annular_sector(50, 50, 20, 10, 0.0, 1.0)
+
+    def test_invalid_sweep_rejected(self):
+        doc = SVGDocument(100, 100)
+        with pytest.raises(ConfigError):
+            doc.annular_sector(50, 50, 10, 20, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            doc.annular_sector(50, 50, 10, 20, 0.0, 2 * math.pi)
+
+
+class TestHelpers:
+    def test_fmt_integers_compact(self):
+        assert _fmt(12.0) == "12"
+        assert _fmt(12.3456789) == "12.346"
+
+    def test_polar_twelve_oclock(self):
+        x, y = _polar(0, 0, 10, 0.0)
+        assert (round(x, 6), round(y, 6)) == (0.0, -10.0)
+
+    def test_polar_three_oclock(self):
+        x, y = _polar(0, 0, 10, math.pi / 2)
+        assert (round(x, 6), round(y, 6)) == (10.0, 0.0)
