@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import Maras, MarasConfig
 from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.obs import MetricsRegistry
 
 from benchmarks.conftest import write_artifact
 
@@ -39,6 +40,16 @@ def test_pipeline_scale(benchmark, datasets, scale):
         lambda: maras.run(datasets[scale]), rounds=3, iterations=1
     )
     assert result.clusters
+    # One extra profiled run (outside the timed rounds) attaches
+    # per-stage wall times and counters to the benchmark record, so the
+    # perf trajectory is comparable across PRs.
+    profiled = Maras(
+        MarasConfig(min_support=5, clean=False), registry=MetricsRegistry()
+    ).run(datasets[scale])
+    benchmark.extra_info["stage_seconds"] = {
+        t.name: round(t.total_seconds, 6) for t in profiled.metrics.timers
+    }
+    benchmark.extra_info["counters"] = dict(profiled.metrics.counters)
 
 
 def test_throughput_subquadratic(datasets):

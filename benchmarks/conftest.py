@@ -16,6 +16,7 @@ import pytest
 from repro.core import Maras, MarasConfig
 from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
 from repro.faers.synthetic import PAPER_QUARTER_REPORTS
+from repro.obs import JsonlSink, MetricsRegistry
 
 # 0.02 → roughly 2.4-2.8k reports per quarter.
 SCALE = 0.02
@@ -52,10 +53,22 @@ def quarter_datasets(generators):
 
 @pytest.fixture(scope="session")
 def mined_q1(quarter_datasets):
-    """Q1 through the full pipeline (the Table 5.2 / case-study workload)."""
-    return Maras(MarasConfig(min_support=5, clean=False)).run(
-        quarter_datasets["2014Q1"]
-    )
+    """Q1 through the full pipeline (the Table 5.2 / case-study workload).
+
+    Runs profiled: the stage-time table and the JSONL event trace land
+    under ``benchmarks/out/`` so the perf trajectory of the pipeline is
+    comparable across PRs alongside the regenerated tables/figures.
+    """
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = OUT_DIR / "pipeline_trace.jsonl"
+    trace_path.unlink(missing_ok=True)
+    registry = MetricsRegistry(sink=JsonlSink(trace_path))
+    result = Maras(
+        MarasConfig(min_support=5, clean=False), registry=registry
+    ).run(quarter_datasets["2014Q1"])
+    write_artifact("pipeline_stage_metrics.txt", result.metrics.format_table())
+    registry.close()
+    return result
 
 
 @pytest.fixture(scope="session")

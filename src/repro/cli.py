@@ -14,6 +14,11 @@ Installed as the ``mediar`` console script; also runnable as
 ``mine``, ``render``, ``validate`` and ``stats`` accept either
 ``--synthetic QUARTER`` (e.g. 2014Q1) or ``--demo/--drug/--reac`` file
 paths for real extracts.
+
+The global ``--profile`` flag (before the subcommand) turns on the
+observability layer for any pipeline subcommand: per-stage wall times
+and counters are printed to stderr after the run, and ``--trace PATH``
+additionally writes the full structured-event stream as JSONL.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.faers import (
 )
 from repro.faers.schema import ReportType
 from repro.knowledge import default_reference, default_severity_index
+from repro.obs import NULL_REGISTRY, JsonlSink, MetricsRegistry, use_registry
 from repro.userstudy import UserStudy, build_questions
 from repro.viz import render_panorama, render_zoom_view
 
@@ -43,6 +49,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mediar",
         description="MeDIAR: multi-drug adverse reaction analytics",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record stage timings/counters and print them to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --profile, also write a JSONL event trace to PATH",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -138,13 +156,32 @@ def load_dataset(args: argparse.Namespace) -> ReportDataset:
     )
 
 
+def build_registry(args: argparse.Namespace):
+    """The metrics registry requested by ``--profile`` / ``--trace``."""
+    if not getattr(args, "profile", False):
+        return NULL_REGISTRY
+    sink = JsonlSink(args.trace) if getattr(args, "trace", None) else None
+    return MetricsRegistry(sink=sink)
+
+
 def run_pipeline(args: argparse.Namespace) -> MarasResult:
     config = MarasConfig(
         min_support=args.min_support,
         max_drugs=args.max_drugs,
         clean=False,  # load_dataset already cleaned when asked to
     )
-    return Maras(config).run(load_dataset(args))
+    registry = build_registry(args)
+    with use_registry(registry):
+        # load_dataset's cleaning/parsing records into the same registry
+        # as the pipeline stages.
+        dataset = load_dataset(args)
+        result = Maras(config, registry=registry).run(dataset)
+    if registry.enabled:
+        print(result.metrics.format_table(), file=sys.stderr)
+        registry.close()
+        if args.trace:
+            print(f"wrote trace {args.trace}", file=sys.stderr)
+    return result
 
 
 def cmd_generate(args: argparse.Namespace) -> int:

@@ -23,6 +23,7 @@ paper's workflow needs help.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -31,6 +32,7 @@ from repro.core.ranking import RankingMethod
 from repro.errors import ConfigError
 from repro.faers.dataset import ReportDataset
 from repro.faers.schema import CaseReport
+from repro.obs import NULL_REGISTRY, MetricsRegistry, NullRegistry
 
 ClusterKey = tuple[tuple[str, ...], tuple[str, ...]]
 
@@ -64,27 +66,55 @@ class BatchDelta:
         return len(self.newly_surfaced) + len(self.dropped) + len(self.risers)
 
 
+def _fractional_ranks(values: Sequence[float]) -> list[float]:
+    """1-based ranks with ties sharing the average (fractional) rank.
+
+    ``[10, 20, 20, 30]`` → ``[1.0, 2.5, 2.5, 4.0]``. Average ranks make
+    Spearman ρ a pure function of the *values* — tie order (e.g. dict
+    insertion order after a re-encoding) cannot change the result.
+    """
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    start = 0
+    while start < len(order):
+        end = start
+        while (
+            end + 1 < len(order)
+            and values[order[end + 1]] == values[order[start]]
+        ):
+            end += 1
+        average = (start + end) / 2 + 1
+        for position in range(start, end + 1):
+            ranks[order[position]] = average
+        start = end + 1
+    return ranks
+
+
 def spearman_correlation(
     old_ranks: dict[ClusterKey, int], new_ranks: dict[ClusterKey, int]
 ) -> float | None:
     """Spearman ρ over the clusters present in both rankings.
 
-    Returns ``None`` when fewer than three clusters are shared (the
-    coefficient is meaningless below that).
+    Ties are handled with average (fractional) ranks and the Pearson
+    form of the coefficient, so the result is deterministic regardless
+    of how tied keys happen to be ordered. Returns ``None`` when fewer
+    than three clusters are shared (the coefficient is meaningless
+    below that) or when one side ranks every shared cluster identically
+    (zero variance — ρ is undefined).
     """
     shared = sorted(set(old_ranks) & set(new_ranks))
     if len(shared) < 3:
         return None
-    # Re-rank within the shared subset so both sides are permutations.
-    old_order = sorted(shared, key=lambda key: old_ranks[key])
-    new_order = sorted(shared, key=lambda key: new_ranks[key])
-    old_position = {key: i for i, key in enumerate(old_order)}
-    new_position = {key: i for i, key in enumerate(new_order)}
-    n = len(shared)
-    d_squared = sum(
-        (old_position[key] - new_position[key]) ** 2 for key in shared
-    )
-    return 1.0 - 6.0 * d_squared / (n * (n * n - 1))
+    old = _fractional_ranks([old_ranks[key] for key in shared])
+    new = _fractional_ranks([new_ranks[key] for key in shared])
+    # Fractional ranks over n items always average to (n + 1) / 2.
+    mean = (len(shared) + 1) / 2
+    covariance = sum((a - mean) * (b - mean) for a, b in zip(old, new))
+    old_variance = sum((a - mean) ** 2 for a in old)
+    new_variance = sum((b - mean) ** 2 for b in new)
+    if old_variance == 0.0 or new_variance == 0.0:
+        return None
+    return covariance / (old_variance * new_variance) ** 0.5
 
 
 class SurveillanceMonitor:
@@ -102,12 +132,14 @@ class SurveillanceMonitor:
         *,
         method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
         riser_threshold: int = 5,
+        registry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
         if riser_threshold < 1:
             raise ConfigError(f"riser_threshold must be >= 1, got {riser_threshold}")
         self.config = config if config is not None else MarasConfig()
         self.method = method
         self.riser_threshold = riser_threshold
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._reports: list[CaseReport] = []
         self._seen_case_ids: set[str] = set()
         self._batch_index = 0
@@ -130,16 +162,45 @@ class SurveillanceMonitor:
         return len(self._reports)
 
     def ingest(self, batch: Iterable[CaseReport]) -> BatchDelta:
-        """Append one batch, re-mine, and return the change feed."""
-        fresh = [r for r in batch if r.case_id not in self._seen_case_ids]
-        for report in fresh:
-            self._seen_case_ids.add(report.case_id)
+        """Append one batch, re-mine, and return the change feed.
+
+        With ``config.clean`` on, every raw row is kept — including
+        follow-up versions of an already-seen case — and the whole
+        accumulated stream goes through :class:`ReportCleaner` inside
+        the pipeline, exactly as a one-shot ``Maras.run`` over the same
+        raw reports would. Surveillance results therefore match the
+        batch-free run (case-version merging and name normalization
+        included). With cleaning off, rows re-using a seen case id are
+        dropped, since an uncleaned :class:`ReportDataset` requires
+        unique case ids.
+        """
+        rows = list(batch)
+        if self.config.clean:
+            fresh = rows
+        else:
+            fresh = [r for r in rows if r.case_id not in self._seen_case_ids]
+            for report in fresh:
+                self._seen_case_ids.add(report.case_id)
         if not fresh and self._last_result is None:
             raise ConfigError("first batch contained no new reports")
         self._reports.extend(fresh)
         self._batch_index += 1
 
-        result = Maras(self.config).run(ReportDataset(self._reports))
+        registry = self.registry
+        mine_start = time.perf_counter()
+        with registry.timer("surveillance.batch"):
+            if self.config.clean:
+                # Pass the raw rows: the pipeline cleans (merging case
+                # versions), so a ReportDataset — which rejects
+                # duplicate case ids — is built only afterwards.
+                result = Maras(self.config, registry=registry).run(
+                    self._reports
+                )
+            else:
+                result = Maras(self.config, registry=registry).run(
+                    ReportDataset(self._reports)
+                )
+        mine_seconds = time.perf_counter() - mine_start
         new_ranks = {
             cluster_key(result, entry.cluster): entry.rank
             for entry in result.rank(self.method)
@@ -162,6 +223,19 @@ class SurveillanceMonitor:
             rank_correlation=(
                 spearman_correlation(old_ranks, new_ranks) if old_ranks else None
             ),
+        )
+        registry.counter("surveillance.batches").inc()
+        registry.counter("surveillance.reports_ingested").inc(len(fresh))
+        registry.emit(
+            "surveillance.batch",
+            batch_index=self._batch_index,
+            n_reports_total=len(self._reports),
+            n_fresh=len(fresh),
+            mine_seconds=mine_seconds,
+            n_newly_surfaced=len(newly_surfaced),
+            n_dropped=len(dropped),
+            n_risers=len(risers),
+            rank_correlation=delta.rank_correlation,
         )
         self._last_result = result
         self._last_ranks = new_ranks

@@ -27,7 +27,13 @@ from repro.core.association import DrugADRAssociation, SupportType
 from repro.core.context import MCAC, build_clusters
 from repro.core.ranking import RankedCluster, RankingMethod, rank_clusters, ranking_table
 from repro.errors import ConfigError
-from repro.faers.cleaning import CleaningStats, ReportCleaner
+from repro.faers.cleaning import (
+    CleaningStats,
+    ReportCleaner,
+    SpellingCorrector,
+    normalize_adr_term,
+    normalize_drug_name,
+)
 from repro.faers.dataset import ADR_KIND, DRUG_KIND, EncodedDataset, ReportDataset
 from repro.faers.schema import CaseReport
 from repro.mining.fpclose import fpclose
@@ -37,6 +43,8 @@ from repro.mining.rules import (
     count_partitioned_splits,
     partitioned_rules,
 )
+from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsSnapshot, NullRegistry
+from repro.obs.metrics import use_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +86,20 @@ class MarasConfig:
     decay: str = "linear"
 
     def __post_init__(self) -> None:
+        support = self.min_support
+        if isinstance(support, bool) or not isinstance(support, (int, float)):
+            raise ConfigError(
+                f"min_support must be an int or float, got {support!r}"
+            )
+        if isinstance(support, int):
+            if support < 1:
+                raise ConfigError(
+                    f"absolute min_support must be >= 1, got {support}"
+                )
+        elif not 0.0 < support <= 1.0:
+            raise ConfigError(
+                f"fractional min_support must be in (0, 1], got {support}"
+            )
         if self.max_drugs < 2:
             raise ConfigError(f"max_drugs must be >= 2, got {self.max_drugs}")
         if self.max_itemset_len is not None and self.max_itemset_len < 3:
@@ -112,6 +134,7 @@ class MarasResult:
         clusters: list[MCAC],
         cleaning_stats: CleaningStats | None,
         rule_counts: RuleSpaceCounts | None,
+        metrics: MetricsSnapshot | None = None,
     ) -> None:
         self.config = config
         self.dataset = dataset
@@ -120,6 +143,10 @@ class MarasResult:
         self.clusters = clusters
         self.cleaning_stats = cleaning_stats
         self.rule_counts = rule_counts
+        #: Stage timings and counters of the run that produced this
+        #: result; ``None`` unless the pipeline ran with a real
+        #: :class:`~repro.obs.MetricsRegistry`.
+        self.metrics = metrics
 
     @property
     def catalog(self):
@@ -157,14 +184,25 @@ class MarasResult:
     ) -> list[MCAC]:
         """§4.1 highlighting: clusters mentioning a drug and/or an ADR.
 
-        Matching is exact on canonical labels; pass names through the
-        normalizers of :mod:`repro.faers.cleaning` first when searching
-        with verbatim strings.
+        Queries may be verbatim strings: each is passed through the
+        matching normalizer of :mod:`repro.faers.cleaning` (case,
+        punctuation, dosage tails) and, when still unknown, through
+        unambiguous edit-distance-1 correction against the catalog's own
+        labels — so ``search(drug="aspirin 81 mg")`` and
+        ``search(drug="ASPIRN")`` both find the ``ASPIRIN`` clusters.
         """
         if drug is None and adr is None:
             raise ConfigError("search needs a drug, an adr, or both")
-        drug_id = self.catalog.get_id(drug) if drug is not None else None
-        adr_id = self.catalog.get_id(adr) if adr is not None else None
+        drug_id = (
+            self._resolve_query(drug, DRUG_KIND, normalize_drug_name)
+            if drug is not None
+            else None
+        )
+        adr_id = (
+            self._resolve_query(adr, ADR_KIND, normalize_adr_term)
+            if adr is not None
+            else None
+        )
         if drug is not None and drug_id is None:
             return []
         if adr is not None and adr_id is None:
@@ -178,6 +216,30 @@ class MarasResult:
             matches.append(cluster)
         return matches
 
+    def _resolve_query(self, raw: str, kind: str, normalizer) -> int | None:
+        """Map one verbatim query string to a catalog item id of ``kind``.
+
+        Tries the raw string, then its normalized form, then an
+        unambiguous edit-distance-1 correction against the catalog's
+        labels of that kind. Returns ``None`` when nothing matches.
+        """
+        catalog = self.catalog
+        normalized = normalizer(raw)
+        for candidate in (raw, normalized):
+            item_id = catalog.get_id(candidate)
+            if item_id is not None and catalog.kind_of(item_id) == kind:
+                return item_id
+        if not normalized:
+            return None
+        labels = [catalog.label(i) for i in catalog.ids_of_kind(kind)]
+        if not labels:
+            return None
+        corrected = SpellingCorrector(labels).correct(normalized)
+        item_id = catalog.get_id(corrected)
+        if item_id is not None and catalog.kind_of(item_id) == kind:
+            return item_id
+        return None
+
     def supporting_reports(self, cluster: MCAC) -> list[CaseReport]:
         """§4.1 drill-down: the raw reports behind one cluster's target rule."""
         return self.encoded.supporting_reports(cluster.target.items)
@@ -190,49 +252,90 @@ class Maras:
     >>> reports = SyntheticFAERSGenerator(SyntheticConfig(n_reports=800)).generate()
     >>> result = Maras(MarasConfig(min_support=4, clean=False)).run(reports)
     >>> top = result.rank(top_k=5)
+
+    Pass a :class:`~repro.obs.MetricsRegistry` to profile the run:
+    per-stage timers and item/rule/cluster counters land in
+    :attr:`MarasResult.metrics` (and in the registry's sink, if any).
+    The default is the no-op registry, which costs nothing.
     """
 
-    def __init__(self, config: MarasConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MarasConfig | None = None,
+        *,
+        registry: MetricsRegistry | NullRegistry | None = None,
+    ) -> None:
         self.config = config if config is not None else MarasConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     def run(
         self, reports: Sequence[CaseReport] | ReportDataset
     ) -> MarasResult:
-        """Execute the full pipeline over ``reports``."""
+        """Execute the full pipeline over ``reports``.
+
+        ``config.clean`` is honored for *both* input shapes: a raw
+        report sequence and an already-built :class:`ReportDataset` are
+        cleaned identically, so wrapping reports in a dataset can never
+        silently bypass §5.2's preparation step (case-version merging,
+        name normalization). Callers holding pre-cleaned data should run
+        with ``clean=False``.
+        """
+        registry = self.registry
+        with use_registry(registry):
+            return self._run(reports, registry)
+
+    def _run(
+        self,
+        reports: Sequence[CaseReport] | ReportDataset,
+        registry: MetricsRegistry | NullRegistry,
+    ) -> MarasResult:
         config = self.config
         cleaning_stats: CleaningStats | None = None
-        if isinstance(reports, ReportDataset):
-            dataset = reports
-        else:
-            rows = list(reports)
-            if config.clean:
-                rows, cleaning_stats = ReportCleaner().clean(rows)
-            dataset = ReportDataset(rows)
 
-        encoded = dataset.encode()
-        database = encoded.database
+        with registry.timer("pipeline.prepare"):
+            if isinstance(reports, ReportDataset) and not config.clean:
+                dataset = reports
+            else:
+                rows = list(reports)
+                registry.counter("pipeline.reports_in").inc(len(rows))
+                if config.clean:
+                    rows, cleaning_stats = ReportCleaner().clean(rows)
+                if isinstance(reports, ReportDataset):
+                    dataset = ReportDataset(rows, quarter=reports.quarter)
+                else:
+                    dataset = ReportDataset(rows)
+            encoded = dataset.encode()
+            database = encoded.database
+        registry.counter("pipeline.transactions").inc(len(database))
 
-        closed = fpclose(
-            database,
-            config.min_support,
-            max_len=config.max_itemset_len,
-        )
-        rules = partitioned_rules(
-            closed,
-            database,
-            antecedent_kind=DRUG_KIND,
-            consequent_kind=ADR_KIND,
-            min_confidence=config.min_confidence,
-        )
-        multi_drug_rules = [
-            rule
-            for rule in rules
-            if 2 <= len(rule.antecedent) <= config.max_drugs
-        ]
-        associations = [
-            DrugADRAssociation.from_rule(rule, database)
-            for rule in multi_drug_rules
-        ]
+        with registry.timer("pipeline.mine"):
+            closed = fpclose(
+                database,
+                config.min_support,
+                max_len=config.max_itemset_len,
+            )
+        registry.counter("pipeline.closed_itemsets").inc(len(closed))
+
+        with registry.timer("pipeline.filter"):
+            rules = partitioned_rules(
+                closed,
+                database,
+                antecedent_kind=DRUG_KIND,
+                consequent_kind=ADR_KIND,
+                min_confidence=config.min_confidence,
+            )
+            multi_drug_rules = [
+                rule
+                for rule in rules
+                if 2 <= len(rule.antecedent) <= config.max_drugs
+            ]
+            associations = [
+                DrugADRAssociation.from_rule(rule, database)
+                for rule in multi_drug_rules
+            ]
+        registry.counter("pipeline.rules").inc(len(rules))
+        registry.counter("pipeline.multi_drug_rules").inc(len(multi_drug_rules))
+
         # Every closed rule must classify as supported — this is
         # Lemma 3.4.2 holding at runtime, not a filter.
         unsupported = [
@@ -243,24 +346,37 @@ class Maras:
                 f"internal error: {len(unsupported)} closed rules classified "
                 "as unsupported; Lemma 3.4.2 violated"
             )
-        clusters = build_clusters(multi_drug_rules, database)
+
+        with registry.timer("pipeline.cluster"):
+            clusters = build_clusters(multi_drug_rules, database)
+        registry.counter("pipeline.clusters").inc(len(clusters))
 
         rule_counts: RuleSpaceCounts | None = None
         if config.count_rule_space:
-            all_frequent = fpgrowth(
-                database, config.min_support, max_len=config.max_itemset_len
-            )
-            catalog = encoded.catalog
-            rule_counts = RuleSpaceCounts(
-                total_rules=count_all_splits(all_frequent),
-                filtered_rules=count_partitioned_splits(
-                    all_frequent,
-                    catalog.ids_of_kind(DRUG_KIND),
-                    catalog.ids_of_kind(ADR_KIND),
-                ),
-                mcacs=len(clusters),
-            )
+            with registry.timer("pipeline.count_rule_space"):
+                all_frequent = fpgrowth(
+                    database, config.min_support, max_len=config.max_itemset_len
+                )
+                catalog = encoded.catalog
+                rule_counts = RuleSpaceCounts(
+                    total_rules=count_all_splits(all_frequent),
+                    filtered_rules=count_partitioned_splits(
+                        all_frequent,
+                        catalog.ids_of_kind(DRUG_KIND),
+                        catalog.ids_of_kind(ADR_KIND),
+                    ),
+                    mcacs=len(clusters),
+                )
 
+        registry.emit(
+            "pipeline.run",
+            n_reports=len(dataset),
+            n_transactions=len(database),
+            n_closed_itemsets=len(closed),
+            n_rules=len(rules),
+            n_multi_drug_rules=len(multi_drug_rules),
+            n_clusters=len(clusters),
+        )
         return MarasResult(
             config=config,
             dataset=dataset,
@@ -269,4 +385,5 @@ class Maras:
             clusters=clusters,
             cleaning_stats=cleaning_stats,
             rule_counts=rule_counts,
+            metrics=registry.snapshot() if registry.enabled else None,
         )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.faers.schema import CaseReport
+from repro.obs import get_registry
 
 # Dose/strength/form tails frequently pasted into FAERS verbatim drug
 # strings: "ASPIRIN 81 MG", "WARFARIN SODIUM TAB", "NEXIUM 40MG CAPSULES".
@@ -175,6 +176,13 @@ class ReportCleaner:
         merging, reports with identical (drugs, adrs) content beyond the
         first are dropped as FAERS follow-up duplicates.
         """
+        registry = get_registry()
+        with registry.timer("faers.clean"):
+            return self._clean(reports, registry)
+
+    def _clean(
+        self, reports: Sequence[CaseReport], registry
+    ) -> tuple[list[CaseReport], CleaningStats]:
         stats = CleaningStats(rows_in=len(reports))
         merged: dict[str, CaseReport] = {}
         order: list[str] = []
@@ -227,6 +235,22 @@ class ReportCleaner:
             seen_signatures.add(signature)
             cleaned.append(report)
         stats.reports_out = len(cleaned)
+        if registry.enabled:
+            registry.counter("faers.clean.rows_in").inc(stats.rows_in)
+            registry.counter("faers.clean.reports_out").inc(stats.reports_out)
+            registry.counter("faers.clean.cases_merged").inc(stats.cases_merged)
+            registry.counter("faers.clean.exact_duplicates_dropped").inc(
+                stats.exact_duplicates_dropped
+            )
+            registry.counter("faers.clean.drug_names_corrected").inc(
+                stats.drug_names_corrected
+            )
+            registry.counter("faers.clean.adr_terms_corrected").inc(
+                stats.adr_terms_corrected
+            )
+            registry.counter("faers.clean.empty_reports_dropped").inc(
+                stats.empty_reports_dropped
+            )
         return cleaned, stats
 
     def _clean_terms(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.faers.schema import CaseReport
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +105,10 @@ def find_near_duplicates(
                     seen.add(key)
                     pairs.append(DuplicatePair(left, right, similarity))
     pairs.sort(key=lambda pair: (-pair.similarity, pair.left_index, pair.right_index))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("faers.dedup.reports_scanned").inc(len(item_sets))
+        registry.counter("faers.dedup.pairs_flagged").inc(len(pairs))
     return pairs
 
 

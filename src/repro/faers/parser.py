@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.errors import ParseError
 from repro.faers.schema import CaseReport, ReportType
+from repro.obs import get_registry
 
 DELIMITER = "$"
 
@@ -202,6 +203,18 @@ def parse_quarter(
             )
         )
     stats.reports = len(reports)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("faers.parse.demo_rows").inc(stats.demo_rows)
+        registry.counter("faers.parse.drug_rows").inc(stats.drug_rows)
+        registry.counter("faers.parse.reac_rows").inc(stats.reac_rows)
+        registry.counter("faers.parse.orphan_rows").inc(
+            stats.orphan_drug_rows + stats.orphan_reac_rows
+        )
+        registry.counter("faers.parse.incomplete_cases").inc(
+            stats.cases_without_drugs + stats.cases_without_reactions
+        )
+        registry.counter("faers.parse.reports").inc(stats.reports)
     return reports, stats
 
 

@@ -25,6 +25,7 @@ from repro.mining.transactions import (
     TransactionDatabase,
     resolve_min_support,
 )
+from repro.obs import get_registry
 
 
 def fpclose(
@@ -57,49 +58,58 @@ def fpclose(
     if max_len is not None and max_len < 1:
         raise ConfigError(f"max_len must be >= 1, got {max_len}")
 
-    supports = database.item_supports()
-    frequent = sorted(i for i, c in supports.items() if c >= threshold)
-    if not frequent:
-        return []
-    tidsets = {i: database.tidset(i) for i in frequent}
-    # For closure computation, examine candidate items most-frequent
-    # first is unnecessary; we just need, per branch, the items whose
-    # tidset is a superset of the branch tidset.
-    results: list[FrequentItemset] = []
-    all_tids = frozenset(range(len(database)))
+    registry = get_registry()
+    branches = registry.counter("fpclose.branches")
+    closures = registry.counter("fpclose.closure_calls")
+    with registry.timer("fpclose"):
+        supports = database.item_supports()
+        frequent = sorted(i for i, c in supports.items() if c >= threshold)
+        if not frequent:
+            return []
+        tidsets = {i: database.tidset(i) for i in frequent}
+        # For closure computation, examine candidate items most-frequent
+        # first is unnecessary; we just need, per branch, the items whose
+        # tidset is a superset of the branch tidset.
+        results: list[FrequentItemset] = []
+        all_tids = frozenset(range(len(database)))
 
-    root = _closure_over(frozenset(), all_tids, frequent, tidsets)
-    if root and (max_len is None or len(root) <= max_len):
-        results.append(FrequentItemset(root, len(all_tids)))
-    if max_len is not None and root and len(root) >= max_len:
-        return results
+        root = _closure_over(frozenset(), all_tids, frequent, tidsets)
+        closures.inc()
+        if root and (max_len is None or len(root) <= max_len):
+            results.append(FrequentItemset(root, len(all_tids)))
+        if max_len is not None and root and len(root) >= max_len:
+            registry.counter("fpclose.closed_itemsets").inc(len(results))
+            return results
 
-    # Explicit DFS stack of (closed itemset, tidset, core item id).
-    # Extensions only use items strictly greater than the core, which is
-    # what makes the enumeration duplicate-free.
-    stack: list[tuple[Itemset, frozenset[int], int]] = [(root, all_tids, -1)]
-    while stack:
-        prefix, tids, core = stack.pop()
-        for item in frequent:
-            if item <= core or item in prefix:
-                continue
-            extended_tids = tids & tidsets[item]
-            if len(extended_tids) < threshold:
-                continue
-            closed = _closure_over(
-                prefix | {item}, extended_tids, frequent, tidsets
-            )
-            # Prefix-preserving test: the closure must not add any item
-            # smaller than the extension item that was not already in the
-            # prefix — otherwise this closed set is reachable (and will
-            # be reached) from a lexicographically earlier branch.
-            if any(j < item and j not in prefix for j in closed):
-                continue
-            if max_len is not None and len(closed) > max_len:
-                continue
-            results.append(FrequentItemset(closed, len(extended_tids)))
-            if max_len is None or len(closed) < max_len:
-                stack.append((closed, extended_tids, item))
+        # Explicit DFS stack of (closed itemset, tidset, core item id).
+        # Extensions only use items strictly greater than the core, which is
+        # what makes the enumeration duplicate-free.
+        stack: list[tuple[Itemset, frozenset[int], int]] = [(root, all_tids, -1)]
+        while stack:
+            prefix, tids, core = stack.pop()
+            branches.inc()
+            for item in frequent:
+                if item <= core or item in prefix:
+                    continue
+                extended_tids = tids & tidsets[item]
+                if len(extended_tids) < threshold:
+                    continue
+                closed = _closure_over(
+                    prefix | {item}, extended_tids, frequent, tidsets
+                )
+                closures.inc()
+                # Prefix-preserving test: the closure must not add any item
+                # smaller than the extension item that was not already in the
+                # prefix — otherwise this closed set is reachable (and will
+                # be reached) from a lexicographically earlier branch.
+                if any(j < item and j not in prefix for j in closed):
+                    continue
+                if max_len is not None and len(closed) > max_len:
+                    continue
+                results.append(FrequentItemset(closed, len(extended_tids)))
+                if max_len is None or len(closed) < max_len:
+                    stack.append((closed, extended_tids, item))
+        registry.counter("fpclose.closed_itemsets").inc(len(results))
     return results
 
 

@@ -23,6 +23,7 @@ from repro.mining.transactions import (
     TransactionDatabase,
     resolve_min_support,
 )
+from repro.obs import get_registry
 
 
 def fpgrowth(
@@ -55,16 +56,21 @@ def fpgrowth(
     if max_len is not None and max_len < 1:
         raise ConfigError(f"max_len must be >= 1, got {max_len}")
 
-    supports = {
-        item: count
-        for item, count in database.item_supports().items()
-        if count >= threshold
-    }
-    if not supports:
-        return []
-    tree = FPTree.from_transactions(database, supports)
-    results: list[FrequentItemset] = []
-    _mine(tree, threshold, suffix=frozenset(), max_len=max_len, out=results)
+    registry = get_registry()
+    with registry.timer("fpgrowth"):
+        supports = {
+            item: count
+            for item, count in database.item_supports().items()
+            if count >= threshold
+        }
+        if not supports:
+            return []
+        tree = FPTree.from_transactions(database, supports)
+        if registry.enabled:
+            registry.counter("fpgrowth.fptree_nodes").inc(tree.node_count())
+        results: list[FrequentItemset] = []
+        _mine(tree, threshold, suffix=frozenset(), max_len=max_len, out=results)
+        registry.counter("fpgrowth.itemsets").inc(len(results))
     return results
 
 
@@ -76,6 +82,9 @@ def _mine(
     out: list[FrequentItemset],
 ) -> None:
     """Iterative FP-Growth over an explicit stack of (tree, suffix) jobs."""
+    registry = get_registry()
+    conditional_trees = registry.counter("fpgrowth.conditional_trees")
+    conditional_nodes = registry.counter("fpgrowth.conditional_tree_nodes")
     stack: list[tuple[FPTree, Itemset]] = [(tree, suffix)]
     while stack:
         current_tree, current_suffix = stack.pop()
@@ -96,6 +105,9 @@ def _mine(
             if max_len is not None and len(new_suffix) == max_len:
                 continue
             conditional = current_tree.conditional_tree(item, threshold)
+            conditional_trees.inc()
+            if registry.enabled:
+                conditional_nodes.inc(conditional.node_count())
             if not conditional.is_empty():
                 stack.append((conditional, new_suffix))
 

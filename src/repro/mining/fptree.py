@@ -134,6 +134,15 @@ class FPTree:
     def is_empty(self) -> bool:
         return not self.root.children
 
+    def node_count(self) -> int:
+        """Number of nodes in the tree, excluding the root.
+
+        Every non-root node appears in exactly one header list, so this
+        is an O(#distinct items) sum — cheap enough for the miners'
+        observability counters to call per tree.
+        """
+        return sum(len(nodes) for nodes in self.headers.values())
+
     def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
         """Conditional pattern base of ``item``.
 

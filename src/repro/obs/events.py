@@ -1,0 +1,123 @@
+"""Structured pipeline events and pluggable sinks.
+
+The observability layer separates *aggregation* (timers, counters,
+gauges — :mod:`repro.obs.metrics`) from the *event stream*: every timer
+span and every explicit :meth:`~repro.obs.metrics.MetricsRegistry.emit`
+call produces one flat dict record that is handed to a sink. Sinks are
+deliberately tiny:
+
+- :class:`InMemorySink` — keeps records in a list; what tests and
+  notebooks use to assert on the stream.
+- :class:`JsonlSink` — appends one JSON object per line to a file; the
+  production trace format (``mediar --profile --trace events.jsonl``).
+- :class:`NullSink` — drops everything; the default when only the
+  aggregated metrics matter.
+
+Records are plain ``dict``s with at least an ``"event"`` key; values
+must be JSON-serializable (non-serializable values are stringified
+rather than raising, so a bad field can never crash the hot path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+EventRecord = dict
+
+
+class EventSink:
+    """Interface of an event sink (also usable as a no-op base)."""
+
+    def write(self, record: Mapping) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resource (default: nothing to do)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Drops every record."""
+
+    def write(self, record: Mapping) -> None:
+        pass
+
+
+class InMemorySink(EventSink):
+    """Collects records in :attr:`events` (test / notebook sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[EventRecord] = []
+
+    def write(self, record: Mapping) -> None:
+        self.events.append(dict(record))
+
+    def of_type(self, event: str) -> list[EventRecord]:
+        """The collected records whose ``"event"`` field equals ``event``."""
+        return [r for r in self.events if r.get("event") == event]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON object per line to ``path``.
+
+    The file (and its parent directories) are created lazily on the
+    first write; every record is flushed immediately so a trace is valid
+    JSONL even if the process dies mid-run.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.records_written = 0
+
+    def write(self, record: Mapping) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(dict(record), default=str) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | os.PathLike[str]) -> list[EventRecord]:
+    """Parse a JSONL trace back into records (the round-trip helper).
+
+    Raises :class:`~repro.errors.ConfigError` on a line that is not a
+    JSON object, naming the offending line number.
+    """
+    records: list[EventRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"invalid JSONL at {path}:{line_number}: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ConfigError(
+                    f"JSONL record at {path}:{line_number} is not an object"
+                )
+            records.append(record)
+    return records

@@ -1,0 +1,349 @@
+"""Timers, counters and gauges for the MeDIAR hot path.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.** The default registry is
+   :data:`NULL_REGISTRY`, whose counters/gauges/timer spans are shared
+   no-op singletons — instrumented code pays one attribute lookup and
+   one no-op call, never allocation or branching on a config flag.
+   Aggregate counts (e.g. FP-tree node totals) are additionally guarded
+   with ``if registry.enabled`` so they are not even computed.
+2. **Dependency-free.** Standard library only; timers use the monotonic
+   ``time.perf_counter`` clock.
+3. **Nesting-aware timers.** A span opened while another span is active
+   records under the slash-joined path (``pipeline.mine/fpclose``), so
+   a stage table shows both the stage total and where inside the stage
+   the time went.
+
+Instrumented library code does not take a registry parameter; it calls
+:func:`get_registry`, which returns the *active* registry —
+:data:`NULL_REGISTRY` unless a caller (``Maras.run``, the CLI, a
+benchmark) has installed a real one with :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.events import EventSink
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time numeric metric (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class TimerStat:
+    """Accumulated wall time of one span path."""
+
+    __slots__ = ("name", "total_seconds", "calls", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.calls = 0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.calls += 1
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+
+class _Span:
+    """Context manager for one timed section (re-usable is *not* required)."""
+
+    __slots__ = ("_registry", "_name", "_start", "path")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+        self.path = name
+
+    def __enter__(self) -> "_Span":
+        registry = self._registry
+        registry._stack.append(self._name)
+        self.path = "/".join(registry._stack)
+        self._start = registry._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        registry = self._registry
+        seconds = registry._clock() - self._start
+        registry._stack.pop()
+        registry._timer_stat(self.path).record(seconds)
+        registry._sink.write(
+            {"event": "span", "name": self.path, "seconds": seconds}
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span."""
+
+    __slots__ = ()
+    path = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class _NullCounter:
+    """Shared no-op counter."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    """Shared no-op gauge."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class TimerReading:
+    """One row of a snapshot's stage-time table."""
+
+    name: str
+    total_seconds: float
+    calls: int
+    max_seconds: float
+
+    @property
+    def depth(self) -> int:
+        return self.name.count("/")
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """An immutable copy of a registry's aggregates at one moment."""
+
+    timers: tuple[TimerReading, ...] = ()
+    counters: Mapping[str, int] = field(default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
+
+    def timer_seconds(self, name: str) -> float:
+        """Total seconds recorded under span path ``name`` (0.0 if absent)."""
+        for reading in self.timers:
+            if reading.name == name:
+                return reading.total_seconds
+        return 0.0
+
+    def as_dict(self) -> dict:
+        """A JSON-serializable view (what the trace's summary event holds)."""
+        return {
+            "timers": {
+                t.name: {
+                    "total_seconds": t.total_seconds,
+                    "calls": t.calls,
+                    "max_seconds": t.max_seconds,
+                }
+                for t in self.timers
+            },
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def format_table(self) -> str:
+        """The human-readable stage-time table (``mediar --profile``)."""
+        lines = ["stage timings"]
+        if self.timers:
+            width = max(len(t.name) for t in self.timers) + 2
+            lines.append(f"  {'span':<{width}s} {'calls':>6s} {'total':>10s}")
+            for timer in sorted(self.timers, key=lambda t: t.name):
+                indent = "  " * timer.depth
+                label = indent + timer.name.rsplit("/", 1)[-1]
+                lines.append(
+                    f"  {label:<{width}s} {timer.calls:>6d} "
+                    f"{timer.total_seconds:>9.4f}s"
+                )
+        else:
+            lines.append("  (no spans recorded)")
+        if self.counters:
+            lines.append("counters")
+            width = max(len(name) for name in self.counters) + 2
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<{width}s} {self.counters[name]:>10,d}")
+        if self.gauges:
+            lines.append("gauges")
+            width = max(len(name) for name in self.gauges) + 2
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<{width}s} {self.gauges[name]:>10.4f}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """The live aggregation point: timers, counters, gauges, events.
+
+    Parameters
+    ----------
+    sink:
+        Where span and :meth:`emit` records go; ``None`` drops them and
+        keeps only the aggregates.
+    clock:
+        Monotonic clock, injectable for deterministic timer tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        sink: EventSink | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        from repro.obs.events import NullSink
+
+        self._sink = sink if sink is not None else NullSink()
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._stack: list[str] = []
+
+    @property
+    def sink(self) -> EventSink:
+        return self._sink
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def timer(self, name: str) -> _Span:
+        """A context manager timing one section under span name ``name``."""
+        return _Span(self, name)
+
+    def _timer_stat(self, path: str) -> TimerStat:
+        stat = self._timers.get(path)
+        if stat is None:
+            stat = self._timers[path] = TimerStat(path)
+        return stat
+
+    def emit(self, event: str, /, **fields) -> None:
+        """Write one structured event record to the sink."""
+        self._sink.write({"event": event, **fields})
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            timers=tuple(
+                TimerReading(s.name, s.total_seconds, s.calls, s.max_seconds)
+                for s in self._timers.values()
+            ),
+            counters={c.name: c.value for c in self._counters.values()},
+            gauges={g.name: g.value for g in self._gauges.values()},
+        )
+
+    def emit_summary(self) -> None:
+        """Write the aggregate snapshot as one ``metrics`` event."""
+        self._sink.write({"event": "metrics", **self.snapshot().as_dict()})
+
+    def close(self) -> None:
+        """Emit the summary event and close the sink."""
+        self.emit_summary()
+        self._sink.close()
+
+
+class NullRegistry:
+    """The disabled registry: every operation is a shared no-op.
+
+    ``enabled`` is ``False`` so instrumentation can skip computing
+    expensive aggregate values entirely.
+    """
+
+    enabled = False
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _span = _NullSpan()
+
+    def counter(self, name: str) -> _NullCounter:
+        return self._counter
+
+    def gauge(self, name: str) -> _NullGauge:
+        return self._gauge
+
+    def timer(self, name: str) -> _NullSpan:
+        return self._span
+
+    def emit(self, event: str, /, **fields) -> None:
+        pass
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()
+
+    def emit_summary(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The registry instrumented library code should record into."""
+    return _active
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Install ``registry`` as the active registry for the enclosed block."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -43,6 +43,34 @@ class TestSpearman:
         new = {("a",): 5, ("b",): 6, ("c",): 7, ("y",): 1}
         assert spearman_correlation(old, new) == pytest.approx(1.0)
 
+    def test_ties_use_average_ranks(self):
+        """Tie-heavy rankings: ρ must not depend on key/insertion order."""
+        old = {("a",): 1, ("b",): 2, ("c",): 2, ("d",): 2, ("e",): 5}
+        new = {("a",): 1, ("b",): 2, ("c",): 2, ("d",): 2, ("e",): 5}
+        rho = spearman_correlation(old, new)
+        # With average ranks on both sides the tied block contributes no
+        # disagreement at all: identical rankings give exactly 1.
+        assert rho == pytest.approx(1.0)
+
+    def test_tie_result_independent_of_insertion_order(self):
+        keys = [("a",), ("b",), ("c",), ("d",), ("e",)]
+        values_old = {keys[0]: 1, keys[1]: 2, keys[2]: 2, keys[3]: 4, keys[4]: 5}
+        values_new = {keys[0]: 5, keys[1]: 3, keys[2]: 3, keys[3]: 2, keys[4]: 1}
+        rho_forward = spearman_correlation(values_old, values_new)
+        # Rebuild both dicts with reversed insertion order.
+        reversed_old = dict(reversed(list(values_old.items())))
+        reversed_new = dict(reversed(list(values_new.items())))
+        rho_reversed = spearman_correlation(reversed_old, reversed_new)
+        assert rho_forward == pytest.approx(rho_reversed)
+        # new's fractional ranks are exactly (6 - old's), a perfect
+        # reversal even through the tied block: ρ = -1.
+        assert rho_forward == pytest.approx(-1.0)
+
+    def test_all_tied_side_is_none(self):
+        old = {("a",): 1, ("b",): 1, ("c",): 1}
+        new = {("a",): 1, ("b",): 2, ("c",): 3}
+        assert spearman_correlation(old, new) is None
+
 
 class TestSurveillanceMonitor:
     @pytest.fixture
@@ -122,3 +150,82 @@ class TestSurveillanceMonitor:
         cluster = mined_quarter.clusters[0]
         key = cluster_key(mined_quarter, cluster)
         assert all(isinstance(label, str) for label in key[0] + key[1])
+
+
+class TestSurveillanceCleaning:
+    """Regression: surveillance used to bypass the cleaner entirely.
+
+    ``SurveillanceMonitor.ingest`` wrapped accumulated reports in a
+    ``ReportDataset`` and ``Maras.run`` skipped cleaning for dataset
+    inputs, so case-version merging and name normalization silently
+    never ran in surveillance mode, even with ``config.clean=True``.
+    """
+
+    @staticmethod
+    def _raw_stream():
+        """Two batches with duplicate case versions and misspelled names."""
+        batch1 = [
+            # Dosage tails + case variants — cleaning collapses all of
+            # these onto the canonical ASPIRIN/WARFARIN pair. Each case
+            # carries a distinguishing extra ADR so none are dropped as
+            # exact content duplicates.
+            CaseReport.build("c1", ["aspirin 81 mg", "warfarin"], ["haemorrhage"]),
+            CaseReport.build(
+                "c2", ["ASPIRIN", "WARFARIN TAB"], ["HAEMORRHAGE", "DIZZINESS"]
+            ),
+            CaseReport.build("n1", ["NEXIUM"], ["PAIN"]),
+            CaseReport.build("n2", ["NEXIUM", "IBUPROFEN"], ["PAIN"]),
+        ]
+        batch2 = [
+            # Follow-up version of c1 (same case id, extra ADR): the
+            # cleaner must merge it, not drop it.
+            CaseReport.build("c1", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE", "NAUSEA"]),
+            CaseReport.build("c3", ["Aspirin", "Warfarin"], ["Haemorrhage", "Rash"]),
+            CaseReport.build(
+                "c4", ["ASPIRIN 100MG", "WARFARIN"], ["HAEMORRHAGE", "VOMITING"]
+            ),
+            CaseReport.build("n3", ["NEXIUM"], ["PAIN", "NAUSEA"]),
+        ]
+        return batch1, batch2
+
+    def test_surveillance_matches_one_shot_cleaned_run(self):
+        batch1, batch2 = self._raw_stream()
+        config = MarasConfig(min_support=3, clean=True)
+
+        monitor = SurveillanceMonitor(config)
+        monitor.ingest(batch1)
+        monitor.ingest(batch2)
+
+        from repro.core import Maras
+
+        one_shot = Maras(config).run(batch1 + batch2)
+        assert one_shot.clusters  # the planted signal must surface
+
+        monitor_keys = {
+            cluster_key(monitor.result, c) for c in monitor.result.clusters
+        }
+        one_shot_keys = {
+            cluster_key(one_shot, c) for c in one_shot.clusters
+        }
+        assert monitor_keys == one_shot_keys
+        assert (("ASPIRIN", "WARFARIN"), ("HAEMORRHAGE",)) in monitor_keys
+
+    def test_cleaning_stats_present_in_surveillance_result(self):
+        batch1, batch2 = self._raw_stream()
+        monitor = SurveillanceMonitor(MarasConfig(min_support=3, clean=True))
+        monitor.ingest(batch1)
+        monitor.ingest(batch2)
+        stats = monitor.result.cleaning_stats
+        assert stats is not None
+        assert stats.cases_merged >= 1  # c1's follow-up version
+
+    def test_follow_up_version_reaches_the_cleaner(self):
+        """A later version of a seen case must not be silently dropped."""
+        batch1, batch2 = self._raw_stream()
+        monitor = SurveillanceMonitor(MarasConfig(min_support=3, clean=True))
+        monitor.ingest(batch1)
+        monitor.ingest(batch2)
+        # c1 v2 added NAUSEA; after merging, the supporting report for
+        # c1 must mention it.
+        reports = {r.case_id: r for r in monitor.result.dataset}
+        assert "NAUSEA" in reports["c1"].adrs

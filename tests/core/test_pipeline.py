@@ -27,6 +27,30 @@ class TestMarasConfig:
         with pytest.raises(ConfigError):
             MarasConfig(min_confidence=1.2)
 
+    def test_zero_min_support_rejected(self):
+        with pytest.raises(ConfigError, match="absolute min_support must be >= 1"):
+            MarasConfig(min_support=0)
+
+    def test_negative_min_support_rejected(self):
+        with pytest.raises(ConfigError, match="absolute min_support must be >= 1"):
+            MarasConfig(min_support=-5)
+
+    def test_fractional_min_support_must_be_positive(self):
+        with pytest.raises(ConfigError, match=r"fractional min_support must be in \(0, 1\]"):
+            MarasConfig(min_support=0.0)
+
+    def test_fractional_min_support_above_one_rejected(self):
+        with pytest.raises(ConfigError, match=r"fractional min_support must be in \(0, 1\]"):
+            MarasConfig(min_support=1.5)
+
+    def test_fractional_min_support_accepted(self):
+        MarasConfig(min_support=0.01)
+        MarasConfig(min_support=1.0)
+
+    def test_bool_min_support_rejected(self):
+        with pytest.raises(ConfigError, match="int or float"):
+            MarasConfig(min_support=True)
+
 
 class TestPipelineRun:
     def test_clusters_are_multi_drug_closed_rules(self, mined_quarter):
@@ -69,6 +93,36 @@ class TestPipelineRun:
         # c1 merged; c2 content-duplicates merged c1 → dropped.
         assert len(result.dataset) < 5
 
+    def test_dataset_input_is_cleaned_when_enabled(self):
+        """Regression: wrapping reports in a ReportDataset used to bypass
+        the cleaner entirely, silently skipping §5.2's preparation step."""
+        reports = [
+            CaseReport.build("c1", ["aspirin 81 mg", "warfarin"], ["haemorrhage"]),
+            CaseReport.build(
+                "c2", ["ASPIRIN", "WARFARIN TAB"], ["HAEMORRHAGE", "NAUSEA"]
+            ),
+            CaseReport.build(
+                "c3", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE", "RASH"]
+            ),
+            CaseReport.build("c4", ["NEXIUM"], ["PAIN"]),
+        ]
+        dataset = ReportDataset(reports)
+        result = Maras(MarasConfig(min_support=3, clean=True)).run(dataset)
+        assert result.cleaning_stats is not None
+        # All three spellings collapse to the same canonical pair, so
+        # the two-drug rule reaches support 3.
+        labels = {
+            result.catalog.labels(c.target.antecedent)
+            for c in result.clusters
+        }
+        assert ("ASPIRIN", "WARFARIN") in labels
+
+    def test_dataset_input_untouched_when_clean_disabled(self, small_quarter_reports):
+        dataset = ReportDataset(small_quarter_reports)
+        result = Maras(MarasConfig(min_support=10, clean=False)).run(dataset)
+        assert result.dataset is dataset
+        assert result.cleaning_stats is None
+
     def test_rule_space_counts_ordering(self, small_quarter_reports):
         """Fig 5.1's invariant: total ≥ filtered ≥ MCACs."""
         result = Maras(
@@ -109,6 +163,47 @@ class TestSearchAndDrilldown:
 
     def test_search_unknown_term_returns_empty(self, mined_quarter):
         assert mined_quarter.search(drug="NO-SUCH-DRUG") == []
+
+    def test_search_case_variant_query(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        drug = mined_quarter.catalog.labels(cluster.target.antecedent)[0]
+        matches = mined_quarter.search(drug=drug.lower())
+        assert cluster in matches
+
+    def test_search_verbatim_query_with_dosage_tail(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        drug = mined_quarter.catalog.labels(cluster.target.antecedent)[0]
+        matches = mined_quarter.search(drug=f"{drug.lower()} 81 mg")
+        assert cluster in matches
+
+    def test_search_misspelled_query_corrected(self):
+        reports = [
+            CaseReport.build(f"c{i}", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"])
+            for i in range(3)
+        ]
+        result = Maras(MarasConfig(min_support=2, clean=False)).run(reports)
+        assert result.clusters
+        # One deletion ("ASPIRN") and one substitution ("ASPIRIM"): both
+        # are edit distance 1 from exactly one catalog drug.
+        for misspelled in ("ASPIRN", "ASPIRIM", "aspirn"):
+            matches = result.search(drug=misspelled)
+            assert matches == result.clusters, misspelled
+
+    def test_search_ambiguous_misspelling_not_corrected(self):
+        reports = [
+            CaseReport.build(f"c{i}", ["DRUGA", "DRUGB"], ["PAIN"])
+            for i in range(3)
+        ]
+        result = Maras(MarasConfig(min_support=2, clean=False)).run(reports)
+        # "DRUGC" is distance 1 from both DRUGA and DRUGB — ambiguous,
+        # so no correction and no match.
+        assert result.search(drug="DRUGC") == []
+
+    def test_search_case_variant_adr(self, mined_quarter):
+        cluster = mined_quarter.clusters[0]
+        adr = mined_quarter.catalog.labels(cluster.target.consequent)[0]
+        matches = mined_quarter.search(adr=adr.lower())
+        assert cluster in matches
 
     def test_search_without_criteria_rejected(self, mined_quarter):
         with pytest.raises(ConfigError):

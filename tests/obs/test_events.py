@@ -1,0 +1,133 @@
+"""Tests for the event-sink half of the observability layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    read_jsonl,
+)
+
+
+class TestInMemorySink:
+    def test_collects_and_filters(self):
+        sink = InMemorySink()
+        sink.write({"event": "a", "n": 1})
+        sink.write({"event": "b"})
+        sink.write({"event": "a", "n": 2})
+        assert len(sink.events) == 3
+        assert [r["n"] for r in sink.of_type("a")] == [1, 2]
+
+    def test_copies_records(self):
+        sink = InMemorySink()
+        record = {"event": "a"}
+        sink.write(record)
+        record["event"] = "mutated"
+        assert sink.events[0]["event"] == "a"
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.write({"event": "a"})
+        sink.clear()
+        assert sink.events == []
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"event": "span", "name": "mine", "seconds": 0.5})
+            sink.write({"event": "pipeline.run", "n_clusters": 3})
+        records = read_jsonl(path)
+        assert records == [
+            {"event": "span", "name": "mine", "seconds": 0.5},
+            {"event": "pipeline.run", "n_clusters": 3},
+        ]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"event": "a"})
+        sink.close()
+        assert path.exists()
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for i in range(5):
+            sink.write({"event": "tick", "i": i})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_non_serializable_values_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"event": "a", "path": tmp_path})
+        sink.close()
+        (record,) = read_jsonl(path)
+        assert record["path"] == str(tmp_path)
+
+    def test_no_file_until_first_write(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()
+        sink.close()
+        assert not path.exists()
+
+
+class TestReadJsonl:
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "a"}\nnot json\n')
+        with pytest.raises(ConfigError, match="invalid JSONL"):
+            read_jsonl(path)
+
+    def test_rejects_non_object_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ConfigError, match="not an object"):
+            read_jsonl(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert [r["event"] for r in read_jsonl(path)] == ["a", "b"]
+
+
+class TestRegistrySinkIntegration:
+    def test_emit_goes_to_sink(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sink=sink)
+        registry.emit("surveillance.batch", batch_index=1, mine_seconds=0.2)
+        (record,) = sink.events
+        assert record == {
+            "event": "surveillance.batch",
+            "batch_index": 1,
+            "mine_seconds": 0.2,
+        }
+
+    def test_close_emits_metrics_summary(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        registry = MetricsRegistry(sink=JsonlSink(path))
+        registry.counter("c").inc(3)
+        registry.close()
+        records = read_jsonl(path)
+        assert records[-1]["event"] == "metrics"
+        assert records[-1]["counters"] == {"c": 3}
+
+    def test_null_sink_drops_everything(self):
+        registry = MetricsRegistry(sink=NullSink())
+        registry.emit("a")
+        registry.counter("c").inc()
+        # Aggregates survive even when the event stream is dropped.
+        assert registry.snapshot().counters == {"c": 1}

@@ -1,0 +1,184 @@
+"""Tests for the metrics half of the observability layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    InMemorySink,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    use_registry,
+)
+
+
+class FakeClock:
+    """A monotonic clock advanced by hand for deterministic timer tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCounters:
+    def test_counter_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        registry.counter("y").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot.counters == {"x": 5, "y": 2}
+
+    def test_counter_identity_is_per_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rho").set(0.5)
+        registry.gauge("rho").set(0.9)
+        assert registry.snapshot().gauges == {"rho": 0.9}
+
+
+class TestTimers:
+    def test_single_span_duration(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("stage"):
+            clock.advance(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot.timer_seconds("stage") == pytest.approx(1.5)
+
+    def test_nested_spans_record_under_paths(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("outer"):
+            clock.advance(1.0)
+            with registry.timer("inner"):
+                clock.advance(2.0)
+            clock.advance(0.5)
+        snapshot = registry.snapshot()
+        names = {t.name for t in snapshot.timers}
+        assert names == {"outer", "outer/inner"}
+        assert snapshot.timer_seconds("outer") == pytest.approx(3.5)
+        assert snapshot.timer_seconds("outer/inner") == pytest.approx(2.0)
+        # The nested span never records under its bare name.
+        assert snapshot.timer_seconds("inner") == 0.0
+
+    def test_repeated_spans_accumulate_calls(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        for _ in range(3):
+            with registry.timer("stage"):
+                clock.advance(1.0)
+        (reading,) = registry.snapshot().timers
+        assert reading.calls == 3
+        assert reading.total_seconds == pytest.approx(3.0)
+        assert reading.max_seconds == pytest.approx(1.0)
+
+    def test_span_emits_event_to_sink(self):
+        sink = InMemorySink()
+        clock = FakeClock()
+        registry = MetricsRegistry(sink=sink, clock=clock)
+        with registry.timer("stage"):
+            clock.advance(0.25)
+        (record,) = sink.of_type("span")
+        assert record["name"] == "stage"
+        assert record["seconds"] == pytest.approx(0.25)
+
+    def test_exception_still_closes_span(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with pytest.raises(ValueError):
+            with registry.timer("stage"):
+                clock.advance(1.0)
+                raise ValueError("boom")
+        assert registry.snapshot().timer_seconds("stage") == pytest.approx(1.0)
+        # The stack unwound: a new span is top-level again.
+        with registry.timer("after"):
+            pass
+        assert registry.snapshot().timer_seconds("after") >= 0.0
+        assert "stage/after" not in {t.name for t in registry.snapshot().timers}
+
+
+class TestSnapshotFormatting:
+    def test_format_table_lists_spans_and_counters(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("pipeline.mine"):
+            clock.advance(0.5)
+        registry.counter("pipeline.clusters").inc(7)
+        table = registry.snapshot().format_table()
+        assert "pipeline.mine" in table
+        assert "pipeline.clusters" in table
+        assert "7" in table
+
+    def test_empty_snapshot_formats(self):
+        table = MetricsRegistry().snapshot().format_table()
+        assert "no spans recorded" in table
+
+    def test_as_dict_round_trip_shape(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("s"):
+            clock.advance(1.0)
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        payload = registry.snapshot().as_dict()
+        assert payload["timers"]["s"]["total_seconds"] == pytest.approx(1.0)
+        assert payload["counters"] == {"c": 1}
+        assert payload["gauges"] == {"g": 2.5}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        registry.counter("x").inc(10)
+        registry.gauge("g").set(1.0)
+        with registry.timer("t"):
+            pass
+        registry.emit("event", a=1)
+        snapshot = registry.snapshot()
+        assert not snapshot.timers
+        assert not snapshot.counters
+        assert not snapshot.gauges
+
+    def test_shared_singletons(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.timer("a") is registry.timer("b")
+
+
+class TestActiveRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry) as active:
+            assert active is registry
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(registry):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_nested_use_registry(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is outer

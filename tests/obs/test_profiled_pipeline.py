@@ -1,0 +1,102 @@
+"""End-to-end observability: a profiled run reports the §5.2 stages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maras, MarasConfig, SurveillanceMonitor
+from repro.faers import SyntheticConfig, SyntheticFAERSGenerator
+from repro.obs import InMemorySink, MetricsRegistry
+
+STAGES = (
+    "pipeline.prepare",
+    "pipeline.mine",
+    "pipeline.filter",
+    "pipeline.cluster",
+)
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    reports = SyntheticFAERSGenerator(
+        SyntheticConfig(n_reports=600, seed=7)
+    ).generate()
+    sink = InMemorySink()
+    registry = MetricsRegistry(sink=sink)
+    result = Maras(
+        MarasConfig(min_support=4, clean=True), registry=registry
+    ).run(reports)
+    return result, registry, sink
+
+
+class TestProfiledPipeline:
+    def test_all_four_stages_have_nonzero_durations(self, profiled_run):
+        result, _, _ = profiled_run
+        assert result.metrics is not None
+        for stage in STAGES:
+            assert result.metrics.timer_seconds(stage) > 0.0, stage
+
+    def test_mining_span_nested_under_mine_stage(self, profiled_run):
+        result, _, _ = profiled_run
+        names = {t.name for t in result.metrics.timers}
+        assert "pipeline.mine/fpclose" in names
+
+    def test_cleaning_span_nested_under_prepare(self, profiled_run):
+        result, _, _ = profiled_run
+        names = {t.name for t in result.metrics.timers}
+        assert "pipeline.prepare/faers.clean" in names
+
+    def test_counters_match_result(self, profiled_run):
+        result, _, _ = profiled_run
+        counters = result.metrics.counters
+        assert counters["pipeline.clusters"] == len(result.clusters)
+        assert counters["pipeline.transactions"] == len(result.dataset)
+        assert counters["pipeline.closed_itemsets"] > 0
+        assert counters["fpclose.closed_itemsets"] > 0
+        assert counters["faers.clean.rows_in"] == 600
+
+    def test_run_event_emitted(self, profiled_run):
+        result, _, sink = profiled_run
+        (record,) = sink.of_type("pipeline.run")
+        assert record["n_clusters"] == len(result.clusters)
+
+    def test_unprofiled_run_has_no_metrics(self):
+        reports = SyntheticFAERSGenerator(
+            SyntheticConfig(n_reports=200, seed=7)
+        ).generate()
+        result = Maras(MarasConfig(min_support=4, clean=False)).run(reports)
+        assert result.metrics is None
+
+
+class TestSurveillanceTelemetry:
+    def test_per_batch_events(self, small_quarter_reports):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sink=sink)
+        monitor = SurveillanceMonitor(
+            MarasConfig(min_support=4, clean=False), registry=registry
+        )
+        half = len(small_quarter_reports) // 2
+        monitor.ingest(small_quarter_reports[:half])
+        monitor.ingest(small_quarter_reports[half:])
+        events = sink.of_type("surveillance.batch")
+        assert [e["batch_index"] for e in events] == [1, 2]
+        assert all(e["mine_seconds"] > 0 for e in events)
+        assert events[0]["rank_correlation"] is None
+        assert events[1]["n_reports_total"] == len(small_quarter_reports)
+        counters = registry.snapshot().counters
+        assert counters["surveillance.batches"] == 2
+        assert counters["surveillance.reports_ingested"] == len(
+            small_quarter_reports
+        )
+
+    def test_mine_time_accumulates_in_registry(self, small_quarter_reports):
+        registry = MetricsRegistry()
+        monitor = SurveillanceMonitor(
+            MarasConfig(min_support=4, clean=False), registry=registry
+        )
+        monitor.ingest(small_quarter_reports[:500])
+        snapshot = registry.snapshot()
+        assert snapshot.timer_seconds("surveillance.batch") > 0
+        # The pipeline stages nested under the batch span.
+        names = {t.name for t in snapshot.timers}
+        assert "surveillance.batch/pipeline.mine" in names

@@ -82,6 +82,54 @@ class TestMine:
         assert code == 0
         assert "R~1" in out
 
+    def test_mine_profile_prints_stage_table(self, capsys):
+        code, out, err = run(
+            capsys, "--profile", "mine", *SYNTH, "--min-support", "4", "--top", "3"
+        )
+        assert code == 0
+        assert "#1" in out  # normal output unaffected
+        assert "stage timings" in err
+        for stage in (
+            "pipeline.prepare",
+            "pipeline.mine",
+            "pipeline.filter",
+            "pipeline.cluster",
+        ):
+            assert stage.rsplit(".", 1)[-1] in err, stage
+        assert "pipeline.clusters" in err
+
+    def test_mine_profile_writes_jsonl_trace(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        code, _, err = run(
+            capsys,
+            "--profile",
+            "--trace",
+            str(trace),
+            "mine",
+            *SYNTH,
+            "--min-support",
+            "4",
+        )
+        assert code == 0
+        assert f"wrote trace {trace}" in err
+        records = read_jsonl(trace)
+        span_names = {r["name"] for r in records if r["event"] == "span"}
+        assert {
+            "pipeline.prepare",
+            "pipeline.mine",
+            "pipeline.filter",
+            "pipeline.cluster",
+        } <= span_names
+        assert records[-1]["event"] == "metrics"
+        assert records[-1]["counters"]["pipeline.clusters"] > 0
+
+    def test_no_profile_no_stage_table(self, capsys):
+        code, _, err = run(capsys, "mine", *SYNTH, "--min-support", "4")
+        assert code == 0
+        assert "stage timings" not in err
+
     def test_mine_search_no_match(self, capsys):
         code, out, _ = run(
             capsys, "mine", *SYNTH, "--min-support", "4", "--drug", "NO-SUCH-DRUG"
