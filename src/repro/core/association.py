@@ -28,10 +28,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from itertools import combinations
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.mining.rules import AssociationRule
 from repro.mining.transactions import Itemset, TransactionDatabase
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only, avoids import coupling
+    from repro.mining.bitsets import SupportOracle
 
 
 class SupportType(enum.Enum):
@@ -47,7 +51,10 @@ class SupportType(enum.Enum):
 
 
 def classify_support(
-    database: TransactionDatabase, items: Itemset
+    database: TransactionDatabase,
+    items: Itemset,
+    *,
+    oracle: "SupportOracle | None" = None,
 ) -> SupportType:
     """Classify an itemset per the (generalized) §3.3 taxonomy.
 
@@ -56,11 +63,17 @@ def classify_support(
     containing transactions: for support ≥ 2 that intersection equals
     the itemset exactly when the itemset is closed over its tidset,
     which is the generalized implicit-support condition.
+
+    ``oracle`` (a :class:`~repro.mining.bitsets.SupportOracle`)
+    materializes the tidset from bitmasks instead of intersecting
+    frozensets; transaction contents still come from ``database``.
     """
     items = frozenset(items)
     if not items:
         raise ConfigError("cannot classify the empty itemset")
-    tids = database.tidset_of(items)
+    tids = (
+        database.tidset_of(items) if oracle is None else oracle.tidset(items)
+    )
     if not tids:
         return SupportType.UNSUPPORTED
     for tid in tids:
@@ -125,9 +138,16 @@ class DrugADRAssociation:
 
     @classmethod
     def from_rule(
-        cls, rule: AssociationRule, database: TransactionDatabase
+        cls,
+        rule: AssociationRule,
+        database: TransactionDatabase,
+        *,
+        oracle: "SupportOracle | None" = None,
     ) -> "DrugADRAssociation":
-        return cls(rule=rule, support_type=classify_support(database, rule.items))
+        return cls(
+            rule=rule,
+            support_type=classify_support(database, rule.items, oracle=oracle),
+        )
 
     @property
     def n_drugs(self) -> int:

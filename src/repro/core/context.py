@@ -23,7 +23,11 @@ from itertools import combinations
 from repro.errors import ConfigError
 from repro.mining.measures import RuleMetrics
 from repro.mining.rules import AssociationRule
-from repro.mining.transactions import Itemset, TransactionDatabase
+from repro.mining.transactions import (
+    Itemset,
+    SupportCounter,
+    TransactionDatabase,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,9 +100,20 @@ class MCAC:
 
 
 def build_cluster(
-    target: AssociationRule, database: TransactionDatabase
+    target: AssociationRule,
+    database: TransactionDatabase,
+    *,
+    oracle: SupportCounter | None = None,
 ) -> MCAC:
     """Build the complete MCAC of one multi-drug target rule.
+
+    A complete context needs the support of every one of the target's
+    ``2^n − 2`` proper antecedent subsets (joined with the consequent
+    and alone); ``oracle`` routes those queries through a shared
+    memoized bitset counter, so subsets shared between overlapping
+    clusters — and the consequent itself, queried by every cluster with
+    the same ADR set — are counted once per pipeline run instead of
+    once per cluster.
 
     Raises :class:`~repro.errors.ConfigError` for a single-drug target:
     its context would be empty and the paper only evaluates rules with
@@ -110,9 +125,10 @@ def build_cluster(
             "MCAC requires a multi-drug target rule "
             f"(got {n_drugs} antecedent item)"
         )
+    counts: SupportCounter = database if oracle is None else oracle
     antecedent_items = sorted(target.antecedent)
     consequent = target.consequent
-    n_consequent = database.support(consequent)
+    n_consequent = counts.support(consequent)
     n_total = len(database)
 
     levels: dict[int, tuple[ContextualRule, ...]] = {}
@@ -121,8 +137,8 @@ def build_cluster(
         for subset in combinations(antecedent_items, cardinality):
             antecedent = frozenset(subset)
             metrics = RuleMetrics.from_counts(
-                n_joint=database.support(antecedent | consequent),
-                n_antecedent=database.support(antecedent),
+                n_joint=counts.support(antecedent | consequent),
+                n_antecedent=counts.support(antecedent),
                 n_consequent=n_consequent,
                 n_total=n_total,
             )
@@ -133,15 +149,20 @@ def build_cluster(
 
 
 def build_clusters(
-    targets: Sequence[AssociationRule], database: TransactionDatabase
+    targets: Sequence[AssociationRule],
+    database: TransactionDatabase,
+    *,
+    oracle: SupportCounter | None = None,
 ) -> list[MCAC]:
     """Build MCACs for every multi-drug rule of ``targets``.
 
     Single-drug rules are skipped silently — the caller's rule list may
-    legitimately mix cardinalities (the mining step does).
+    legitimately mix cardinalities (the mining step does). ``oracle``
+    is shared across all clusters, which is where the memoized support
+    cache earns its keep: overlapping targets share antecedent subsets.
     """
     return [
-        build_cluster(rule, database)
+        build_cluster(rule, database, oracle=oracle)
         for rule in targets
         if len(rule.antecedent) >= 2
     ]

@@ -36,7 +36,8 @@ from repro.faers.cleaning import (
 )
 from repro.faers.dataset import ADR_KIND, DRUG_KIND, EncodedDataset, ReportDataset
 from repro.faers.schema import CaseReport
-from repro.mining.fpclose import fpclose
+from repro.mining.bitsets import SupportOracle
+from repro.mining.fpclose import fpclose, fpclose_reference
 from repro.mining.fpgrowth import fpgrowth
 from repro.mining.rules import (
     count_all_splits,
@@ -72,6 +73,14 @@ class MarasConfig:
         Also mine *all* frequent itemsets and count the traditional and
         filtered rule spaces (the Fig 5.1 series). Costs a second mining
         pass; off by default.
+    use_bitsets:
+        Run the mining/measurement path over integer bitmasks: the
+        bitset-native closed miner plus one shared, memoized
+        :class:`~repro.mining.bitsets.SupportOracle` threaded through
+        rule generation, support classification and MCAC construction.
+        ``False`` selects the set-based reference path — same results
+        bit for bit (the equivalence tests assert it), several times
+        slower; it exists for cross-checking and benchmarking.
     theta, decay:
         Exclusiveness parameters forwarded to the rankers.
     """
@@ -82,6 +91,7 @@ class MarasConfig:
     min_confidence: float = 0.0
     clean: bool = True
     count_rule_space: bool = False
+    use_bitsets: bool = True
     theta: float = 0.5
     decay: str = "linear"
 
@@ -295,6 +305,10 @@ class Maras:
         with registry.timer("pipeline.prepare"):
             if isinstance(reports, ReportDataset) and not config.clean:
                 dataset = reports
+                # Count the input even on the pass-through path, so
+                # profiles from pre-built datasets report their true
+                # input size.
+                registry.counter("pipeline.reports_in").inc(len(dataset))
             else:
                 rows = list(reports)
                 registry.counter("pipeline.reports_in").inc(len(rows))
@@ -308,8 +322,17 @@ class Maras:
             database = encoded.database
         registry.counter("pipeline.transactions").inc(len(database))
 
+        # One bitset index + memoized support cache for the whole run:
+        # the miner, the rule generators, the support classifier and
+        # every MCAC share the same mask table and answer cache.
+        oracle: SupportOracle | None = None
+        if config.use_bitsets:
+            with registry.timer("pipeline.index"):
+                oracle = SupportOracle.for_database(database)
+
+        miner = fpclose if config.use_bitsets else fpclose_reference
         with registry.timer("pipeline.mine"):
-            closed = fpclose(
+            closed = miner(
                 database,
                 config.min_support,
                 max_len=config.max_itemset_len,
@@ -323,6 +346,7 @@ class Maras:
                 antecedent_kind=DRUG_KIND,
                 consequent_kind=ADR_KIND,
                 min_confidence=config.min_confidence,
+                oracle=oracle,
             )
             multi_drug_rules = [
                 rule
@@ -330,7 +354,7 @@ class Maras:
                 if 2 <= len(rule.antecedent) <= config.max_drugs
             ]
             associations = [
-                DrugADRAssociation.from_rule(rule, database)
+                DrugADRAssociation.from_rule(rule, database, oracle=oracle)
                 for rule in multi_drug_rules
             ]
         registry.counter("pipeline.rules").inc(len(rules))
@@ -348,8 +372,11 @@ class Maras:
             )
 
         with registry.timer("pipeline.cluster"):
-            clusters = build_clusters(multi_drug_rules, database)
+            clusters = build_clusters(multi_drug_rules, database, oracle=oracle)
         registry.counter("pipeline.clusters").inc(len(clusters))
+        if oracle is not None:
+            registry.counter("oracle.support_hits").inc(oracle.hits)
+            registry.counter("oracle.support_misses").inc(oracle.misses)
 
         rule_counts: RuleSpaceCounts | None = None
         if config.count_rule_space:

@@ -19,10 +19,10 @@ association-rule machinery that MeDIAR/MARAS is built on:
 """
 
 from repro.mining.apriori import apriori
-from repro.mining.bitsets import BitsetIndex
+from repro.mining.bitsets import BitsetIndex, SupportOracle
 from repro.mining.closure import closure, is_closed
 from repro.mining.fpgrowth import fpgrowth
-from repro.mining.fpclose import fpclose
+from repro.mining.fpclose import fpclose, fpclose_reference
 from repro.mining.generators import (
     minimal_generators,
     minimal_generators_of,
@@ -40,7 +40,12 @@ from repro.mining.measures import (
     support_fraction,
 )
 from repro.mining.rules import AssociationRule, generate_rules, partitioned_rules
-from repro.mining.transactions import FrequentItemset, ItemCatalog, TransactionDatabase
+from repro.mining.transactions import (
+    FrequentItemset,
+    ItemCatalog,
+    SupportCounter,
+    TransactionDatabase,
+)
 
 __all__ = [
     "AssociationRule",
@@ -48,12 +53,15 @@ __all__ = [
     "FrequentItemset",
     "ItemCatalog",
     "RuleMetrics",
+    "SupportCounter",
+    "SupportOracle",
     "TransactionDatabase",
     "apriori",
     "closure",
     "confidence",
     "conviction",
     "fpclose",
+    "fpclose_reference",
     "fpgrowth",
     "generate_rules",
     "is_closed",

@@ -45,6 +45,12 @@ def apriori(
         for item, count in database.item_supports().items()
         if count >= threshold
     }
+    # Candidate counting is the hot loop; go straight to the shared
+    # per-item bitmasks (one AND per item, one popcount per candidate)
+    # instead of routing each query through `database.support`, which
+    # re-normalizes the itemset per call.
+    masks = database.item_masks() if current else {}
+    bit_count = int.bit_count
     level = 1
     while current:
         results.extend(
@@ -55,9 +61,15 @@ def apriori(
         candidates = _generate_candidates(list(current), level + 1)
         current = {}
         for candidate in candidates:
-            count = database.support(candidate)
-            if count >= threshold:
-                current[candidate] = count
+            mask = -1  # all-ones; the first AND clips it to the first item
+            for item in candidate:
+                mask &= masks[item]
+                if not mask:
+                    break
+            else:
+                count = bit_count(mask)
+                if count >= threshold:
+                    current[candidate] = count
         level += 1
     return results
 

@@ -8,10 +8,21 @@ served by *bitset* tidsets: one arbitrary-precision Python integer per
 item, one bit per transaction, so an itemset support is a chain of
 ``&`` and one ``bit_count()``, all in C.
 
-:class:`BitsetIndex` is a drop-in read-only accelerator built from an
-existing database; the equivalence tests assert it agrees with the
-set-based answers bit for bit, and the mining-scaling benchmark
-measures the speedup.
+Two layers live here:
+
+- :class:`BitsetIndex` — read-only per-item bitmask view over a fixed
+  database. It shares the database's own lazily built mask table
+  (:meth:`~repro.mining.transactions.TransactionDatabase.item_masks`),
+  so index construction after any multi-item support query is free.
+- :class:`SupportOracle` — a memoizing façade over a
+  :class:`BitsetIndex`. The MCAC builder asks for the support of every
+  one of a target's ``2^n − 2`` antecedent subsets, and clusters of
+  overlapping targets share most of those subsets; the oracle computes
+  each distinct itemset support once per pipeline run.
+
+The equivalence tests assert both layers agree with the set-based
+answers bit for bit, and the mining-scaling benchmark measures the
+speedup.
 """
 
 from __future__ import annotations
@@ -27,17 +38,13 @@ class BitsetIndex:
 
     Bit ``t`` of ``mask(item)`` is set iff transaction ``t`` contains
     the item. The index is immutable and tied to the database it was
-    built from.
+    built from; the mask table itself is shared with the database
+    (built at most once per database, whoever asks first).
     """
 
     def __init__(self, database: TransactionDatabase) -> None:
         self._n_transactions = len(database)
-        masks: dict[int, int] = {}
-        for tid, transaction in enumerate(database):
-            bit = 1 << tid
-            for item in transaction:
-                masks[item] = masks.get(item, 0) | bit
-        self._masks = masks
+        self._masks = database.item_masks()
         self._full = (1 << self._n_transactions) - 1
 
     def __len__(self) -> int:
@@ -61,20 +68,18 @@ class BitsetIndex:
         return self.itemset_mask(itemset).bit_count()
 
     def tidset(self, itemset: Iterable[int]) -> frozenset[int]:
-        """Materialize the matching tids (for interop with set-based code)."""
+        """Materialize the matching tids (for interop with set-based code).
+
+        Iterates *set bits only* — isolate the lowest set bit with
+        ``mask & -mask``, convert to a tid with ``bit_length``, clear it
+        — so the walk is O(popcount), not O(n_transactions).
+        """
         mask = self.itemset_mask(itemset)
         tids = []
-        tid = 0
         while mask:
-            if mask & 1:
-                tids.append(tid)
-            low_zeros = ((mask & -mask).bit_length() - 1) if mask else 0
-            if low_zeros > 1:
-                mask >>= low_zeros
-                tid += low_zeros
-            else:
-                mask >>= 1
-                tid += 1
+            low = mask & -mask
+            tids.append(low.bit_length() - 1)
+            mask ^= low
         return frozenset(tids)
 
     def contingency_counts(
@@ -90,3 +95,52 @@ class BitsetIndex:
         c = with_outcome.bit_count() - a
         d = self._n_transactions - a - b - c
         return (a, b, c, d)
+
+
+class SupportOracle:
+    """Memoized itemset-support answers over a shared :class:`BitsetIndex`.
+
+    Duck-compatible with the support-counting surface of
+    :class:`~repro.mining.transactions.TransactionDatabase`
+    (``len(oracle)``, ``oracle.support(itemset)``), so the rule
+    generators and the MCAC builder accept either. Each distinct
+    itemset's support is computed once; ``hits``/``misses`` expose the
+    cache effectiveness to the observability layer.
+    """
+
+    __slots__ = ("_index", "_cache", "hits", "misses")
+
+    def __init__(self, index: BitsetIndex) -> None:
+        self._index = index
+        self._cache: dict[Itemset, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def for_database(cls, database: TransactionDatabase) -> "SupportOracle":
+        return cls(BitsetIndex(database))
+
+    @property
+    def index(self) -> BitsetIndex:
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Absolute support of ``itemset``, memoized per distinct itemset."""
+        key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self._cache[key] = self._index.support(key)
+        return result
+
+    def tidset(self, itemset: Iterable[int]) -> frozenset[int]:
+        """Matching tids (uncached — tidsets are large, supports are not)."""
+        return self._index.tidset(itemset)
+
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -9,11 +9,29 @@ search (Uno et al., FIMI'04) over the database's vertical representation
 — each candidate is extended by one item, the tidset is intersected, the
 closure is computed, and the branch is kept only if the closure does not
 disturb the prefix. This enumerates every closed itemset exactly once with
-no duplicate-detection hash table. The public entry point keeps the name
-``fpclose`` after the FP-Growth-based closed-mining step the paper
-describes; the output contract is identical (all closed frequent
-itemsets with their supports) and the test suite cross-checks it against
-a brute-force closure filter over Apriori output.
+no duplicate-detection hash table.
+
+Two implementations share that search shape:
+
+- :func:`fpclose` — the production miner. Tidsets are **integer
+  bitmasks** (one bit per transaction), so every intersection is a
+  single C-level ``&`` and every support a ``bit_count()``. Each branch
+  carries a *conditional candidate list*: only the items that survived
+  the parent's intersection at ≥ threshold are re-examined, and the
+  closure test is fused into the same scan that builds the child's
+  candidate list — one popcount per (branch, candidate) pair decides
+  "in closure", "still a candidate", or "pruned". Items are ordered by
+  ascending support so low-support cores shed candidates as early as
+  possible.
+- :func:`fpclose_reference` — the original ``frozenset``-tidset miner,
+  kept as the equivalence oracle and the "before" series of the
+  set-vs-bitset benchmark group.
+
+Both keep the name ``fpclose`` lineage after the FP-Growth-based closed
+mining the paper describes; the output contract is identical (all closed
+frequent itemsets with their supports) and the test suite cross-checks
+them against each other and against a brute-force closure filter over
+Apriori/FP-Growth output.
 """
 
 from __future__ import annotations
@@ -34,7 +52,7 @@ def fpclose(
     *,
     max_len: int | None = None,
 ) -> list[FrequentItemset]:
-    """Mine all closed frequent itemsets of ``database``.
+    """Mine all closed frequent itemsets of ``database`` (bitset core).
 
     Parameters
     ----------
@@ -51,8 +69,9 @@ def fpclose(
     Returns
     -------
     list[FrequentItemset]
-        Every closed itemset with support ≥ the threshold. The empty
-        itemset is never returned, even when no item is universal.
+        Every closed itemset with support ≥ the threshold (the same set
+        :func:`fpclose_reference` returns, enumeration order aside). The
+        empty itemset is never returned, even when no item is universal.
     """
     threshold = resolve_min_support(min_support, len(database))
     if max_len is not None and max_len < 1:
@@ -62,23 +81,161 @@ def fpclose(
     branches = registry.counter("fpclose.branches")
     closures = registry.counter("fpclose.closure_calls")
     with registry.timer("fpclose"):
+        n_transactions = len(database)
+        supports = database.item_supports()
+        # Ascending support (ties by item id, for determinism): rare
+        # items become cores first, so their small tidsets prune the
+        # deepest subtrees before dense items multiply the branching.
+        order = sorted(
+            (item for item, count in supports.items() if count >= threshold),
+            key=lambda item: (supports[item], item),
+        )
+        if not order:
+            return []
+        masks = database.item_masks()
+        rank_masks = [masks[item] for item in order]
+        n_ranks = len(order)
+        full = (1 << n_transactions) - 1
+
+        results: list[FrequentItemset] = []
+        # Hot-loop counters accumulate in plain locals and flush into
+        # the registry once per call, so profiling never costs a Python
+        # method call per branch/extension.
+        n_branches = 0
+        n_closures = 1
+        item_checks = n_ranks
+
+        # Root closure: items present in every transaction.
+        root = [r for r in range(n_ranks) if rank_masks[r] == full]
+        if root and (max_len is None or len(root) <= max_len):
+            results.append(
+                FrequentItemset(
+                    frozenset(order[r] for r in root), n_transactions
+                )
+            )
+        if max_len is not None and root and len(root) >= max_len:
+            closures.inc(n_closures)
+            registry.counter("fpclose.closed_itemsets").inc(len(results))
+            registry.counter("fpclose.closure_item_checks").inc(item_checks)
+            return results
+
+        in_root = frozenset(root)
+        # A candidate is (rank, projected mask, projected support): the
+        # mask is the item's tidset already intersected with the owning
+        # branch's tidset, the support its popcount. The parent's
+        # closure scan computes both as a byproduct, so an extension
+        # needs no AND and no popcount of its own — its tidset and
+        # support are read straight off the candidate tuple.
+        root_candidates = tuple(
+            (r, rank_masks[r], supports[order[r]])
+            for r in range(n_ranks)
+            if r not in in_root
+        )
+
+        # Explicit DFS stack of (closed prefix ranks, conditional
+        # candidates ascending by rank, extension start index).
+        # Extensions only use candidates strictly greater than the core
+        # rank (everything from ``start`` on), which is what makes the
+        # enumeration duplicate-free; candidates before ``start`` are
+        # carried anyway because one of them turning "universal" in a
+        # deeper tidset is exactly the prefix-preservation violation
+        # that must prune the branch.
+        stack: list[
+            tuple[tuple[int, ...], tuple[tuple[int, int, int], ...], int]
+        ] = [(tuple(root), root_candidates, 0)]
+        bit_count = int.bit_count  # unbound: saves a method bind per AND
+        while stack:
+            prefix, candidates, start = stack.pop()
+            n_branches += 1
+            n_candidates = len(candidates)
+            for pos in range(start, n_candidates):
+                r, ext, ext_count = candidates[pos]
+                n_closures += 1
+                # Fused closure + conditional-candidate scan: for every
+                # candidate j of the parent, one intersection popcount
+                # classifies it. Equal to the branch support → j is in
+                # the closure (a j before the core in support order
+                # violates prefix preservation and kills the branch);
+                # ≥ threshold → j stays a candidate for descendants;
+                # below threshold → j disappears from this subtree.
+                closed = list(prefix)
+                closed.append(r)
+                child_candidates: list[tuple[int, int, int]] = []
+                child_start = 0
+                preserved = True
+                item_checks += n_candidates
+                for j, j_mask, _ in candidates:
+                    if j == r:
+                        continue
+                    intersection = j_mask & ext
+                    count = bit_count(intersection)
+                    if count == ext_count:
+                        if j < r:
+                            preserved = False
+                            break
+                        closed.append(j)
+                    elif count >= threshold:
+                        if j < r:
+                            child_start += 1
+                        child_candidates.append((j, intersection, count))
+                if not preserved:
+                    continue
+                if max_len is not None and len(closed) > max_len:
+                    continue
+                results.append(
+                    FrequentItemset(
+                        frozenset(order[k] for k in closed), ext_count
+                    )
+                )
+                if max_len is None or len(closed) < max_len:
+                    stack.append(
+                        (tuple(closed), tuple(child_candidates), child_start)
+                    )
+        branches.inc(n_branches)
+        closures.inc(n_closures)
+        registry.counter("fpclose.closed_itemsets").inc(len(results))
+        registry.counter("fpclose.closure_item_checks").inc(item_checks)
+    return results
+
+
+def fpclose_reference(
+    database: TransactionDatabase,
+    min_support: int | float = 1,
+    *,
+    max_len: int | None = None,
+) -> list[FrequentItemset]:
+    """The set-based closed miner (equivalence oracle / benchmark baseline).
+
+    Same contract as :func:`fpclose`; tidsets are ``frozenset[int]`` and
+    every closure call re-scans all frequent items. Kept verbatim so the
+    bitset core has an in-tree referee and the mining-scaling benchmark
+    can report the set-vs-bitset speedup.
+    """
+    threshold = resolve_min_support(min_support, len(database))
+    if max_len is not None and max_len < 1:
+        raise ConfigError(f"max_len must be >= 1, got {max_len}")
+
+    registry = get_registry()
+    branches = registry.counter("fpclose_reference.branches")
+    closures = registry.counter("fpclose_reference.closure_calls")
+    with registry.timer("fpclose_reference"):
         supports = database.item_supports()
         frequent = sorted(i for i, c in supports.items() if c >= threshold)
         if not frequent:
             return []
         tidsets = {i: database.tidset(i) for i in frequent}
-        # For closure computation, examine candidate items most-frequent
-        # first is unnecessary; we just need, per branch, the items whose
-        # tidset is a superset of the branch tidset.
         results: list[FrequentItemset] = []
         all_tids = frozenset(range(len(database)))
+        n_frequent = len(frequent)
+        item_checks = n_frequent
 
         root = _closure_over(frozenset(), all_tids, frequent, tidsets)
         closures.inc()
         if root and (max_len is None or len(root) <= max_len):
             results.append(FrequentItemset(root, len(all_tids)))
         if max_len is not None and root and len(root) >= max_len:
-            registry.counter("fpclose.closed_itemsets").inc(len(results))
+            registry.counter("fpclose_reference.closed_itemsets").inc(len(results))
+            registry.counter("fpclose_reference.closure_item_checks").inc(item_checks)
             return results
 
         # Explicit DFS stack of (closed itemset, tidset, core item id).
@@ -98,6 +255,7 @@ def fpclose(
                     prefix | {item}, extended_tids, frequent, tidsets
                 )
                 closures.inc()
+                item_checks += n_frequent
                 # Prefix-preserving test: the closure must not add any item
                 # smaller than the extension item that was not already in the
                 # prefix — otherwise this closed set is reachable (and will
@@ -109,7 +267,8 @@ def fpclose(
                 results.append(FrequentItemset(closed, len(extended_tids)))
                 if max_len is None or len(closed) < max_len:
                     stack.append((closed, extended_tids, item))
-        registry.counter("fpclose.closed_itemsets").inc(len(results))
+        registry.counter("fpclose_reference.closed_itemsets").inc(len(results))
+        registry.counter("fpclose_reference.closure_item_checks").inc(item_checks)
     return results
 
 

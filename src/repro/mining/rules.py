@@ -27,6 +27,7 @@ from repro.mining.measures import RuleMetrics
 from repro.mining.transactions import (
     FrequentItemset,
     Itemset,
+    SupportCounter,
     TransactionDatabase,
 )
 
@@ -81,16 +82,19 @@ def _metrics_for(
     antecedent: Itemset,
     consequent: Itemset,
     n_joint: int | None = None,
+    *,
+    oracle: SupportCounter | None = None,
 ) -> RuleMetrics:
+    counts = database if oracle is None else oracle
     joint = (
         n_joint
         if n_joint is not None
-        else database.support(antecedent | consequent)
+        else counts.support(antecedent | consequent)
     )
     return RuleMetrics.from_counts(
         n_joint=joint,
-        n_antecedent=database.support(antecedent),
-        n_consequent=database.support(consequent),
+        n_antecedent=counts.support(antecedent),
+        n_consequent=counts.support(consequent),
         n_total=len(database),
     )
 
@@ -100,12 +104,16 @@ def generate_rules(
     database: TransactionDatabase,
     *,
     min_confidence: float = 0.0,
+    oracle: SupportCounter | None = None,
 ) -> list[AssociationRule]:
     """Generate every non-trivial split of every itemset of size ≥ 2.
 
     ``min_confidence`` filters the output; 0.0 keeps everything. Note the
     output size is exponential in itemset cardinality — use
     :func:`count_all_splits` when only the Fig 5.1 *count* is needed.
+    ``oracle`` routes the side-support queries through a (usually
+    memoized, bitset-backed) counter instead of the database; splits of
+    different itemsets share sides, so the cache pays off quickly.
     """
     if not 0.0 <= min_confidence <= 1.0:
         raise ConfigError(f"min_confidence must be in [0, 1], got {min_confidence}")
@@ -119,7 +127,11 @@ def generate_rules(
                 antecedent = frozenset(antecedent_tuple)
                 consequent = itemset.items - antecedent
                 metrics = _metrics_for(
-                    database, antecedent, consequent, n_joint=itemset.support
+                    database,
+                    antecedent,
+                    consequent,
+                    n_joint=itemset.support,
+                    oracle=oracle,
                 )
                 if metrics.confidence >= min_confidence:
                     rules.append(AssociationRule(antecedent, consequent, metrics))
@@ -142,6 +154,7 @@ def partitioned_rules(
     antecedent_kind: str = "drug",
     consequent_kind: str = "adr",
     min_confidence: float = 0.0,
+    oracle: SupportCounter | None = None,
 ) -> list[AssociationRule]:
     """Generate MeDIAR drug→ADR rules from mined itemsets.
 
@@ -150,6 +163,11 @@ def partitioned_rules(
     over*, emit the one rule `drug part ⇒ ADR part`. Itemsets containing
     an item of any other kind are skipped: such a rule would not be a
     drug-ADR association in the sense of §3.1.
+
+    ``oracle`` routes the antecedent/consequent support queries through
+    a shared (usually memoized, bitset-backed) counter; closed itemsets
+    heavily share sides — the same ADR set appears as the consequent of
+    many rules — so the cache collapses most of these queries.
     """
     if not 0.0 <= min_confidence <= 1.0:
         raise ConfigError(f"min_confidence must be in [0, 1], got {min_confidence}")
@@ -165,7 +183,11 @@ def partitioned_rules(
         if antecedent | consequent != itemset.items:
             continue
         metrics = _metrics_for(
-            database, antecedent, consequent, n_joint=itemset.support
+            database,
+            antecedent,
+            consequent,
+            n_joint=itemset.support,
+            oracle=oracle,
         )
         if metrics.confidence >= min_confidence:
             rules.append(AssociationRule(antecedent, consequent, metrics))

@@ -17,11 +17,28 @@ from __future__ import annotations
 
 from collections.abc import Collection, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.errors import ConfigError, MiningError, UnknownItemError
 
 Itemset = frozenset[int]
 EMPTY_ITEMSET: Itemset = frozenset()
+
+
+@runtime_checkable
+class SupportCounter(Protocol):
+    """Anything that can answer absolute itemset-support queries.
+
+    Both :class:`TransactionDatabase` and
+    :class:`~repro.mining.bitsets.SupportOracle` satisfy this; the rule
+    generators and the MCAC builder accept either, so callers can swap
+    the set-based backend for the memoized bitset oracle without code
+    changes.
+    """
+
+    def __len__(self) -> int: ...
+
+    def support(self, itemset: Iterable[int]) -> int: ...
 
 
 class ItemCatalog:
@@ -252,7 +269,15 @@ class TransactionDatabase:
             result = result & self.tidset(item)
         return result
 
-    def _masks(self) -> dict[int, int]:
+    def item_masks(self) -> dict[int, int]:
+        """Per-item transaction bitmasks (bit ``t`` set iff tid ``t`` has the item).
+
+        Built lazily on first use and cached for the lifetime of the
+        database; :class:`~repro.mining.bitsets.BitsetIndex` shares this
+        exact dict rather than rebuilding it, so the whole mining and
+        measurement path works off one mask table. Callers must treat
+        the returned dict as read-only.
+        """
         if self._bitmasks is None:
             masks: dict[int, int] = {}
             for tid, transaction in enumerate(self._transactions):
@@ -269,7 +294,7 @@ class TransactionDatabase:
             return len(self._transactions)
         if len(itemset) == 1:
             return len(self.tidset(next(iter(itemset))))
-        masks = self._masks()
+        masks = self.item_masks()
         result = -1  # all-ones; first AND clips it to the first mask
         for item in itemset:
             result &= masks.get(item, 0)

@@ -9,6 +9,7 @@ from repro.core.association import SupportType
 from repro.errors import ConfigError
 from repro.faers.dataset import ReportDataset
 from repro.faers.schema import CaseReport
+from repro.obs import MetricsRegistry
 
 
 class TestMarasConfig:
@@ -135,6 +136,71 @@ class TestPipelineRun:
 
     def test_rule_counts_none_by_default(self, mined_quarter):
         assert mined_quarter.rule_counts is None
+
+
+class TestBitsetPath:
+    """The bitset-native path must be a pure speedup: same clusters, same
+    metrics, same support classifications as the set-based reference."""
+
+    @staticmethod
+    def _signature(result):
+        return {
+            (c.target.antecedent, c.target.consequent): (
+                c.target.metrics,
+                {
+                    level: tuple(
+                        sorted(
+                            (r.antecedent, r.consequent, r.metrics)
+                            for r in rules
+                        )
+                    )
+                    for level, rules in c.levels.items()
+                },
+            )
+            for c in result.clusters
+        }
+
+    def test_bitset_and_reference_paths_agree(self, small_quarter_reports):
+        reports = small_quarter_reports[:900]
+        bitset = Maras(
+            MarasConfig(min_support=4, clean=False, use_bitsets=True)
+        ).run(reports)
+        reference = Maras(
+            MarasConfig(min_support=4, clean=False, use_bitsets=False)
+        ).run(reports)
+        assert bitset.clusters
+        assert self._signature(bitset) == self._signature(reference)
+        assert {
+            (a.rule.antecedent, a.rule.consequent): a.support_type
+            for a in bitset.associations
+        } == {
+            (a.rule.antecedent, a.rule.consequent): a.support_type
+            for a in reference.associations
+        }
+
+    def test_oracle_cache_counters_recorded(self, small_quarter_reports):
+        registry = MetricsRegistry()
+        Maras(
+            MarasConfig(min_support=4, clean=False), registry=registry
+        ).run(small_quarter_reports[:900])
+        counters = registry.snapshot().counters
+        # MCAC construction re-asks overlapping subset supports, so a
+        # healthy cache serves a substantial share of hits.
+        assert counters["oracle.support_misses"] > 0
+        assert counters["oracle.support_hits"] > 0
+
+    def test_reports_in_counted_on_dataset_passthrough(
+        self, small_quarter_reports
+    ):
+        """Regression: a pre-built ReportDataset with clean=False used to
+        skip the ``pipeline.reports_in`` counter entirely."""
+        dataset = ReportDataset(small_quarter_reports)
+        registry = MetricsRegistry()
+        Maras(
+            MarasConfig(min_support=10, clean=False), registry=registry
+        ).run(dataset)
+        counters = registry.snapshot().counters
+        assert counters["pipeline.reports_in"] == len(dataset)
 
 
 class TestSearchAndDrilldown:
