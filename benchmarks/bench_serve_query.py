@@ -1,0 +1,217 @@
+"""Serving-layer query latency: indexed probes vs linear scans, LRU hits.
+
+The ``repro.serve`` claim is architectural: every query endpoint
+resolves through precomputed inverted indexes and a bounded LRU
+response cache, so request latency is independent of how many clusters
+a quarter mined. This benchmark pins that claim with three grouped
+comparisons on one mined synthetic quarter:
+
+- ``serve-lookup`` — drug-filtered listing answered by the engine's
+  index probe vs a deliberately naive linear scan over all records
+  (what the pre-serve ``MarasResult.search`` loop did per query);
+- ``serve-page`` — unfiltered sorted page: precomputed best-first
+  ordering vs sorting the full record list per request;
+- ``serve-cache`` — the full engine on a repeated query mix, cold
+  (cache cleared each round) vs warm (LRU absorbing the repeats).
+
+``test_trajectory_serve_query`` measures the same three ratios with
+plain ``perf_counter`` (so it survives ``--benchmark-disable``) and
+appends a record to ``BENCH_serve.json`` at the repository root — the
+perf trajectory of the serving core across PRs, with the observed LRU
+hit rate alongside wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.serve import QueryEngine, ResultStore
+from repro.serve.indexes import rank_positions
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+MIN_SUPPORT = 4
+RUN = "2014Q1"
+
+
+@pytest.fixture(scope="module")
+def snapshot_store(quarter_datasets):
+    result = Maras(MarasConfig(min_support=MIN_SUPPORT, clean=False)).run(
+        quarter_datasets[RUN]
+    )
+    store = ResultStore()
+    store.add_result(RUN, result)
+    return store
+
+
+@pytest.fixture(scope="module")
+def records(snapshot_store):
+    return snapshot_store.get(RUN).records
+
+
+def _query_drugs(records, n=12):
+    """A repeating drug workload biased toward busy drugs."""
+    counts: dict[str, int] = {}
+    for record in records:
+        for drug in record["drugs"]:
+            counts[drug] = counts.get(drug, 0) + 1
+    ranked = sorted(counts, key=lambda d: (-counts[d], d))
+    return ranked[:n]
+
+
+def _linear_scan_drug(records, drug, sort="exclusiveness_confidence", limit=20):
+    """What every drug query would cost without the inverted indexes."""
+    positions = [p for p, r in enumerate(records) if drug in r["drugs"]]
+    return rank_positions(records, positions, sort)[:limit]
+
+
+def _indexed_drug(store, drug, sort="exclusiveness_confidence", limit=20):
+    snapshot = store.get(RUN)
+    positions = snapshot.indexes.by_drug.get(drug, ())
+    return rank_positions(snapshot.records, positions, sort)[:limit]
+
+
+@pytest.mark.benchmark(group="serve-lookup")
+def test_lookup_linear_scan(benchmark, snapshot_store, records):
+    drugs = _query_drugs(records)
+    benchmark(lambda: [_linear_scan_drug(records, d) for d in drugs])
+
+
+@pytest.mark.benchmark(group="serve-lookup")
+def test_lookup_indexed(benchmark, snapshot_store, records):
+    drugs = _query_drugs(records)
+    result = benchmark(lambda: [_indexed_drug(snapshot_store, d) for d in drugs])
+    # identical answers, indexed vs scanned
+    assert result == [_linear_scan_drug(records, d) for d in drugs]
+
+
+@pytest.mark.benchmark(group="serve-page")
+def test_page_sort_per_request(benchmark, records):
+    benchmark(
+        lambda: rank_positions(records, range(len(records)), "lift")[:20]
+    )
+
+
+@pytest.mark.benchmark(group="serve-page")
+def test_page_precomputed_order(benchmark, snapshot_store):
+    indexes = snapshot_store.get(RUN).indexes
+    result = benchmark(lambda: indexes.order_by["lift"][:20])
+    assert list(result) == rank_positions(
+        snapshot_store.get(RUN).records,
+        range(len(snapshot_store.get(RUN).records)),
+        "lift",
+    )[:20]
+
+
+def _request_mix(records):
+    drugs = _query_drugs(records, n=6)
+    mix = []
+    for drug in drugs:
+        mix.append({"drug": drug, "limit": 10})
+    mix.append({"sort": "lift", "limit": 20})
+    mix.append({"sort": "support", "limit": 20})
+    # front-ends repeat the same queries; the mix models that
+    return mix * 8
+
+
+@pytest.mark.benchmark(group="serve-cache")
+def test_engine_cold_cache(benchmark, snapshot_store, records):
+    mix = _request_mix(records)
+    engine = QueryEngine(snapshot_store)
+
+    def cold_pass():
+        engine.cache.clear()
+        return [engine.associations(**params) for params in mix]
+
+    benchmark(cold_pass)
+
+
+@pytest.mark.benchmark(group="serve-cache")
+def test_engine_warm_cache(benchmark, snapshot_store, records):
+    mix = _request_mix(records)
+    engine = QueryEngine(snapshot_store)
+    [engine.associations(**params) for params in mix]  # warm it
+    benchmark(lambda: [engine.associations(**params) for params in mix])
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_trajectory_serve_query(snapshot_store, records):
+    """Measure indexed vs scan latency and LRU hit rate; append trajectory.
+
+    The index-vs-scan ratio times candidate *resolution* — the part the
+    inverted index replaces. Ranking the (small) candidate list costs
+    the same on both paths and would only dilute the measured ratio.
+    """
+    drugs = _query_drugs(records)
+    by_drug = snapshot_store.get(RUN).indexes.by_drug
+    indexed_seconds, indexed_result = _best_of(
+        lambda: [by_drug.get(d, ()) for d in drugs], rounds=5
+    )
+    scan_seconds, scan_result = _best_of(
+        lambda: [
+            tuple(p for p, r in enumerate(records) if d in r["drugs"])
+            for d in drugs
+        ],
+        rounds=3,
+    )
+    assert indexed_result == scan_result
+
+    mix = _request_mix(records)
+    engine = QueryEngine(snapshot_store)
+    cold_seconds, _ = _best_of(
+        lambda: (engine.cache.clear(), [engine.associations(**p) for p in mix]),
+        rounds=3,
+    )
+    engine.cache.clear()
+    [engine.associations(**params) for params in mix]  # warm
+    warm_seconds, _ = _best_of(
+        lambda: [engine.associations(**params) for params in mix], rounds=5
+    )
+    hit_rate = engine.cache.stats().hit_rate
+
+    speedup_scan = scan_seconds / indexed_seconds if indexed_seconds else float("inf")
+    speedup_cache = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    record = {
+        "label": os.environ.get("BENCH_LABEL", "local"),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_clusters": len(records),
+        "n_query_drugs": len(drugs),
+        "request_mix_size": len(mix),
+        "seconds": {
+            "drug_lookup_scan": round(scan_seconds, 6),
+            "drug_lookup_indexed": round(indexed_seconds, 6),
+            "mix_cold_cache": round(cold_seconds, 6),
+            "mix_warm_cache": round(warm_seconds, 6),
+        },
+        "speedup_scan_over_indexed": round(speedup_scan, 2),
+        "speedup_cold_over_warm": round(speedup_cache, 2),
+        "lru_hit_rate": round(hit_rate, 4),
+    }
+
+    trajectory = {"benchmark": "serve-query", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    trajectory["runs"].append(record)
+    TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Conservative floors so a loaded CI machine cannot flake the
+    # suite; the trajectory documents the real ratios.
+    assert speedup_scan >= 2.0, f"indexed lookup only {speedup_scan:.2f}x faster"
+    assert hit_rate >= 0.5, f"LRU hit rate only {hit_rate:.0%} on a repeated mix"

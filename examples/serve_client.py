@@ -1,0 +1,90 @@
+"""Query the ``mediar serve`` HTTP API like an external client would.
+
+Boots a server in-process on an ephemeral port (no CLI, no fixed port,
+so the script is self-contained and CI-safe), then walks the API with
+plain ``urllib`` the way any non-Python consumer would:
+
+1. discover the loaded runs (``/v1/runs``),
+2. page through the top associations by exclusiveness,
+3. drill into one cluster's full context by stable id,
+4. look at a drug profile and a prefix search,
+5. read the cache/endpoint accounting off ``/v1/metrics``.
+
+Point ``BASE`` at a real ``mediar serve --port …`` process to run the
+same walkthrough against a long-lived server.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import quote
+from urllib.request import urlopen
+
+from repro.core import Maras, MarasConfig
+from repro.faers import SyntheticFAERSGenerator, quarter_config
+from repro.obs import MetricsRegistry
+from repro.serve import QueryEngine, ResultStore, running_server
+
+
+def get(base: str, path: str) -> dict:
+    with urlopen(base + path) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    print("mining a small synthetic quarter...")
+    reports = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=0.01)).generate()
+    result = Maras(MarasConfig(min_support=4, clean=False)).run(reports)
+
+    store = ResultStore()
+    store.add_result("2014Q1", result)
+    engine = QueryEngine(store, registry=MetricsRegistry())
+
+    with running_server(engine) as server:
+        base = server.url
+        print(f"serving on {base}\n")
+
+        runs = get(base, "/v1/runs")["runs"]
+        for run in runs:
+            print(
+                f"run {run['name']}: {run['n_clusters']} clusters, "
+                f"sort keys {', '.join(run['sort_keys'])}"
+            )
+
+        page = get(base, "/v1/associations?limit=5&sort=exclusiveness_confidence")
+        print(f"\ntop {page['count']} of {page['total']} associations:")
+        for item in page["items"]:
+            drugs = " + ".join(item["drugs"])
+            adrs = ", ".join(item["adrs"])
+            score = item["scores"]["exclusiveness_confidence"]
+            print(f"  {item['id']}  {drugs} => {adrs}  (score {score:.3f})")
+
+        cluster_id = page["items"][0]["cluster_id"]
+        cluster = get(base, f"/v1/clusters/{cluster_id}")
+        print(f"\ncluster {cluster_id}: {len(cluster['context'])} contextual rules")
+        for rule in cluster["context"][:3]:
+            print(
+                f"  {' + '.join(rule['drugs'])}  "
+                f"conf={rule['confidence']:.3f} lift={rule['lift']:.2f}"
+            )
+
+        drug = cluster["drugs"][0]
+        profile = get(base, f"/v1/drugs/{quote(drug)}")
+        partners = ", ".join(p["drug"] for p in profile["partners"][:3])
+        print(f"\n{drug}: {profile['n_clusters']} clusters; top partners: {partners}")
+
+        matches = get(base, f"/v1/search?q={quote(drug[:4].lower())}")
+        print(f"search {drug[:4].lower()!r}: {matches['total']} vocabulary matches")
+
+        get(base, "/v1/associations?limit=5&sort=exclusiveness_confidence")  # warm hit
+        metrics = get(base, "/v1/metrics")
+        cache = metrics["cache"]
+        print(
+            f"\ncache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {cache['hit_rate']:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ Installed as the ``mediar`` console script; also runnable as
 - ``render``   — write the ranked glyph panorama / zoom views as SVG;
 - ``study``    — run the simulated user study (Fig 5.2);
 - ``validate`` — classify top-ranked interactions against the DDI
-  reference and flag severe ones.
+  reference and flag severe ones;
+- ``serve``    — mine (or load a saved store) and serve the results
+  over the :mod:`repro.serve` JSON HTTP API.
 
 ``mine``, ``render``, ``validate`` and ``stats`` accept either
 ``--synthetic QUARTER`` (e.g. 2014Q1) or ``--demo/--drug/--reac`` file
@@ -117,6 +119,40 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--out", type=Path, default=Path("glyphs"))
         if name == "study":
             sub.add_argument("--annotators", type=int, default=50)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve mined results over a JSON HTTP API"
+    )
+    _add_input_arguments(serve)
+    serve.add_argument("--min-support", type=int, default=5)
+    serve.add_argument("--max-drugs", type=int, default=4)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--name",
+        default=None,
+        help="run name to serve under (default: the dataset's quarter)",
+    )
+    serve.add_argument(
+        "--load",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="serve snapshots from a store directory instead of mining",
+    )
+    serve.add_argument(
+        "--save",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write the store to DIR for warm restarts",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=512,
+        help="bounded LRU response-cache capacity",
+    )
     return parser
 
 
@@ -328,6 +364,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import MediarHTTPServer, QueryEngine, ResultStore
+
+    if args.load:
+        store = ResultStore.load(args.load)
+    else:
+        result = run_pipeline(args)
+        name = args.name or result.dataset.quarter or "run"
+        store = ResultStore()
+        store.add_result(name, result)
+    if args.save:
+        for path in store.save(args.save):
+            print(f"wrote {path}")
+    # Serving always records endpoint metrics: /v1/metrics is part of
+    # the API contract, independent of the pipeline --profile flag.
+    engine = QueryEngine(
+        store, cache_size=args.cache_size, registry=MetricsRegistry()
+    )
+    server = MediarHTTPServer(engine, args.host, args.port)
+    print(
+        f"serving {', '.join(store.names())} on {server.url} "
+        "(Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover — interactive stop
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
@@ -339,6 +408,7 @@ COMMANDS = {
     "export": cmd_export,
     "dashboard": cmd_dashboard,
     "profile": cmd_profile,
+    "serve": cmd_serve,
 }
 
 

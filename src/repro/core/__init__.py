@@ -31,6 +31,7 @@ from repro.core.exclusiveness import (
     exclusiveness_simple,
 )
 from repro.core.export import export_result, load_export, write_export
+from repro.core.ids import association_id, cluster_id, content_digest
 from repro.core.improvement import improvement
 from repro.core.incremental import BatchDelta, SurveillanceMonitor
 from repro.core.pipeline import Maras, MarasConfig, MarasResult
@@ -66,12 +67,15 @@ __all__ = [
     "SupportType",
     "SurveillanceMonitor",
     "TrendKind",
+    "association_id",
     "bootstrap_exclusiveness",
     "build_cluster",
     "build_clusters",
     "build_quarter_report",
     "build_trends",
     "classify_support",
+    "cluster_id",
+    "content_digest",
     "content_similarity",
     "emerging_signals",
     "exclusiveness",

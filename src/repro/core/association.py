@@ -149,6 +149,20 @@ class DrugADRAssociation:
             support_type=classify_support(database, rule.items, oracle=oracle),
         )
 
+    def stable_id(self, catalog) -> str:
+        """Deterministic content-hash id of this association (``assoc-…``).
+
+        Depends only on the rule's drug/ADR labels (see
+        :mod:`repro.core.ids`), not on catalog numbering or list
+        position, so it survives re-encoding and export round-trips.
+        """
+        from repro.core.ids import association_id
+
+        return association_id(
+            catalog.labels(self.rule.antecedent),
+            catalog.labels(self.rule.consequent),
+        )
+
     @property
     def n_drugs(self) -> int:
         return len(self.rule.antecedent)

@@ -68,6 +68,20 @@ class MCAC:
     def n_drugs(self) -> int:
         return len(self.target.antecedent)
 
+    def stable_id(self, catalog) -> str:
+        """Deterministic content-hash id of this cluster (``mcac-…``).
+
+        Depends only on the target rule's drug/ADR *labels*, so the same
+        cluster keeps its id across re-encodings, quarters, and export
+        round-trips — unlike its position in a result's cluster list.
+        """
+        from repro.core.ids import cluster_id
+
+        return cluster_id(
+            catalog.labels(self.target.antecedent),
+            catalog.labels(self.target.consequent),
+        )
+
     @property
     def context_size(self) -> int:
         """|P(A)| − 2 = 2^n − 2 contextual rules in a complete context."""

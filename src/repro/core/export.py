@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.core.ids import cluster_id
 from repro.core.pipeline import MarasResult
 from repro.core.ranking import RankingMethod, score_cluster
 from repro.errors import ConfigError, ValidationError
@@ -52,6 +53,7 @@ def export_result(
             for method in _EXPORT_METHODS
         }
         record: dict[str, Any] = {
+            "id": cluster.stable_id(catalog),
             "drugs": list(catalog.labels(target.antecedent)),
             "adrs": list(catalog.labels(target.consequent)),
             "support": target.metrics.n_joint,
@@ -109,6 +111,7 @@ def write_export(
 class ExportedCluster:
     """One cluster as read back from an export."""
 
+    id: str
     drugs: tuple[str, ...]
     adrs: tuple[str, ...]
     support: int
@@ -158,6 +161,11 @@ def load_export(source: str | Path | dict[str, Any]) -> ExportedResult:
         )
     clusters = tuple(
         ExportedCluster(
+            # Exports written before stable ids lack the field; the id
+            # is a pure content hash, so recomputing it here yields the
+            # same value export_result would have written.
+            id=record.get("id")
+            or cluster_id(record["drugs"], record["adrs"]),
             drugs=tuple(record["drugs"]),
             adrs=tuple(record["adrs"]),
             support=int(record["support"]),

@@ -1,0 +1,59 @@
+"""Stable, deterministic identifiers for associations and clusters.
+
+Catalog item ids are an artifact of encoding order: the same rule mined
+from two quarters (or the same quarter re-encoded after an upstream
+change) gets different integer ids. Anything that names a cluster
+across process boundaries — the JSON export, the ``repro.serve`` query
+API, a bookmarked URL — needs an identity that depends only on *what*
+the rule says, not on how this run happened to number its items.
+
+The identity here is a content hash of the rule's canonicalized label
+sets: sorted drug labels, sorted ADR labels, joined with separators
+that cannot occur inside a label's role (labels may contain anything,
+so the two sides are length-prefixed into the digest input rather than
+trusting a separator alone). Associations and MCAC clusters share the
+same content — a cluster is identified by its target rule — but carry
+distinct prefixes so the two id namespaces cannot collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+ASSOCIATION_PREFIX = "assoc"
+CLUSTER_PREFIX = "mcac"
+
+_DIGEST_CHARS = 12
+
+
+def content_digest(drugs: Iterable[str], adrs: Iterable[str]) -> str:
+    """Hex digest of the canonicalized (drugs, adrs) content.
+
+    Deterministic across processes and Python versions: sorted labels,
+    each length-prefixed so no label string can forge another rule's
+    digest input.
+    """
+    hasher = hashlib.sha256()
+    for side in (sorted(drugs), sorted(adrs)):
+        hasher.update(b"[%d" % len(side))
+        for label in side:
+            encoded = label.encode("utf-8")
+            hasher.update(b"%d:" % len(encoded))
+            hasher.update(encoded)
+        hasher.update(b"]")
+    return hasher.hexdigest()[:_DIGEST_CHARS]
+
+
+def association_id(drugs: Iterable[str], adrs: Iterable[str]) -> str:
+    """Stable id of a drug→ADR association, e.g. ``assoc-3f9a0c12bd04``."""
+    return f"{ASSOCIATION_PREFIX}-{content_digest(drugs, adrs)}"
+
+
+def cluster_id(drugs: Iterable[str], adrs: Iterable[str]) -> str:
+    """Stable id of an MCAC, e.g. ``mcac-3f9a0c12bd04``.
+
+    Same digest as the association of the cluster's target rule,
+    different namespace prefix.
+    """
+    return f"{CLUSTER_PREFIX}-{content_digest(drugs, adrs)}"

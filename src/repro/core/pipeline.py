@@ -20,6 +20,7 @@ re-ranked under any method without re-mining.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -132,6 +133,46 @@ class RuleSpaceCounts:
     mcacs: int
 
 
+class _KindResolver:
+    """Immutable query→item-id resolution structures for one item kind.
+
+    Built once from a catalog snapshot (label map plus the deletion-
+    neighborhood :class:`SpellingCorrector` index) and then only read,
+    so any number of threads can resolve queries through it without
+    synchronization. Construction is the expensive part — it walks every
+    label of the kind — which is why :class:`MarasResult` builds it
+    lazily and caches it.
+    """
+
+    __slots__ = ("_kind", "_normalizer", "_id_by_label", "_corrector")
+
+    def __init__(self, catalog, kind: str, normalizer) -> None:
+        self._kind = kind
+        self._normalizer = normalizer
+        self._id_by_label = {
+            catalog.label(item_id): item_id for item_id in catalog.ids_of_kind(kind)
+        }
+        self._corrector = (
+            SpellingCorrector(self._id_by_label) if self._id_by_label else None
+        )
+
+    def resolve(self, raw: str) -> int | None:
+        """Map one verbatim query string to an item id of this kind.
+
+        Tries the raw string, then its normalized form, then an
+        unambiguous edit-distance-1 correction against the kind's
+        labels. Returns ``None`` when nothing matches.
+        """
+        normalized = self._normalizer(raw)
+        for candidate in (raw, normalized):
+            item_id = self._id_by_label.get(candidate)
+            if item_id is not None:
+                return item_id
+        if not normalized or self._corrector is None:
+            return None
+        return self._id_by_label.get(self._corrector.correct(normalized))
+
+
 class MarasResult:
     """Everything one pipeline run produced, with drill-down helpers."""
 
@@ -157,6 +198,12 @@ class MarasResult:
         #: result; ``None`` unless the pipeline ran with a real
         #: :class:`~repro.obs.MetricsRegistry`.
         self.metrics = metrics
+        # Lazily-built per-kind query resolvers (search is called by
+        # concurrent server threads; the lock makes first-use
+        # construction happen exactly once, and the built resolvers are
+        # immutable thereafter).
+        self._resolver_lock = threading.Lock()
+        self._resolvers: dict[str, _KindResolver] = {}
 
     @property
     def catalog(self):
@@ -204,12 +251,12 @@ class MarasResult:
         if drug is None and adr is None:
             raise ConfigError("search needs a drug, an adr, or both")
         drug_id = (
-            self._resolve_query(drug, DRUG_KIND, normalize_drug_name)
+            self._resolver_for(DRUG_KIND).resolve(drug)
             if drug is not None
             else None
         )
         adr_id = (
-            self._resolve_query(adr, ADR_KIND, normalize_adr_term)
+            self._resolver_for(ADR_KIND).resolve(adr)
             if adr is not None
             else None
         )
@@ -226,29 +273,26 @@ class MarasResult:
             matches.append(cluster)
         return matches
 
-    def _resolve_query(self, raw: str, kind: str, normalizer) -> int | None:
-        """Map one verbatim query string to a catalog item id of ``kind``.
+    def _resolver_for(self, kind: str) -> _KindResolver:
+        """The cached query resolver of ``kind``, built on first use.
 
-        Tries the raw string, then its normalized form, then an
-        unambiguous edit-distance-1 correction against the catalog's
-        labels of that kind. Returns ``None`` when nothing matches.
+        Safe for concurrent readers: resolvers are immutable once
+        constructed, and the lock serializes only the one-time build
+        (previously every ``search`` call rebuilt the label list and
+        the spelling-corrector's deletion index from scratch).
         """
-        catalog = self.catalog
-        normalized = normalizer(raw)
-        for candidate in (raw, normalized):
-            item_id = catalog.get_id(candidate)
-            if item_id is not None and catalog.kind_of(item_id) == kind:
-                return item_id
-        if not normalized:
-            return None
-        labels = [catalog.label(i) for i in catalog.ids_of_kind(kind)]
-        if not labels:
-            return None
-        corrected = SpellingCorrector(labels).correct(normalized)
-        item_id = catalog.get_id(corrected)
-        if item_id is not None and catalog.kind_of(item_id) == kind:
-            return item_id
-        return None
+        resolver = self._resolvers.get(kind)
+        if resolver is not None:
+            return resolver
+        with self._resolver_lock:
+            resolver = self._resolvers.get(kind)
+            if resolver is None:
+                normalizer = (
+                    normalize_drug_name if kind == DRUG_KIND else normalize_adr_term
+                )
+                resolver = _KindResolver(self.catalog, kind, normalizer)
+                self._resolvers[kind] = resolver
+        return resolver
 
     def supporting_reports(self, cluster: MCAC) -> list[CaseReport]:
         """§4.1 drill-down: the raw reports behind one cluster's target rule."""

@@ -70,3 +70,25 @@ class ParseError(ReproError):
 
 class ValidationError(ReproError):
     """A data record violated a schema-level invariant."""
+
+
+class QueryError(ReproError):
+    """A serving-layer query could not be answered.
+
+    Carries the HTTP status the JSON API maps it to, so the transport
+    layer never needs to pattern-match on message strings.
+    """
+
+    status = 400
+
+
+class BadQueryError(QueryError):
+    """The query parameters were malformed (HTTP 400)."""
+
+    status = 400
+
+
+class NotFoundError(QueryError):
+    """The named run / resource does not exist (HTTP 404)."""
+
+    status = 404

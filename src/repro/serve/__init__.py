@@ -1,0 +1,59 @@
+"""The MeDIAR serving layer: mined results as a queryable service.
+
+The paper presents MeDIAR as an *interactive* system — clinicians query
+mined multi-drug→ADR associations and MCAC clusters on demand, they do
+not re-run the miner. This package is that layer, stdlib-only:
+
+- :mod:`repro.serve.store` — :class:`ResultStore` /
+  :class:`RunSnapshot`: named runs (one per FAERS quarter) frozen into
+  the versioned export format, with directory save/load for warm
+  restarts;
+- :mod:`repro.serve.indexes` — precomputed inverted indexes
+  (drug→clusters, ADR→clusters, drug-pair→MCACs, stable-id, prefix
+  tokens) so every lookup is an index probe, never a scan;
+- :mod:`repro.serve.cache` — the bounded thread-safe
+  :class:`LRUCache` absorbing repeated queries;
+- :mod:`repro.serve.engine` — the transport-agnostic
+  :class:`QueryEngine` (pagination, sort-by, filter floors, response
+  cache, :mod:`repro.obs` accounting);
+- :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` JSON API the
+  ``mediar serve`` CLI boots.
+
+>>> from repro.serve import QueryEngine, ResultStore, running_server
+>>> store = ResultStore()
+>>> _ = store.add_result("2014Q1", result)        # doctest: +SKIP
+>>> engine = QueryEngine(store)
+>>> with running_server(engine) as server:        # doctest: +SKIP
+...     print(server.url)
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.engine import (
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_SORT,
+    MAX_PAGE_SIZE,
+    QueryEngine,
+    association_view,
+    cluster_view,
+)
+from repro.serve.http import MediarHTTPServer, MediarRequestHandler, running_server
+from repro.serve.indexes import PrefixTokenIndex, RunIndexes
+from repro.serve.store import ResultStore, RunSnapshot
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_SORT",
+    "LRUCache",
+    "MAX_PAGE_SIZE",
+    "MediarHTTPServer",
+    "MediarRequestHandler",
+    "PrefixTokenIndex",
+    "QueryEngine",
+    "ResultStore",
+    "RunIndexes",
+    "RunSnapshot",
+    "association_view",
+    "cluster_view",
+    "running_server",
+]

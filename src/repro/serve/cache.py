@@ -1,0 +1,103 @@
+"""A bounded, thread-safe LRU cache for query responses.
+
+The serving layer answers the same queries over and over — front-ends
+poll the same top-k ranking, dashboards refresh the same drug pages —
+so a small response cache absorbs most of the traffic before it touches
+the query engine. Standard library only, one lock, O(1) get/put via
+``dict`` insertion order (``move_to_end`` semantics done by delete +
+re-insert, which on CPython dicts is O(1) amortized).
+
+``functools.lru_cache`` is not usable here: it keys on function
+arguments (the engine needs explicit, canonicalized keys), cannot be
+invalidated per run, and offers no way to surface hit/miss counts into
+:mod:`repro.obs` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import ConfigError
+
+_MISSING = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Point-in-time hit/miss/size accounting of one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded LRU map safe for concurrent readers and writers.
+
+    All operations take the instance lock; the critical sections are a
+    few dict operations, so contention stays negligible next to the
+    query work the cache is saving.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ConfigError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._data: dict[Hashable, Any] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value of ``key`` (marking it most-recent), else ``default``."""
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data[key] = value  # re-insert → most recently used
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                oldest = next(iter(self._data))
+                del self._data[oldest]
+                self._evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss accounting is preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )

@@ -1,0 +1,172 @@
+"""The stdlib HTTP/JSON transport in front of the query engine.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per in-flight
+request, daemonized) dispatching GET routes to
+:class:`~repro.serve.engine.QueryEngine` methods:
+
+====================  =================================================
+``/v1/healthz``       liveness + loaded run names
+``/v1/metrics``       :mod:`repro.obs` snapshot + LRU cache accounting
+``/v1/runs``          run listing with dataset stats and sort keys
+``/v1/associations``  flat rule listing (filter/sort/paginate)
+``/v1/clusters``      MCAC listing; ``/v1/clusters/<id>`` for one
+``/v1/drugs/<name>``  drug profile: partners, ADRs, cluster ids
+``/v1/search``        prefix-token vocabulary search (``q=``, ``kind=``)
+====================  =================================================
+
+Error mapping is type-driven: :class:`~repro.errors.QueryError`
+subclasses carry their HTTP status (400/404), any other library error
+is a 400, and unexpected exceptions are a 500 whose body never leaks a
+traceback. All responses — errors included — are
+``{"error": {...}}``/payload JSON with ``Content-Type:
+application/json``.
+
+The engine is transport-agnostic; everything here is parsing, routing,
+serialization, and per-route :mod:`repro.obs` request accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import NotFoundError, QueryError, ReproError
+from repro.serve.engine import QueryEngine
+
+API_PREFIX = "/v1"
+
+
+class MediarRequestHandler(BaseHTTPRequestHandler):
+    """Routes one GET request into the engine and serializes the answer."""
+
+    server: "MediarHTTPServer"
+    server_version = "mediar-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        params = dict(parse_qsl(split.query))
+        engine = self.server.engine
+        registry = engine.registry
+        registry.counter("serve.http.requests").inc()
+        try:
+            with registry.timer("serve.http.request"):
+                status, payload = self._dispatch(engine, route, params)
+        except QueryError as error:
+            status, payload = error.status, _error_body(error.status, str(error))
+        except ReproError as error:
+            status, payload = 400, _error_body(400, str(error))
+        except Exception:  # pragma: no cover — defensive 500 path
+            status, payload = 500, _error_body(500, "internal server error")
+        registry.counter(f"serve.http.status.{status}").inc()
+        self._respond(status, payload)
+
+    def _dispatch(
+        self, engine: QueryEngine, route: str, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        if route == f"{API_PREFIX}/healthz":
+            return 200, {"status": "ok", "runs": engine.store.names()}
+        if route == f"{API_PREFIX}/metrics":
+            return 200, {
+                "metrics": engine.registry.snapshot().as_dict(),
+                "cache": engine.cache_stats(),
+            }
+        if route == f"{API_PREFIX}/runs":
+            return 200, engine.runs()
+        if route == f"{API_PREFIX}/associations":
+            return 200, engine.associations(**_engine_params(params))
+        if route == f"{API_PREFIX}/clusters":
+            if "id" in params:
+                return 200, engine.cluster(params["id"], run=params.get("run"))
+            return 200, engine.clusters(**_engine_params(params))
+        if route.startswith(f"{API_PREFIX}/clusters/"):
+            cluster_id = unquote(route.rsplit("/", 1)[1])
+            return 200, engine.cluster(cluster_id, run=params.get("run"))
+        if route.startswith(f"{API_PREFIX}/drugs/"):
+            name = unquote(route.rsplit("/", 1)[1])
+            return 200, engine.drug(name, run=params.get("run"))
+        if route == f"{API_PREFIX}/search":
+            if "q" not in params:
+                raise QueryError("search requires a q parameter")
+            return 200, engine.search(
+                params["q"],
+                run=params.get("run"),
+                kind=params.get("kind"),
+                limit=params.get("limit", 20),
+            )
+        raise NotFoundError(f"no such endpoint: {route}")
+
+    # -- plumbing -------------------------------------------------------
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Default request logging is suppressed; obs counters cover it."""
+        if self.server.verbose:  # pragma: no cover — manual serving only
+            super().log_message(format, *args)
+
+
+def _engine_params(params: dict[str, str]) -> dict[str, str]:
+    """Query-string params as engine kwargs (engine validates values)."""
+    return {key: value for key, value in params.items() if key != ""}
+
+
+def _error_body(status: int, message: str) -> dict[str, Any]:
+    return {"error": {"status": status, "message": message}}
+
+
+class MediarHTTPServer(ThreadingHTTPServer):
+    """The serving process: a threading HTTP server bound to one engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), MediarRequestHandler)
+        self.engine = engine
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+@contextmanager
+def running_server(
+    engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+) -> Iterator[MediarHTTPServer]:
+    """Run a server on a background thread for the enclosed block.
+
+    ``port=0`` binds an ephemeral port (read it off ``server.url``) —
+    the shape tests and the example client use.
+    """
+    server = MediarHTTPServer(engine, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

@@ -1,0 +1,201 @@
+"""Named, immutable run snapshots and the store that serves them.
+
+A :class:`RunSnapshot` is one mined quarter (or any named
+:class:`~repro.core.pipeline.MarasResult`) frozen into the versioned
+export wire format of :mod:`repro.core.export`, with stable cluster ids
+and the full :class:`~repro.serve.indexes.RunIndexes` built on top. A
+:class:`ResultStore` holds any number of snapshots keyed by run name —
+one per FAERS quarter in the intended deployment — and can persist them
+to a directory and load them back for warm restarts.
+
+The snapshot *always* goes through the export format, even when built
+from a live in-process result. That single normalization step is what
+makes the round-trip guarantee trivial: a query served from a freshly
+mined run and the same query served after ``save`` → ``load`` read the
+exact same records, so the responses are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from itertools import count
+from pathlib import Path
+from typing import Any
+
+from repro.core.export import FORMAT_VERSION, export_result
+from repro.core.ids import cluster_id
+from repro.core.pipeline import MarasResult
+from repro.errors import ConfigError, NotFoundError, ValidationError
+from repro.serve.indexes import RunIndexes
+
+_RUN_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _validated_name(name: str) -> str:
+    if not _RUN_NAME.match(name):
+        raise ConfigError(
+            "run names must be alphanumeric with ._- separators "
+            f"(they become file names and URL values), got {name!r}"
+        )
+    return name
+
+
+class RunSnapshot:
+    """One named run in serving form: export payload + indexes.
+
+    Immutable once built; every consumer (engine threads, the metrics
+    endpoint, a save in progress) reads the same tuples and dicts.
+    ``token`` is a process-unique sequence number: response-cache keys
+    include it, so re-registering a run under the same name can never
+    serve a stale cached page.
+    """
+
+    __slots__ = ("name", "payload", "records", "indexes", "token")
+
+    _sequence = count()
+
+    def __init__(self, name: str, payload: dict[str, Any]) -> None:
+        self.token = next(self._sequence)
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported export format version {version!r} "
+                f"(this store reads version {FORMAT_VERSION})"
+            )
+        self.name = _validated_name(name)
+        records = []
+        for record in payload["clusters"]:
+            if "id" not in record:
+                # Pre-stable-id exports: the id is a pure content hash,
+                # so computing it now matches what export_result writes.
+                record = {
+                    "id": cluster_id(record["drugs"], record["adrs"]),
+                    **record,
+                }
+            records.append(record)
+        self.payload = {**payload, "clusters": records}
+        self.records = tuple(records)
+        self.indexes = RunIndexes(self.records)
+
+    @classmethod
+    def from_result(
+        cls, name: str, result: MarasResult, *, include_case_ids: bool = True
+    ) -> "RunSnapshot":
+        """Snapshot a live pipeline result through the export format."""
+        return cls(name, export_result(result, include_case_ids=include_case_ids))
+
+    @property
+    def quarter(self) -> str:
+        return self.payload.get("quarter", "")
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.records)
+
+    def describe(self) -> dict[str, Any]:
+        """The ``/v1/runs`` row of this snapshot."""
+        return {
+            "name": self.name,
+            "quarter": self.quarter,
+            "n_clusters": self.n_clusters,
+            "dataset": dict(self.payload.get("dataset", {})),
+            "config": dict(self.payload.get("config", {})),
+            "sort_keys": list(self.indexes.sort_keys),
+        }
+
+
+class ResultStore:
+    """Named run snapshots, with directory persistence for warm restarts.
+
+    Registration is serialized by a lock; reads go through an atomically
+    swapped dict reference so query threads never block on a writer.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._runs: dict[str, RunSnapshot] = {}
+
+    def add_result(
+        self,
+        name: str,
+        result: MarasResult,
+        *,
+        include_case_ids: bool = True,
+    ) -> RunSnapshot:
+        """Snapshot and register a live result under ``name``."""
+        return self.add_snapshot(
+            RunSnapshot.from_result(name, result, include_case_ids=include_case_ids)
+        )
+
+    def add_export(self, name: str, source: str | Path | dict[str, Any]) -> RunSnapshot:
+        """Register a run from an export payload (path or parsed dict)."""
+        if isinstance(source, (str, Path)):
+            payload = json.loads(Path(source).read_text(encoding="utf-8"))
+        else:
+            payload = source
+        return self.add_snapshot(RunSnapshot(name, payload))
+
+    def add_snapshot(self, snapshot: RunSnapshot) -> RunSnapshot:
+        with self._lock:
+            runs = dict(self._runs)
+            runs[snapshot.name] = snapshot
+            self._runs = runs
+        return snapshot
+
+    def get(self, name: str) -> RunSnapshot:
+        """The snapshot named ``name``; :class:`NotFoundError` if absent."""
+        snapshot = self._runs.get(name)
+        if snapshot is None:
+            raise NotFoundError(
+                f"unknown run {name!r}; have {sorted(self._runs) or 'no runs'}"
+            )
+        return snapshot
+
+    def names(self) -> list[str]:
+        return sorted(self._runs)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._runs
+
+    def default_run(self) -> str:
+        """The run a query may omit: the only one, else an explicit error."""
+        runs = self._runs
+        if len(runs) == 1:
+            return next(iter(runs))
+        if not runs:
+            raise NotFoundError("the store holds no runs")
+        raise NotFoundError(
+            f"multiple runs available, pass run=<name>: {sorted(runs)}"
+        )
+
+    def save(self, directory: str | Path) -> list[Path]:
+        """Write every snapshot as ``<name>.json``; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name in self.names():
+            snapshot = self._runs[name]
+            path = directory / f"{name}.json"
+            path.write_text(
+                json.dumps(snapshot.payload, indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ResultStore":
+        """Rebuild a store from a :meth:`save` directory (warm restart)."""
+        directory = Path(directory)
+        paths = sorted(directory.glob("*.json"))
+        if not paths:
+            raise NotFoundError(f"no run snapshots (*.json) under {directory}")
+        store = cls()
+        for path in paths:
+            store.add_export(path.stem, path)
+        return store

@@ -1,0 +1,100 @@
+"""Stable content-hash ids for associations and clusters."""
+
+from __future__ import annotations
+
+from repro.core.export import export_result, load_export
+from repro.core.ids import association_id, cluster_id, content_digest
+
+
+class TestContentDigest:
+    def test_deterministic_and_order_insensitive(self):
+        first = content_digest(["WARFARIN", "ASPIRIN"], ["HAEMORRHAGE"])
+        second = content_digest(["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"])
+        assert first == second
+        assert len(first) == 12
+        assert int(first, 16) >= 0  # hex
+
+    def test_sides_are_not_interchangeable(self):
+        assert content_digest(["A"], ["B"]) != content_digest(["B"], ["A"])
+
+    def test_label_boundaries_cannot_be_forged(self):
+        # ["AB"] vs ["A", "B"] must differ even though the concatenation
+        # of labels is identical.
+        assert content_digest(["AB"], ["X"]) != content_digest(["A", "B"], ["X"])
+
+    def test_different_content_different_digest(self):
+        base = content_digest(["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"])
+        assert content_digest(["ASPIRIN", "WARFARIN"], ["PAIN"]) != base
+        assert content_digest(["ASPIRIN"], ["HAEMORRHAGE"]) != base
+
+
+class TestIdNamespaces:
+    def test_prefixes_keep_namespaces_distinct(self):
+        drugs, adrs = ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]
+        assoc = association_id(drugs, adrs)
+        clus = cluster_id(drugs, adrs)
+        assert assoc.startswith("assoc-")
+        assert clus.startswith("mcac-")
+        assert assoc != clus
+        assert assoc.split("-", 1)[1] == clus.split("-", 1)[1]
+
+
+class TestObjectIds:
+    def test_cluster_stable_id_matches_function(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        for cluster in mined_quarter.clusters[:10]:
+            expected = cluster_id(
+                catalog.labels(cluster.target.antecedent),
+                catalog.labels(cluster.target.consequent),
+            )
+            assert cluster.stable_id(catalog) == expected
+
+    def test_association_stable_id(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        association = mined_quarter.associations[0]
+        stable = association.stable_id(catalog)
+        assert stable.startswith("assoc-")
+        # same rule content as its cluster → same digest
+        matching = [
+            c
+            for c in mined_quarter.clusters
+            if c.target.items == association.rule.items
+        ]
+        assert any(
+            c.stable_id(catalog).split("-", 1)[1] == stable.split("-", 1)[1]
+            for c in matching
+        )
+
+    def test_ids_are_unique_across_a_run(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        ids = [c.stable_id(catalog) for c in mined_quarter.clusters]
+        assert len(ids) == len(set(ids))
+
+
+class TestExportCarriesIds:
+    def test_export_records_have_ids(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        catalog = mined_quarter.catalog
+        expected = {c.stable_id(catalog) for c in mined_quarter.clusters}
+        assert {record["id"] for record in payload["clusters"]} == expected
+
+    def test_load_export_reads_ids_back(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        loaded = load_export(payload)
+        assert {c.id for c in loaded.clusters} == {
+            r["id"] for r in payload["clusters"]
+        }
+
+    def test_load_export_computes_missing_ids(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        stripped = {
+            **payload,
+            "clusters": [
+                {k: v for k, v in record.items() if k != "id"}
+                for record in payload["clusters"]
+            ],
+        }
+        loaded = load_export(stripped)
+        assert {c.id for c in loaded.clusters} == {
+            r["id"] for r in payload["clusters"]
+        }

@@ -1,0 +1,67 @@
+"""Concurrent-reader safety of :meth:`MarasResult.search`.
+
+The serving layer calls ``search`` from many HTTP threads at once; the
+resolver structures must be built exactly once and produce the same
+answers under contention as sequentially.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.faers.dataset import ADR_KIND, DRUG_KIND
+
+
+class TestResolverCaching:
+    def test_resolvers_built_once_and_reused(self, mined_quarter):
+        mined_quarter._resolvers.clear()
+        mined_quarter.search(drug="ASPIRIN")
+        built = mined_quarter._resolvers.get(DRUG_KIND)
+        assert built is not None
+        mined_quarter.search(drug="WARFARIN")
+        assert mined_quarter._resolvers[DRUG_KIND] is built
+
+    def test_both_kinds_cached_independently(self, mined_quarter):
+        mined_quarter._resolvers.clear()
+        mined_quarter.search(drug="ASPIRIN", adr="HAEMORRHAGE")
+        assert set(mined_quarter._resolvers) == {DRUG_KIND, ADR_KIND}
+
+    def test_resolution_still_normalizes_and_corrects(self, mined_quarter):
+        # identical results to the canonical query for dosage tails and
+        # unambiguous one-edit typos (behavior of the pre-refactor code)
+        canonical = mined_quarter.search(drug="ASPIRIN")
+        assert mined_quarter.search(drug="aspirin 81 mg") == canonical
+        assert mined_quarter.search(drug="ASPIRN") == canonical
+
+
+class TestConcurrentSearch:
+    def test_hammered_search_matches_sequential(self, mined_quarter):
+        catalog = mined_quarter.catalog
+        drugs = sorted(
+            {
+                catalog.label(item)
+                for cluster in mined_quarter.clusters[:20]
+                for item in cluster.target.antecedent
+            }
+        )
+        adrs = sorted(
+            {
+                catalog.label(item)
+                for cluster in mined_quarter.clusters[:20]
+                for item in cluster.target.consequent
+            }
+        )
+        queries = [{"drug": d} for d in drugs] + [{"adr": a} for a in adrs]
+        expected = [mined_quarter.search(**q) for q in queries]
+
+        mined_quarter._resolvers.clear()  # force concurrent first build
+
+        def run(index: int):
+            query = queries[index % len(queries)]
+            return index % len(queries), mined_quarter.search(**query)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(run, range(200)))
+
+        for query_index, clusters in results:
+            assert clusters == expected[query_index]

@@ -1,0 +1,51 @@
+"""Fixtures for the serving-layer suite.
+
+One mined synthetic quarter (the session-scoped ``mined_quarter``) is
+snapshotted into a module-scoped store; engines are function-scoped so
+each test reads its own cache and metrics counters from zero.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import QueryEngine, ResultStore, RunSnapshot, running_server
+
+RUN_NAME = "2014T1"
+
+
+@pytest.fixture(scope="module")
+def snapshot(mined_quarter) -> RunSnapshot:
+    return RunSnapshot.from_result(RUN_NAME, mined_quarter)
+
+
+@pytest.fixture(scope="module")
+def store(snapshot) -> ResultStore:
+    store = ResultStore()
+    store.add_snapshot(snapshot)
+    return store
+
+
+@pytest.fixture
+def engine(store) -> QueryEngine:
+    return QueryEngine(store, registry=MetricsRegistry())
+
+
+@pytest.fixture
+def server(engine):
+    with running_server(engine) as server:
+        yield server
+
+
+def http_get(base_url: str, path: str) -> tuple[int, dict]:
+    """GET returning ``(status, parsed_json)`` for 2xx and error statuses."""
+    try:
+        with urllib.request.urlopen(base_url + path) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())

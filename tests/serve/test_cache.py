@@ -1,0 +1,105 @@
+"""The bounded thread-safe LRU cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import LRUCache
+
+
+class TestLRUSemantics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a becomes most recent
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 1
+        assert "b" not in cache
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_len_and_clear(self):
+        cache = LRUCache(maxsize=8)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ConfigError, match="maxsize"):
+            LRUCache(maxsize=0)
+
+
+class TestStats:
+    def test_hit_miss_eviction_accounting(self):
+        cache = LRUCache(maxsize=2)
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)
+        cache.put("c", 3)  # eviction
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.size == 2
+        assert stats.maxsize == 2
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_defined_when_empty(self):
+        assert LRUCache().stats().hit_rate == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_workload_stays_bounded(self):
+        cache = LRUCache(maxsize=32)
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = (seed * 31 + i) % 64
+                    if i % 3:
+                        cache.put(key, (seed, i))
+                    else:
+                        value = cache.get(key)
+                        assert value is None or isinstance(value, tuple)
+            except Exception as error:  # pragma: no cover — failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats.hits + stats.misses > 0

@@ -1,0 +1,225 @@
+"""The transport-agnostic query engine: pagination, sorting, filters, cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadQueryError, NotFoundError
+from repro.serve.indexes import sort_value
+
+from tests.serve.conftest import RUN_NAME
+
+
+class TestPagination:
+    def test_envelope_shape(self, engine, snapshot):
+        page = engine.associations(limit=5)
+        assert page["run"] == RUN_NAME
+        assert page["total"] == snapshot.n_clusters
+        assert page["count"] == len(page["items"]) == min(5, snapshot.n_clusters)
+        assert page["offset"] == 0 and page["limit"] == 5
+
+    def test_offset_windows_are_disjoint_and_exhaustive(self, engine, snapshot):
+        seen = []
+        offset = 0
+        while True:
+            page = engine.associations(limit=7, offset=offset, sort="support")
+            seen.extend(item["id"] for item in page["items"])
+            if offset + page["count"] >= page["total"]:
+                break
+            offset += 7
+        assert len(seen) == len(set(seen)) == snapshot.n_clusters
+
+    def test_offset_past_end_is_empty_not_error(self, engine, snapshot):
+        page = engine.associations(offset=snapshot.n_clusters + 100)
+        assert page["count"] == 0 and page["items"] == []
+
+    def test_limit_validation(self, engine):
+        with pytest.raises(BadQueryError, match="limit"):
+            engine.associations(limit=0)
+        with pytest.raises(BadQueryError, match="limit"):
+            engine.associations(limit=10_000)
+        with pytest.raises(BadQueryError, match="offset"):
+            engine.associations(offset=-1)
+        with pytest.raises(BadQueryError, match="integer"):
+            engine.associations(limit="many")
+
+
+class TestSorting:
+    @pytest.mark.parametrize("key", ["support", "confidence", "lift"])
+    def test_descending_by_default(self, engine, key):
+        page = engine.associations(sort=key, limit=500)
+        values = [item[key] for item in page["items"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_ascending_order(self, engine):
+        page = engine.associations(sort="lift", order="asc", limit=500)
+        values = [item["lift"] for item in page["items"]]
+        assert values == sorted(values)
+
+    def test_score_sort_keys(self, engine):
+        page = engine.clusters(sort="exclusiveness_confidence", limit=500)
+        values = [
+            item["scores"]["exclusiveness_confidence"] for item in page["items"]
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_unknown_sort_rejected(self, engine):
+        with pytest.raises(BadQueryError, match="unknown sort key"):
+            engine.associations(sort="astrology")
+
+    def test_unknown_order_rejected(self, engine):
+        with pytest.raises(BadQueryError, match="order"):
+            engine.associations(order="sideways")
+
+
+class TestFilters:
+    def test_drug_filter_uses_index_and_matches_scan(self, engine, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        page = engine.associations(drug=drug, limit=500)
+        expected = {r["id"] for r in snapshot.records if drug in r["drugs"]}
+        got = {item["cluster_id"] for item in page["items"]}
+        assert got == expected and page["total"] == len(expected)
+
+    def test_drug_and_adr_filters_intersect(self, engine, snapshot):
+        record = snapshot.records[0]
+        drug, adr = record["drugs"][0], record["adrs"][0]
+        page = engine.clusters(drug=drug, adr=adr, limit=500)
+        expected = {
+            r["id"]
+            for r in snapshot.records
+            if drug in r["drugs"] and adr in r["adrs"]
+        }
+        assert {item["id"] for item in page["items"]} == expected
+
+    def test_unknown_drug_filter_is_empty_not_error(self, engine):
+        page = engine.associations(drug="NOT A DRUG")
+        assert page["total"] == 0 and page["items"] == []
+
+    def test_numeric_floors(self, engine, snapshot):
+        values = sorted(r["support"] for r in snapshot.records)
+        floor = values[len(values) // 2]
+        page = engine.associations(min_support=floor, limit=500)
+        assert page["total"] == sum(
+            1 for r in snapshot.records if r["support"] >= floor
+        )
+        assert all(item["support"] >= floor for item in page["items"])
+
+    def test_numeric_floor_validation(self, engine):
+        with pytest.raises(BadQueryError, match="min_lift"):
+            engine.associations(min_lift="high")
+
+    def test_unknown_parameter_rejected(self, engine):
+        with pytest.raises(BadQueryError, match="unknown parameters"):
+            engine.associations(frobnicate=1)
+
+
+class TestProjections:
+    def test_association_view_flat(self, engine):
+        item = engine.associations(limit=1)["items"][0]
+        assert item["id"].startswith("assoc-")
+        assert item["cluster_id"].startswith("mcac-")
+        assert item["id"].split("-", 1)[1] == item["cluster_id"].split("-", 1)[1]
+        assert "context" not in item
+
+    def test_cluster_view_has_context(self, engine):
+        item = engine.clusters(limit=1)["items"][0]
+        assert item["id"].startswith("mcac-")
+        assert item["association_id"].startswith("assoc-")
+        assert isinstance(item["context"], list) and item["context"]
+        for rule in item["context"]:
+            assert set(rule) >= {"drugs", "cardinality", "confidence", "lift"}
+
+    def test_single_cluster_lookup_and_assoc_alias(self, engine, snapshot):
+        record = snapshot.records[0]
+        direct = engine.cluster(record["id"])
+        alias = engine.cluster("assoc-" + record["id"].split("-", 1)[1])
+        assert direct == alias
+        assert direct["run"] == RUN_NAME
+        assert direct["drugs"] == list(record["drugs"])
+
+    def test_unknown_cluster_is_not_found(self, engine):
+        with pytest.raises(NotFoundError, match="unknown cluster"):
+            engine.cluster("mcac-ffffffffffff")
+
+
+class TestDrugProfile:
+    def test_profile_counts(self, engine, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        profile = engine.drug(drug)
+        expected = [r for r in snapshot.records if drug in r["drugs"]]
+        assert profile["n_clusters"] == len(expected)
+        assert len(profile["cluster_ids"]) == len(expected)
+        assert all(p["drug"] != drug for p in profile["partners"])
+        # cluster ids come best-first under the default sort
+        ranked = sorted(
+            (r["id"] for r in expected),
+            key=lambda cid: -sort_value(
+                snapshot.records[snapshot.indexes.by_id[cid]],
+                "exclusiveness_confidence",
+            ),
+        )
+        assert set(profile["cluster_ids"]) == set(ranked)
+
+    def test_unknown_drug_is_not_found(self, engine):
+        with pytest.raises(NotFoundError, match="unknown drug"):
+            engine.drug("NOT A DRUG")
+
+
+class TestSearch:
+    def test_prefix_search_finds_labels(self, engine, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        prefix = drug.split()[0][:3].lower()
+        result = engine.search(prefix)
+        labels = {m["label"] for m in result["matches"]}
+        assert drug in labels
+        for match in result["matches"]:
+            assert match["kind"] in ("drug", "adr")
+            assert match["n_clusters"] == len(match["cluster_ids"])
+
+    def test_kind_filter(self, engine, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        result = engine.search(drug[:3].lower(), kind="drug")
+        assert all(m["kind"] == "drug" for m in result["matches"])
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(BadQueryError, match="non-empty"):
+            engine.search("   ")
+        with pytest.raises(BadQueryError, match="kind"):
+            engine.search("asp", kind="potion")
+
+
+class TestUnknownRun:
+    def test_unknown_run_is_not_found(self, engine):
+        with pytest.raises(NotFoundError, match="unknown run"):
+            engine.associations(run="nope")
+
+
+class TestResponseCache:
+    def test_identical_query_hits_cache(self, engine):
+        first = engine.associations(limit=3, sort="lift")
+        assert engine.cache_stats()["misses"] == 1
+        second = engine.associations(limit=3, sort="lift")
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert first is second  # the cached object itself
+
+    def test_different_params_miss(self, engine):
+        engine.associations(limit=3)
+        engine.associations(limit=4)
+        stats = engine.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_obs_counters_track_cache(self, engine):
+        engine.clusters(limit=2)
+        engine.clusters(limit=2)
+        snapshot = engine.registry.snapshot()
+        assert snapshot.counters["serve.cache.misses"] == 1
+        assert snapshot.counters["serve.cache.hits"] == 1
+        assert snapshot.counters["serve.requests.clusters"] == 2
+
+    def test_per_endpoint_timers_recorded(self, engine):
+        engine.associations(limit=1)
+        engine.search("a")
+        names = {t.name for t in engine.registry.snapshot().timers}
+        assert "serve.query.associations" in names
+        assert "serve.query.search" in names

@@ -1,0 +1,183 @@
+"""HTTP contract tests for the full ``/v1`` surface, plus a hammer test.
+
+Each test boots a real :class:`ThreadingHTTPServer` on an ephemeral
+port and speaks actual HTTP — status codes, JSON bodies, error
+envelopes — exactly what an external client observes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import quote
+
+from tests.serve.conftest import RUN_NAME, http_get
+
+
+class TestHealthAndRuns:
+    def test_healthz(self, server):
+        status, body = http_get(server.url, "/v1/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "runs": [RUN_NAME]}
+
+    def test_runs_listing(self, server, snapshot):
+        status, body = http_get(server.url, "/v1/runs")
+        assert status == 200
+        (run,) = body["runs"]
+        assert run["name"] == RUN_NAME
+        assert run["n_clusters"] == snapshot.n_clusters
+        assert "exclusiveness_confidence" in run["sort_keys"]
+        assert run["dataset"]["n_reports"] > 0
+
+
+class TestQueryEndpoints:
+    def test_associations_pagination_envelope(self, server, snapshot):
+        status, body = http_get(
+            server.url, "/v1/associations?limit=5&offset=2&sort=lift"
+        )
+        assert status == 200
+        assert body["total"] == snapshot.n_clusters
+        assert body["offset"] == 2 and body["limit"] == 5
+        assert body["count"] == len(body["items"])
+        lifts = [item["lift"] for item in body["items"]]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_explicit_run_parameter(self, server):
+        status, body = http_get(
+            server.url, f"/v1/associations?run={RUN_NAME}&limit=1"
+        )
+        assert status == 200 and body["run"] == RUN_NAME
+
+    def test_clusters_listing_and_detail(self, server):
+        status, listing = http_get(server.url, "/v1/clusters?limit=1")
+        assert status == 200
+        cluster_id = listing["items"][0]["id"]
+        status, detail = http_get(server.url, f"/v1/clusters/{cluster_id}")
+        assert status == 200
+        assert detail["id"] == cluster_id
+        assert detail["context"]
+        status, via_param = http_get(server.url, f"/v1/clusters?id={cluster_id}")
+        assert status == 200 and via_param == detail
+
+    def test_drug_profile(self, server, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        status, body = http_get(server.url, f"/v1/drugs/{quote(drug)}")
+        assert status == 200
+        assert body["drug"] == drug
+        assert body["n_clusters"] >= 1
+
+    def test_search(self, server, snapshot):
+        drug = snapshot.records[0]["drugs"][0]
+        prefix = quote(drug.split()[0][:3].lower())
+        status, body = http_get(server.url, f"/v1/search?q={prefix}")
+        assert status == 200
+        assert body["total"] >= 1
+        assert any(m["label"] == drug for m in body["matches"])
+
+
+class TestErrorContract:
+    def test_unknown_endpoint_404(self, server):
+        status, body = http_get(server.url, "/v1/nope")
+        assert status == 404
+        assert body["error"]["status"] == 404
+
+    def test_unknown_run_404(self, server):
+        status, body = http_get(server.url, "/v1/associations?run=missing")
+        assert status == 404
+        assert "unknown run" in body["error"]["message"]
+
+    def test_unknown_drug_404(self, server):
+        status, body = http_get(server.url, "/v1/drugs/NOT%20A%20DRUG")
+        assert status == 404
+
+    def test_unknown_cluster_404(self, server):
+        status, body = http_get(server.url, "/v1/clusters/mcac-ffffffffffff")
+        assert status == 404
+
+    def test_bad_sort_400(self, server):
+        status, body = http_get(server.url, "/v1/associations?sort=astrology")
+        assert status == 400
+        assert "unknown sort key" in body["error"]["message"]
+
+    def test_bad_limit_400(self, server):
+        for query in ("limit=0", "limit=99999", "limit=many", "offset=-3"):
+            status, body = http_get(server.url, f"/v1/associations?{query}")
+            assert status == 400, query
+
+    def test_search_without_q_400(self, server):
+        status, body = http_get(server.url, "/v1/search")
+        assert status == 400
+        assert "q parameter" in body["error"]["message"]
+
+    def test_unknown_parameter_400(self, server):
+        status, _ = http_get(server.url, "/v1/clusters?frobnicate=1")
+        assert status == 400
+
+
+class TestMetricsEndpoint:
+    def test_counters_move_with_traffic(self, server):
+        _, before = http_get(server.url, "/v1/metrics")
+        http_get(server.url, "/v1/associations?limit=1")
+        http_get(server.url, "/v1/associations?limit=1")  # cache hit
+        http_get(server.url, "/v1/nope")
+        _, after = http_get(server.url, "/v1/metrics")
+
+        def counter(body, name):
+            return body["metrics"]["counters"].get(name, 0)
+
+        assert (
+            counter(after, "serve.http.requests")
+            >= counter(before, "serve.http.requests") + 3
+        )
+        assert counter(after, "serve.http.status.404") == 1
+        assert counter(after, "serve.cache.hits") >= 1
+        assert counter(after, "serve.cache.misses") >= 1
+        assert after["cache"]["hits"] >= 1
+        # the engine's query timer nests under the HTTP request span
+        assert any(
+            name.endswith("serve.query.associations")
+            for name in after["metrics"]["timers"]
+        )
+
+    def test_per_endpoint_request_counters(self, server):
+        http_get(server.url, "/v1/clusters?limit=1")
+        _, body = http_get(server.url, "/v1/metrics")
+        assert body["metrics"]["counters"]["serve.requests.clusters"] == 1
+
+
+class TestConcurrentHammer:
+    def test_hammered_responses_stay_consistent(self, server, snapshot):
+        """Many threads, overlapping cached/uncached queries, one truth.
+
+        Every response for the same query string must be identical
+        (the LRU cache may or may not serve it), and every response
+        must be internally consistent with the envelope contract.
+        """
+        drug = snapshot.records[0]["drugs"][0]
+        paths = [
+            "/v1/associations?limit=5&sort=lift",
+            "/v1/associations?limit=5&sort=support",
+            f"/v1/associations?drug={quote(drug)}&limit=10",
+            "/v1/clusters?limit=3&sort=exclusiveness_confidence",
+            f"/v1/drugs/{quote(drug)}",
+            "/v1/search?q=a&limit=10",
+            "/v1/healthz",
+        ]
+        reference = {path: http_get(server.url, path) for path in paths}
+        assert all(status == 200 for status, _ in reference.values())
+
+        def hammer(index: int):
+            path = paths[index % len(paths)]
+            return path, http_get(server.url, path)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, range(200)))
+
+        for path, (status, body) in results:
+            assert status == 200, path
+            assert body == reference[path][1], path
+
+        _, metrics = http_get(server.url, "/v1/metrics")
+        cache = metrics["cache"]
+        # the hammer repeats 7 distinct queries 200 times: nearly all hits
+        assert cache["hits"] > 150
+        assert cache["hit_rate"] > 0.5

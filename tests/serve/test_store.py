@@ -1,0 +1,108 @@
+"""Run snapshots, the result store, and the warm-restart round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.export import export_result
+from repro.core.ids import cluster_id
+from repro.errors import ConfigError, NotFoundError, ValidationError
+from repro.serve import QueryEngine, ResultStore, RunSnapshot
+
+from tests.serve.conftest import RUN_NAME
+
+
+class TestRunSnapshot:
+    def test_from_result_builds_records_and_indexes(self, snapshot, mined_quarter):
+        assert snapshot.name == RUN_NAME
+        assert snapshot.n_clusters == len(mined_quarter.clusters)
+        assert len(snapshot.indexes.by_id) == snapshot.n_clusters
+        assert snapshot.payload["format_version"] == 1
+
+    def test_record_ids_match_live_cluster_stable_ids(self, snapshot, mined_quarter):
+        catalog = mined_quarter.catalog
+        live_ids = {c.stable_id(catalog) for c in mined_quarter.clusters}
+        assert {r["id"] for r in snapshot.records} == live_ids
+
+    def test_rejects_unknown_format_version(self):
+        with pytest.raises(ValidationError, match="format version"):
+            RunSnapshot("run1", {"format_version": 99, "clusters": []})
+
+    def test_run_name_validated(self):
+        for bad in ("", "../etc", "a b", "run/1"):
+            with pytest.raises(ConfigError, match="run names"):
+                RunSnapshot(bad, {"format_version": 1, "clusters": []})
+
+    def test_pre_stable_id_exports_get_ids_computed(self, mined_quarter):
+        payload = export_result(mined_quarter)
+        for record in payload["clusters"]:
+            del record["id"]
+        snapshot = RunSnapshot("legacy", payload)
+        for record in snapshot.records:
+            assert record["id"] == cluster_id(record["drugs"], record["adrs"])
+
+    def test_tokens_are_unique_per_snapshot(self, mined_quarter):
+        first = RunSnapshot.from_result("r1", mined_quarter)
+        second = RunSnapshot.from_result("r1", mined_quarter)
+        assert first.token != second.token
+
+
+class TestResultStore:
+    def test_get_unknown_run_is_not_found(self, store):
+        with pytest.raises(NotFoundError, match="unknown run"):
+            store.get("nope")
+
+    def test_default_run_with_one_run(self, store):
+        assert store.default_run() == RUN_NAME
+
+    def test_default_run_errors(self, mined_quarter):
+        empty = ResultStore()
+        with pytest.raises(NotFoundError, match="no runs"):
+            empty.default_run()
+        multi = ResultStore()
+        multi.add_result("q1", mined_quarter)
+        multi.add_result("q2", mined_quarter)
+        with pytest.raises(NotFoundError, match="multiple runs"):
+            multi.default_run()
+
+    def test_names_and_contains(self, store):
+        assert store.names() == [RUN_NAME]
+        assert RUN_NAME in store
+        assert "nope" not in store
+        assert len(store) == 1
+
+
+class TestWarmRestartRoundTrip:
+    def test_save_load_serves_identical_responses(self, store, tmp_path):
+        """The acceptance criterion: store→save→load changes no answer."""
+        paths = store.save(tmp_path / "runs")
+        assert [p.name for p in paths] == [f"{RUN_NAME}.json"]
+
+        reloaded = ResultStore.load(tmp_path / "runs")
+        assert reloaded.names() == store.names()
+
+        live = QueryEngine(store)
+        warm = QueryEngine(reloaded)
+        queries = [
+            lambda e: e.associations(sort="lift", limit=25),
+            lambda e: e.associations(sort="exclusiveness_confidence", limit=500),
+            lambda e: e.clusters(limit=10, offset=5),
+            lambda e: e.search("a", limit=50),
+        ]
+        for query in queries:
+            assert query(live) == query(warm)
+        some_id = store.get(RUN_NAME).records[0]["id"]
+        assert live.cluster(some_id) == warm.cluster(some_id)
+        drug = store.get(RUN_NAME).records[0]["drugs"][0]
+        assert live.drug(drug) == warm.drug(drug)
+
+    def test_load_empty_directory_is_not_found(self, tmp_path):
+        with pytest.raises(NotFoundError, match="no run snapshots"):
+            ResultStore.load(tmp_path)
+
+    def test_reregistering_a_run_replaces_it(self, mined_quarter):
+        store = ResultStore()
+        first = store.add_result("q", mined_quarter)
+        second = store.add_result("q", mined_quarter)
+        assert store.get("q") is second
+        assert first.token != second.token

@@ -25,6 +25,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mine", "--method", "astrology"])
 
+    def test_serve_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--synthetic", "2014Q1", "--port", "9000",
+                "--name", "q1", "--save", "runs_dir", "--cache-size", "64",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 9000 and args.name == "q1"
+        assert str(args.save) == "runs_dir" and args.cache_size == 64
+
+    def test_serve_load_needs_no_mining_input(self):
+        args = build_parser().parse_args(["serve", "--load", "runs_dir"])
+        assert args.load is not None and args.synthetic is None
+
 
 class TestStats:
     def test_synthetic_stats(self, capsys):
