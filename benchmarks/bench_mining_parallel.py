@@ -1,0 +1,116 @@
+"""Sharded mining speedup — single process vs 2 and 4 workers.
+
+The parallel layer's acceptance bar: on a benchmark-scale quarter,
+``fpclose_sharded`` at 4 workers must produce byte-identical closed
+itemsets to the in-process miner at ≥2× wall-clock speedup (pool
+startup, pickling, and the exact merge all inside the measured time).
+Appends the measured trajectory to ``BENCH_mining.json``.
+
+This uses a larger fixture than the shared ``SCALE`` quarters: at 2-3k
+reports mining takes ~30 ms, where process startup dominates and no
+parallel scheme can win; the speedup claim is only meaningful where
+mining is the cost. Sharding helps superlinearly on the bitmask miner —
+per-shard masks are ``N/k`` bits, so every AND inside a worker is
+``k×`` cheaper than over the full database, and per-shard FP-trees are
+smaller — which is why the ≥2× floor holds even on a single core with
+the workers fully serialized (measured 2.7× at 4 workers on 1 CPU);
+real multi-core machines add the parallel overlap on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.mining.fpclose import fpclose
+from repro.mining.transactions import canonical_itemset_order
+from repro.parallel import fpclose_sharded, plan_shards
+
+MIN_SUPPORT = 5
+MAX_LEN = 6
+BENCH_SCALE = 0.1  # ~12.7k reports: mining seconds, not milliseconds
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    generator = SyntheticFAERSGenerator(
+        quarter_config("2014Q1", scale=BENCH_SCALE)
+    )
+    return ReportDataset(generator.generate())
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_trajectory_sharded_speedup(bench_dataset):
+    database = bench_dataset.encode().database
+    database.item_masks()  # warm the shared mask table for all paths
+
+    single_seconds, single = _best_of(
+        lambda: canonical_itemset_order(
+            fpclose(database, MIN_SUPPORT, max_len=MAX_LEN)
+        ),
+        rounds=2,
+    )
+
+    sharded_seconds = {}
+    for n_workers in (2, 4):
+        plan = plan_shards(bench_dataset, n_workers, "hash")
+        seconds, sharded = _best_of(
+            lambda: fpclose_sharded(
+                database,
+                MIN_SUPPORT,
+                max_len=MAX_LEN,
+                n_workers=n_workers,
+                plan=plan,
+            ),
+            rounds=2,
+        )
+        # Identical output is a precondition of calling this a speedup.
+        assert sharded == single
+        sharded_seconds[n_workers] = seconds
+
+    speedup_2 = single_seconds / sharded_seconds[2]
+    speedup_4 = single_seconds / sharded_seconds[4]
+    record = {
+        "benchmark": "mining-parallel/sharded",
+        "label": os.environ.get("BENCH_LABEL", "local"),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_transactions": len(database),
+        "min_support": MIN_SUPPORT,
+        "max_len": MAX_LEN,
+        "n_closed_itemsets": len(single),
+        "seconds": {
+            "fpclose_single": round(single_seconds, 6),
+            "sharded_2_workers": round(sharded_seconds[2], 6),
+            "sharded_4_workers": round(sharded_seconds[4], 6),
+        },
+        "speedup_4_workers": round(speedup_4, 2),
+        "speedup_2_workers": round(speedup_2, 2),
+    }
+
+    trajectory = {"benchmark": "mining-scaling/closed-miner", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    trajectory["runs"].append(record)
+    TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # ≥2× at 4 workers is the PR's acceptance criterion; the recorded
+    # trajectory documents the (usually much higher) real ratio.
+    assert speedup_4 >= 2.0, f"4-worker sharding only {speedup_4:.2f}x faster"

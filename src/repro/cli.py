@@ -11,7 +11,10 @@ Installed as the ``mediar`` console script; also runnable as
 - ``validate`` — classify top-ranked interactions against the DDI
   reference and flag severe ones;
 - ``serve``    — mine (or load a saved store) and serve the results
-  over the :mod:`repro.serve` JSON HTTP API.
+  over the :mod:`repro.serve` JSON HTTP API;
+- ``run``      — full pipeline then JSON export in one step; with
+  ``--workers N`` the mining stage shards across N processes
+  (byte-identical output, see :mod:`repro.parallel`).
 
 ``mine``, ``render``, ``validate`` and ``stats`` accept either
 ``--synthetic QUARTER`` (e.g. 2014Q1) or ``--demo/--drug/--reac`` file
@@ -83,15 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
         ("export", "write the mined result as JSON"),
         ("dashboard", "write the self-contained HTML dashboard"),
         ("profile", "drug-centric risk profile"),
+        ("run", "run the full pipeline and write the exported result"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_input_arguments(sub)
         if name in (
             "mine", "render", "validate", "study", "report", "export",
-            "dashboard", "profile",
+            "dashboard", "profile", "run",
         ):
             sub.add_argument("--min-support", type=int, default=5)
             sub.add_argument("--max-drugs", type=int, default=4)
+            _add_worker_arguments(sub)
         if name == "profile":
             sub.add_argument("drug", help="canonical drug name to profile")
         if name in ("mine", "render", "validate", "report", "dashboard"):
@@ -103,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--top", type=int, default=10)
         if name == "report":
             sub.add_argument("--out", type=Path, default=Path("quarter_report.md"))
-        if name == "export":
+        if name in ("export", "run"):
             sub.add_argument("--out", type=Path, default=Path("result.json"))
         if name == "dashboard":
             sub.add_argument("--out", type=Path, default=Path("dashboard.html"))
@@ -156,6 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_worker_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="mine in N worker processes (0 = one per core; default 1, "
+        "same results for every value)",
+    )
+    sub.add_argument(
+        "--shard-strategy",
+        choices=("hash", "quarter"),
+        default="hash",
+        help="how the parallel path partitions reports into shards",
+    )
+
+
 def _add_input_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--synthetic",
@@ -205,6 +227,8 @@ def run_pipeline(args: argparse.Namespace) -> MarasResult:
         min_support=args.min_support,
         max_drugs=args.max_drugs,
         clean=False,  # load_dataset already cleaned when asked to
+        n_workers=getattr(args, "workers", 1),
+        shard_strategy=getattr(args, "shard_strategy", "hash"),
     )
     registry = build_registry(args)
     with use_registry(registry):
@@ -364,6 +388,20 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.export import write_export
+
+    result = run_pipeline(args)
+    path = write_export(result, args.out)
+    print(
+        f"mined {len(result.clusters)} clusters from "
+        f"{len(result.dataset)} reports "
+        f"(workers={args.workers}, strategy={args.shard_strategy})"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import MediarHTTPServer, QueryEngine, ResultStore
 
@@ -408,6 +446,7 @@ COMMANDS = {
     "export": cmd_export,
     "dashboard": cmd_dashboard,
     "profile": cmd_profile,
+    "run": cmd_run,
     "serve": cmd_serve,
 }
 

@@ -124,6 +124,11 @@ class SurveillanceMonitor:
     >>> delta = monitor.ingest(first_batch)
     >>> delta = monitor.ingest(next_batch)
     >>> delta.newly_surfaced
+
+    The config is forwarded verbatim to each batch's pipeline run, so
+    ``MarasConfig(n_workers=N)`` shards the re-mine of the accumulated
+    stream across N processes (:mod:`repro.parallel`) with results
+    identical to the single-process monitor.
     """
 
     def __init__(
@@ -231,6 +236,7 @@ class SurveillanceMonitor:
             batch_index=self._batch_index,
             n_reports_total=len(self._reports),
             n_fresh=len(fresh),
+            n_workers=self.config.n_workers,
             mine_seconds=mine_seconds,
             n_newly_surfaced=len(newly_surfaced),
             n_dropped=len(dropped),

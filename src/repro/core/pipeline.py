@@ -45,8 +45,11 @@ from repro.mining.rules import (
     count_partitioned_splits,
     partitioned_rules,
 )
+from repro.mining.transactions import canonical_itemset_order, resolve_min_support
 from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsSnapshot, NullRegistry
 from repro.obs.metrics import use_registry
+from repro.parallel.miner import fpclose_sharded, resolve_workers
+from repro.parallel.sharding import SHARD_STRATEGIES, plan_shards
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +87,18 @@ class MarasConfig:
         slower; it exists for cross-checking and benchmarking.
     theta, decay:
         Exclusiveness parameters forwarded to the rankers.
+    n_workers:
+        Number of worker processes for the mining stage. ``1`` (the
+        default) runs today's in-process path; ``N > 1`` partitions the
+        dataset into shards, mines them in ``N`` processes, and merges
+        the per-shard results exactly (:mod:`repro.parallel`); ``0``
+        means one worker per CPU core. Results are byte-identical for
+        every value — the differential harness in ``tests/parallel``
+        enforces it.
+    shard_strategy:
+        How the parallel path partitions reports: ``"hash"`` (stable
+        hash of the case id) or ``"quarter"`` (one shard per distinct
+        quarter label). Ignored when ``n_workers == 1``.
     """
 
     min_support: int | float = 5
@@ -95,6 +110,8 @@ class MarasConfig:
     use_bitsets: bool = True
     theta: float = 0.5
     decay: str = "linear"
+    n_workers: int = 1
+    shard_strategy: str = "hash"
 
     def __post_init__(self) -> None:
         support = self.min_support
@@ -121,6 +138,19 @@ class MarasConfig:
         if not 0.0 <= self.min_confidence <= 1.0:
             raise ConfigError(
                 f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if isinstance(self.n_workers, bool) or not isinstance(self.n_workers, int):
+            raise ConfigError(
+                f"n_workers must be an int, got {self.n_workers!r}"
+            )
+        if self.n_workers < 0:
+            raise ConfigError(
+                f"n_workers must be >= 0 (0 = one per core), got {self.n_workers}"
+            )
+        if self.shard_strategy not in SHARD_STRATEGIES:
+            raise ConfigError(
+                f"unknown shard strategy {self.shard_strategy!r}; "
+                f"choose from {SHARD_STRATEGIES}"
             )
 
 
@@ -374,13 +404,29 @@ class Maras:
             with registry.timer("pipeline.index"):
                 oracle = SupportOracle.for_database(database)
 
-        miner = fpclose if config.use_bitsets else fpclose_reference
-        with registry.timer("pipeline.mine"):
-            closed = miner(
-                database,
-                config.min_support,
-                max_len=config.max_itemset_len,
-            )
+        n_workers = resolve_workers(config.n_workers)
+        if n_workers > 1 and len(database) > 1:
+            with registry.timer("pipeline.mine"):
+                closed = fpclose_sharded(
+                    database,
+                    resolve_min_support(config.min_support, len(database)),
+                    max_len=config.max_itemset_len,
+                    n_workers=n_workers,
+                    plan=plan_shards(dataset, n_workers, config.shard_strategy),
+                    oracle=oracle,
+                )
+        else:
+            miner = fpclose if config.use_bitsets else fpclose_reference
+            with registry.timer("pipeline.mine"):
+                closed = miner(
+                    database,
+                    config.min_support,
+                    max_len=config.max_itemset_len,
+                )
+        # Canonical order on every path: enumeration order would
+        # otherwise leak the mining backend into rule/cluster/export
+        # order and break the byte-identical guarantee.
+        closed = canonical_itemset_order(closed)
         registry.counter("pipeline.closed_itemsets").inc(len(closed))
 
         with registry.timer("pipeline.filter"):

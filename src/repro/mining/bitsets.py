@@ -138,6 +138,17 @@ class SupportOracle:
         result = self._cache[key] = self._index.support(key)
         return result
 
+    def warm(self, itemset: Iterable[int], support: int) -> None:
+        """Seed the memo cache with an exactly-known support.
+
+        The sharded merge recomputes every candidate's global support
+        over the full bitmask table; warming those answers in means the
+        downstream rule/cluster stages never re-intersect the tidsets
+        of itemsets the merge already measured.
+        """
+        key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
+        self._cache.setdefault(key, support)
+
     def tidset(self, itemset: Iterable[int]) -> frozenset[int]:
         """Matching tids (uncached — tidsets are large, supports are not)."""
         return self._index.tidset(itemset)

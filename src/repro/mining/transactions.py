@@ -378,6 +378,21 @@ def resolve_min_support(
     raise ConfigError(f"min_support must be int or float, got {type(min_support)!r}")
 
 
+def canonical_itemset_order(
+    itemsets: Iterable[FrequentItemset],
+) -> list[FrequentItemset]:
+    """Sort itemsets by their sorted item-id tuple.
+
+    Mining backends enumerate closed itemsets in search-tree order,
+    which differs between the single-process and sharded miners (and
+    between the bitset and reference miners). Every pipeline path
+    canonicalizes through this order before rule generation so the
+    downstream rule → association → cluster → export chain is
+    byte-identical regardless of backend.
+    """
+    return sorted(itemsets, key=lambda fi: tuple(sorted(fi.items)))
+
+
 def sort_itemset_labels(
     itemsets: Sequence[FrequentItemset], catalog: ItemCatalog
 ) -> list[tuple[tuple[str, ...], int]]:

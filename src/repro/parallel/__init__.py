@@ -1,0 +1,37 @@
+"""Sharded multi-process mining with an exact deterministic merge.
+
+Partition a dataset into shards (:mod:`~repro.parallel.sharding`), mine
+all locally frequent itemsets per shard in worker processes
+(:mod:`~repro.parallel.worker`), and merge them into the exact global
+closed set (:mod:`~repro.parallel.merge`). The top-level entry point is
+:func:`~repro.parallel.miner.fpclose_sharded`, threaded through
+``Maras.run`` via ``MarasConfig(n_workers=...)``.
+"""
+
+from repro.parallel.merge import merge_shard_itemsets
+from repro.parallel.miner import fpclose_sharded, resolve_workers
+from repro.parallel.sharding import (
+    HASH_STRATEGY,
+    QUARTER_STRATEGY,
+    SHARD_STRATEGIES,
+    plan_shards,
+    round_robin_shards,
+    shard_of_case,
+    validate_plan,
+)
+from repro.parallel.worker import local_threshold, mine_shard
+
+__all__ = [
+    "HASH_STRATEGY",
+    "QUARTER_STRATEGY",
+    "SHARD_STRATEGIES",
+    "fpclose_sharded",
+    "local_threshold",
+    "merge_shard_itemsets",
+    "mine_shard",
+    "plan_shards",
+    "resolve_workers",
+    "round_robin_shards",
+    "shard_of_case",
+    "validate_plan",
+]

@@ -1,0 +1,135 @@
+"""Exact merge of per-shard frequent itemsets into the global closed set.
+
+Input: the union of locally frequent itemsets from every shard (see
+:mod:`repro.parallel.worker` for why that union is guaranteed to
+contain every globally frequent itemset). This module recomputes exact
+global supports over the full :class:`TransactionDatabase` bitmask
+table, discards the globally infrequent, and collapses the survivors
+to their closures — producing byte-for-byte the same list as running
+``fpclose`` on the whole database.
+
+Support recomputation is a layered bitmask DP rather than per-itemset
+intersection from scratch: candidates are processed in
+``(len, sorted items)`` order so ``mask(X) = mask(X - {max X}) &
+item_mask(max X)`` reuses the parent's tidset mask, and an infrequent
+parent kills all its recorded supersets without touching their masks
+(``sup`` is antitone, so that pruning is exact).
+
+Closure dedup is free: two itemsets share a closure iff they share a
+tidset mask (Galois connection ``tid(closure(Y)) = tid(Y)``), so
+grouping by mask integer yields exactly one representative per distinct
+closed set. Each closure is then materialised by whichever direction is
+cheaper — intersecting the ``sup`` supporting transactions when ``sup``
+is small, else scanning items whose global support admits a superset
+mask.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.mining.bitsets import SupportOracle
+from repro.mining.transactions import FrequentItemset, TransactionDatabase
+from repro.obs.metrics import get_registry
+
+#: Below this support, closures intersect transactions; above, scan items.
+_CLOSURE_SCAN_CUTOFF = 48
+
+
+def merge_shard_itemsets(
+    shard_outputs: Iterable[Sequence[tuple[tuple[int, ...], int]]],
+    database: TransactionDatabase,
+    min_support: int,
+    *,
+    max_len: int | None = None,
+    oracle: SupportOracle | None = None,
+) -> list[FrequentItemset]:
+    """Merge per-shard frequent itemsets into the global closed set.
+
+    Returns the closed frequent itemsets of ``database`` at
+    ``min_support`` in canonical ``sorted(items)`` order. When an
+    ``oracle`` is given, every exact support computed here is warmed
+    into its memo cache so downstream rule/cluster construction never
+    re-intersects these tidsets.
+    """
+    registry = get_registry()
+    masks_table = database.item_masks()
+    item_supports = database.item_supports()
+
+    candidates: set[frozenset[int]] = set()
+    for output in shard_outputs:
+        for items, _local_support in output:
+            candidates.add(frozenset(items))
+    registry.counter("parallel.merge.candidates").inc(len(candidates))
+
+    # Layered DP in (len, sorted items) order: each itemset's mask derives
+    # from its max-item-removed parent one layer up.
+    ordered = sorted(candidates, key=lambda s: (len(s), tuple(sorted(s))))
+    prev_layer: dict[frozenset[int], int] = {}
+    cur_layer: dict[frozenset[int], int] = {}
+    dead_prev: set[frozenset[int]] = set()
+    dead_cur: set[frozenset[int]] = set()
+    cur_size = 1
+    groups: dict[int, int] = {}  # tidset mask -> global support
+    for items in ordered:
+        size = len(items)
+        if size != cur_size:
+            prev_layer, cur_layer = cur_layer, {}
+            dead_prev, dead_cur = dead_cur, set()
+            cur_size = size
+        if size == 1:
+            mask = masks_table.get(next(iter(items)), 0)
+        else:
+            last = max(items)
+            parent = items - {last}
+            if parent in dead_prev:
+                dead_cur.add(items)
+                continue
+            parent_mask = prev_layer.get(parent)
+            if parent_mask is None:
+                # Parent absent from the candidate union (shard outputs
+                # are downward closed per shard, but the union's parent
+                # may sit in a layer this shard never emitted).
+                parent_mask = -1
+                for item in parent:
+                    parent_mask &= masks_table.get(item, 0)
+            mask = parent_mask & masks_table.get(last, 0)
+        support = mask.bit_count()
+        if support >= min_support:
+            cur_layer[items] = mask
+            groups[mask] = support
+            if oracle is not None:
+                oracle.warm(items, support)
+        else:
+            dead_cur.add(items)
+    registry.counter("parallel.merge.globally_frequent").inc(len(groups))
+
+    transactions = list(database)
+    results: list[FrequentItemset] = []
+    for mask, support in groups.items():
+        if support <= _CLOSURE_SCAN_CUTOFF:
+            remaining = mask
+            closed: set[int] | None = None
+            while remaining:
+                low = remaining & -remaining
+                tid = low.bit_length() - 1
+                remaining ^= low
+                row = transactions[tid]
+                closed = set(row) if closed is None else (closed & row)
+            closure = frozenset(closed) if closed is not None else frozenset()
+        else:
+            closure = frozenset(
+                item
+                for item, item_mask in masks_table.items()
+                if item_supports[item] >= support and (item_mask & mask) == mask
+            )
+        if not closure:
+            continue
+        if max_len is None or len(closure) <= max_len:
+            if oracle is not None:
+                oracle.warm(closure, support)
+            results.append(FrequentItemset(closure, support))
+    registry.counter("parallel.merge.reclosed").inc(len(results))
+
+    results.sort(key=lambda fi: tuple(sorted(fi.items)))
+    return results

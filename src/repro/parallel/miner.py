@@ -1,0 +1,128 @@
+"""Sharded closed-itemset mining across worker processes.
+
+:func:`fpclose_sharded` is a drop-in replacement for
+:func:`repro.mining.fpclose.fpclose` that partitions the transaction
+database (via a shard plan from :mod:`repro.parallel.sharding`), mines
+each shard in a worker process, and merges the results exactly
+(:mod:`repro.parallel.merge`). The returned list is byte-identical to
+the single-process miner's output after canonical ordering — the
+differential harness in ``tests/parallel`` enforces this.
+
+Worker results are collected with ``executor.map``, which preserves
+submission order, and the merge itself is order-insensitive (it
+operates on the candidate *union*), so scheduling jitter between
+workers can never perturb the output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.mining.bitsets import SupportOracle
+from repro.mining.transactions import FrequentItemset, TransactionDatabase
+from repro.obs.metrics import get_registry
+from repro.parallel.merge import merge_shard_itemsets
+from repro.parallel.sharding import ShardPlan, round_robin_shards, validate_plan
+from repro.parallel.worker import local_threshold, mine_shard
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Resolve a worker request (``0`` means one per core).
+
+    The request is NOT clamped to the core count: it determines the
+    shard *plan*, which must be a pure function of (dataset, n_workers,
+    strategy) so the same invocation means the same shards on every
+    machine. Only the process-pool size is capped by the cores, inside
+    :func:`fpclose_sharded` — the merged result is independent of how
+    shards map onto processes.
+    """
+    if n_workers < 0:
+        raise ConfigError(f"n_workers must be >= 0, got {n_workers}")
+    return n_workers if n_workers else (os.cpu_count() or 1)
+
+
+def fpclose_sharded(
+    database: TransactionDatabase,
+    min_support: int,
+    *,
+    max_len: int | None = None,
+    n_workers: int,
+    plan: Sequence[Sequence[int]] | None = None,
+    oracle: SupportOracle | None = None,
+) -> list[FrequentItemset]:
+    """Mine the global closed frequent itemsets via sharded workers.
+
+    ``plan`` is a covering, disjoint partition of tids (see
+    :func:`repro.parallel.sharding.plan_shards`); when omitted, a
+    round-robin partition into ``n_workers`` shards is used. Shards are
+    mined in ``n_workers`` processes at pigeonhole-scaled local
+    thresholds, then merged over the full bitmask table.
+    """
+    registry = get_registry()
+    n_transactions = len(database)
+    if plan is None:
+        shards: ShardPlan = round_robin_shards(n_transactions, n_workers)
+    else:
+        shards = validate_plan(plan, n_transactions)
+    if not shards:
+        return []
+    registry.counter("parallel.shards").inc(len(shards))
+
+    transactions = list(database)
+    n_items = len(database.catalog)
+    tasks = []
+    for index, shard in enumerate(shards):
+        rows = tuple(tuple(sorted(transactions[tid])) for tid in shard)
+        threshold = local_threshold(min_support, len(shard), n_transactions)
+        tasks.append((index, rows, n_items, threshold, max_len))
+
+    # Pool size never exceeds the cores: extra processes on a loaded or
+    # small machine only add contention, and the merged result is
+    # independent of how shards map onto processes. Any multi-worker
+    # request still goes through the pool (even a 1-process pool on a
+    # 1-core box), so the pickling boundary is always exercised.
+    pool_size = max(1, min(n_workers, len(shards), os.cpu_count() or 1))
+    with registry.timer("parallel.local_mine"):
+        if len(shards) == 1 or n_workers <= 1:
+            shard_results = [mine_shard(*task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                shard_results = list(pool.map(_run_task, tasks))
+
+    shard_outputs = []
+    for index, shard_size, threshold, seconds, itemsets in shard_results:
+        shard_outputs.append(itemsets)
+        registry.counter("parallel.local_itemsets").inc(len(itemsets))
+        registry.emit(
+            "parallel.shard",
+            shard=index,
+            n_transactions=shard_size,
+            local_threshold=threshold,
+            n_local_itemsets=len(itemsets),
+            seconds=round(seconds, 6),
+        )
+
+    with registry.timer("parallel.merge"):
+        started = time.perf_counter()
+        merged = merge_shard_itemsets(
+            shard_outputs,
+            database,
+            min_support,
+            max_len=max_len,
+            oracle=oracle,
+        )
+        registry.emit(
+            "parallel.merge",
+            n_shards=len(shards),
+            n_closed=len(merged),
+            seconds=round(time.perf_counter() - started, 6),
+        )
+    return merged
+
+
+def _run_task(task):
+    return mine_shard(*task)

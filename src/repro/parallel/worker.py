@@ -1,0 +1,68 @@
+"""The per-shard mining task executed inside worker processes.
+
+Each worker mines **all locally frequent itemsets** (``fpgrowth``) over
+its shard at a scaled-down local threshold, not closed itemsets. That
+choice is what makes the merge in :mod:`repro.parallel.merge` *exact*
+(the Savasere/Omiecinski/Navathe two-phase partition scheme):
+
+If itemset ``X`` has global support ``sup(X) >= s`` over ``N``
+transactions split into shards of sizes ``n_1..n_k``, then by
+pigeonhole there is a shard ``i`` with local support
+``sup_i(X) >= ceil(s * n_i / N)``. So mining every shard at local
+threshold ``t_i = max(1, ceil(s * n_i / N))`` guarantees each globally
+frequent itemset — in particular each globally *closed* one — appears
+verbatim in at least one shard's output. Mining locally-*closed* sets
+instead would lose this guarantee: an itemset can be non-closed in
+every shard yet closed globally (e.g. ``{A}`` when shard 1 only sees
+``AB`` rows and shard 2 only ``AC`` rows).
+
+Everything crossing the process boundary is plain ints/tuples so
+pickling stays cheap: transactions travel as tuples of item ids, and
+the worker rebuilds a throwaway catalog of the right size (labels are
+never consulted during mining).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import ItemCatalog, TransactionDatabase
+
+#: What a worker sends back: shard index, transaction count, local
+#: threshold used, wall-clock seconds, and the locally frequent
+#: itemsets as ``(sorted_items_tuple, local_support)`` pairs.
+ShardResult = tuple[int, int, int, float, tuple[tuple[tuple[int, ...], int], ...]]
+
+
+def local_threshold(min_support: int, shard_size: int, n_transactions: int) -> int:
+    """``max(1, ceil(min_support * shard_size / n_transactions))``."""
+    if n_transactions <= 0:
+        return 1
+    return max(1, -((-min_support * shard_size) // n_transactions))
+
+
+def _dummy_catalog(n_items: int) -> ItemCatalog:
+    catalog = ItemCatalog()
+    for k in range(n_items):
+        catalog.add(f"i{k}")
+    return catalog
+
+
+def mine_shard(
+    index: int,
+    transactions: tuple[tuple[int, ...], ...],
+    n_items: int,
+    threshold: int,
+    max_len: int | None,
+) -> ShardResult:
+    """Mine one shard; module-level so it pickles under ProcessPoolExecutor."""
+    started = time.perf_counter()
+    database = TransactionDatabase(
+        [frozenset(row) for row in transactions], _dummy_catalog(n_items)
+    )
+    itemsets = fpgrowth(database, threshold, max_len=max_len)
+    payload = tuple(
+        (tuple(sorted(fi.items)), fi.support) for fi in itemsets
+    )
+    return index, len(transactions), threshold, time.perf_counter() - started, payload

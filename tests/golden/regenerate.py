@@ -1,0 +1,128 @@
+"""Regenerate the golden end-to-end regression fixture.
+
+Run when an *intentional* output change lands (new score, format bump,
+different canonical ordering):
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+then review the ``golden_export.json`` diff by hand before committing —
+every changed byte is a behavior change the PR must justify. The
+dataset file never changes on regeneration (it is a pure function of
+the seeds below); only the expected export does.
+
+The dataset is deliberately awkward: two quarters of synthetic reports
+plus hand-written follow-up versions re-using existing case ids, so the
+frozen run exercises cleaning (case-version merging), multi-quarter
+sharding, and the full rule→cluster→export chain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.export import export_result
+from repro.core.pipeline import Maras, MarasConfig
+from repro.faers.schema import CaseReport, ReportType
+from repro.faers.synthetic import SyntheticConfig, SyntheticFAERSGenerator
+
+HERE = Path(__file__).resolve().parent
+DATASET_PATH = HERE / "golden_dataset.json"
+EXPORT_PATH = HERE / "golden_export.json"
+
+#: The frozen pipeline configuration of the golden run.
+GOLDEN_CONFIG = dict(min_support=2, max_drugs=4, clean=True)
+#: Exported floats are rounded to this many digits before comparison,
+#: so the fixture pins behavior, not platform rounding noise.
+PRECISION = 10
+
+
+def build_reports() -> list[CaseReport]:
+    reports: list[CaseReport] = []
+    for quarter, seed in (("2014Q1", 17), ("2014Q2", 18)):
+        config = SyntheticConfig(
+            n_reports=150, n_drugs=80, n_adrs=25, seed=seed, quarter=quarter
+        )
+        reports.extend(SyntheticFAERSGenerator(config).generate())
+    # Follow-up versions of existing cases: the cleaner must merge these
+    # into their originals instead of counting them twice.
+    followups = [
+        CaseReport.build(
+            reports[3].case_id,
+            reports[3].drugs + ("aspirin",),
+            reports[3].adrs,
+            quarter="2014Q1",
+        ),
+        CaseReport.build(
+            reports[80].case_id,
+            reports[80].drugs,
+            reports[80].adrs + ("nausea",),
+            quarter="2014Q2",
+        ),
+        CaseReport.build(
+            reports[120].case_id,
+            reports[120].drugs,
+            reports[120].adrs,
+            quarter="2014Q2",
+        ),
+    ]
+    return reports + followups
+
+
+def report_to_dict(report: CaseReport) -> dict:
+    return {
+        "case_id": report.case_id,
+        "drugs": list(report.drugs),
+        "adrs": list(report.adrs),
+        "report_type": report.report_type.value,
+        "quarter": report.quarter,
+        "age": report.age,
+        "sex": report.sex,
+        "country": report.country,
+        "event_date": report.event_date,
+    }
+
+
+def report_from_dict(row: dict) -> CaseReport:
+    return CaseReport.build(
+        row["case_id"],
+        row["drugs"],
+        row["adrs"],
+        report_type=ReportType(row["report_type"]),
+        quarter=row["quarter"],
+        age=row["age"],
+        sex=row["sex"],
+        country=row["country"],
+        event_date=row["event_date"],
+    )
+
+
+def round_floats(value, precision: int = PRECISION):
+    if isinstance(value, float):
+        return round(value, precision)
+    if isinstance(value, dict):
+        return {key: round_floats(item, precision) for key, item in value.items()}
+    if isinstance(value, list):
+        return [round_floats(item, precision) for item in value]
+    return value
+
+
+def golden_export(reports: list[CaseReport]) -> dict:
+    result = Maras(MarasConfig(**GOLDEN_CONFIG)).run(reports)
+    return round_floats(export_result(result))
+
+
+def main() -> None:
+    reports = build_reports()
+    DATASET_PATH.write_text(
+        json.dumps([report_to_dict(r) for r in reports], indent=1) + "\n"
+    )
+    EXPORT_PATH.write_text(
+        json.dumps(golden_export(reports), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {DATASET_PATH} ({len(reports)} reports)")
+    print(f"wrote {EXPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""End-to-end golden regression: frozen dataset in, frozen export out.
+
+Any change that perturbs mining, merging, cleaning, scoring, stable
+ids, or export formatting fails here loudly — with a diff of which
+top-level keys and cluster records moved. If the change is
+*intentional*, regenerate the fixture (see ``regenerate.py``) and
+review the diff in code review; that diff IS the behavior change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import export_result
+from repro.core.pipeline import Maras, MarasConfig
+
+from tests.golden.regenerate import (
+    DATASET_PATH,
+    EXPORT_PATH,
+    GOLDEN_CONFIG,
+    report_from_dict,
+    round_floats,
+)
+
+REGEN_HINT = (
+    "golden export drifted; if intentional, run "
+    "`PYTHONPATH=src python tests/golden/regenerate.py` and review the diff"
+)
+
+
+@pytest.fixture(scope="module")
+def golden_reports():
+    rows = json.loads(DATASET_PATH.read_text())
+    return [report_from_dict(row) for row in rows]
+
+
+@pytest.fixture(scope="module")
+def golden_expected():
+    return json.loads(EXPORT_PATH.read_text())
+
+
+def run_export(reports, **overrides):
+    result = Maras(MarasConfig(**{**GOLDEN_CONFIG, **overrides})).run(reports)
+    # The fixture is committed through json round-trip, so compare
+    # round-tripped values (tuples→lists, int-floats→ints, etc.).
+    return json.loads(json.dumps(round_floats(export_result(result))))
+
+
+def assert_matches_golden(actual, expected):
+    if actual == expected:
+        return
+    drifted = [
+        key for key in expected if actual.get(key) != expected[key]
+    ] + [key for key in actual if key not in expected]
+    detail = [f"drifted keys: {sorted(set(drifted))}"]
+    if "clusters" in drifted:
+        expected_ids = [c["id"] for c in expected["clusters"]]
+        actual_ids = [c["id"] for c in actual["clusters"]]
+        detail.append(
+            f"clusters: {len(actual_ids)} vs {len(expected_ids)} golden"
+        )
+        detail.append(f"missing ids: {sorted(set(expected_ids) - set(actual_ids))}")
+        detail.append(f"new ids: {sorted(set(actual_ids) - set(expected_ids))}")
+        if actual_ids != expected_ids and not (
+            set(expected_ids) ^ set(actual_ids)
+        ):
+            detail.append("same cluster set but DIFFERENT ORDER")
+        for got, want in zip(actual["clusters"], expected["clusters"]):
+            if got != want:
+                fields = [k for k in want if got.get(k) != want[k]]
+                detail.append(
+                    f"first differing cluster {want['id']}: fields {fields}"
+                )
+                break
+    pytest.fail(REGEN_HINT + "\n" + "\n".join(detail))
+
+
+def test_dataset_fixture_is_intact(golden_reports):
+    # 300 generated + 3 follow-up versions; cleaning merges the
+    # follow-ups, so the mined dataset is smaller — pin both.
+    assert len(golden_reports) == 303
+    case_ids = [r.case_id for r in golden_reports]
+    assert len(set(case_ids)) == 300
+
+
+def test_pipeline_reproduces_golden_export(golden_reports, golden_expected):
+    assert_matches_golden(run_export(golden_reports), golden_expected)
+
+
+def test_sharded_pipeline_reproduces_golden_export(
+    golden_reports, golden_expected
+):
+    # The same bytes must come out of the 2-worker sharded run: the
+    # golden file doubles as a cross-process determinism fixture.
+    for strategy in ("hash", "quarter"):
+        actual = run_export(
+            golden_reports, n_workers=2, shard_strategy=strategy
+        )
+        assert_matches_golden(actual, golden_expected)

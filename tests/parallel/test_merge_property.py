@@ -1,0 +1,109 @@
+"""Property test: shard-mine + merge == fpclose over the union database.
+
+Hypothesis generates arbitrary transaction databases and arbitrary
+shard assignments — including empty shards, single-report shards, the
+everything-in-one-shard split, and wildly unbalanced ones — and the
+two-phase scheme (mine all locally frequent itemsets per shard at the
+pigeonhole-scaled threshold, merge exactly) must reproduce ``fpclose``
+over the whole database every time.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.fpclose import fpclose
+from repro.mining.transactions import (
+    TransactionDatabase,
+    canonical_itemset_order,
+)
+from repro.parallel.merge import merge_shard_itemsets
+from repro.parallel.worker import local_threshold, mine_shard
+
+ITEMS = [f"i{k}" for k in range(8)]
+
+transactions_strategy = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=1, max_size=6),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build_database(rows: list[set[str]]) -> TransactionDatabase:
+    return TransactionDatabase.from_labelled(rows)
+
+
+def sharded_closed(database, min_support, assignment, n_shards, max_len=None):
+    """Run the worker+merge scheme in-process over an explicit assignment."""
+    transactions = list(database)
+    n = len(transactions)
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    for tid, shard in enumerate(assignment):
+        shards[shard].append(tid)
+    outputs = []
+    for index, tids in enumerate(shards):
+        if not tids:
+            continue  # empty shards contribute nothing, and must not crash
+        rows = tuple(tuple(sorted(transactions[tid])) for tid in tids)
+        threshold = local_threshold(min_support, len(tids), n)
+        *_, itemsets = mine_shard(
+            index, rows, len(database.catalog), threshold, max_len
+        )
+        outputs.append(itemsets)
+    return merge_shard_itemsets(
+        outputs, database, min_support, max_len=max_len
+    )
+
+
+@given(
+    rows=transactions_strategy,
+    min_support=st.integers(min_value=1, max_value=6),
+    n_shards=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_equals_fpclose(rows, min_support, n_shards, data):
+    assignment = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_shards - 1),
+            min_size=len(rows),
+            max_size=len(rows),
+        )
+    )
+    database = build_database(rows)
+    expected = canonical_itemset_order(fpclose(database, min_support))
+    assert sharded_closed(database, min_support, assignment, n_shards) == expected
+
+
+@given(
+    rows=transactions_strategy,
+    min_support=st.integers(min_value=1, max_value=4),
+    max_len=st.integers(min_value=3, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_respects_max_len(rows, min_support, max_len):
+    # Workers mine capped at max_len; closures longer than max_len are
+    # dropped at the merge — exactly fpclose's own max_len contract.
+    database = build_database(rows)
+    assignment = [tid % 3 for tid in range(len(rows))]
+    expected = canonical_itemset_order(
+        fpclose(database, min_support, max_len=max_len)
+    )
+    actual = sharded_closed(
+        database, min_support, assignment, 3, max_len=max_len
+    )
+    assert actual == expected
+
+
+@given(rows=transactions_strategy, min_support=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_single_report_shards(rows, min_support):
+    # The degenerate extreme: every transaction is its own shard, so all
+    # local thresholds bottom out at 1 and the merge does all the work.
+    database = build_database(rows)
+    assignment = list(range(len(rows)))
+    expected = canonical_itemset_order(fpclose(database, min_support))
+    assert (
+        sharded_closed(database, min_support, assignment, len(rows))
+        == expected
+    )

@@ -1,0 +1,136 @@
+"""Shard planning: determinism, coverage, and validation errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faers import ReportDataset, SyntheticConfig, SyntheticFAERSGenerator
+from repro.parallel import (
+    plan_shards,
+    round_robin_shards,
+    shard_of_case,
+    validate_plan,
+)
+from repro.parallel.miner import resolve_workers
+from repro.parallel.worker import local_threshold
+
+
+@pytest.fixture(scope="module")
+def two_quarter_dataset() -> ReportDataset:
+    """Q1 + Q2 synthetic reports in one dataset (quarter-prefixed ids)."""
+    reports = []
+    for quarter in ("2014Q1", "2014Q2"):
+        config = SyntheticConfig(
+            n_reports=120, n_drugs=80, n_adrs=25, seed=5, quarter=quarter
+        )
+        reports.extend(SyntheticFAERSGenerator(config).generate())
+    return ReportDataset(reports)
+
+
+def assert_partition(plan, n_transactions):
+    tids = [tid for shard in plan for tid in shard]
+    assert sorted(tids) == list(range(n_transactions))
+
+
+class TestHashStrategy:
+    def test_plan_is_a_partition(self, two_quarter_dataset):
+        plan = plan_shards(two_quarter_dataset, 4, "hash")
+        assert_partition(plan, len(two_quarter_dataset))
+
+    def test_plan_is_deterministic(self, two_quarter_dataset):
+        first = plan_shards(two_quarter_dataset, 4, "hash")
+        second = plan_shards(two_quarter_dataset, 4, "hash")
+        assert first == second
+
+    def test_hash_is_stable_not_interpreter_salted(self):
+        # Pinned values: if these move, shard membership — and any
+        # persisted shard artifacts — silently change between runs.
+        assert shard_of_case("2014Q1-0000001", 4) == shard_of_case(
+            "2014Q1-0000001", 4
+        )
+        assert [shard_of_case(f"case-{i}", 3) for i in range(6)] == [
+            1, 0, 1, 2, 2, 2,
+        ]
+
+    def test_roughly_balanced(self, two_quarter_dataset):
+        plan = plan_shards(two_quarter_dataset, 4, "hash")
+        sizes = sorted(len(shard) for shard in plan)
+        assert sizes[0] >= len(two_quarter_dataset) // 4 - 30
+
+    def test_single_shard(self, two_quarter_dataset):
+        (only,) = plan_shards(two_quarter_dataset, 1, "hash")
+        assert len(only) == len(two_quarter_dataset)
+
+
+class TestQuarterStrategy:
+    def test_one_shard_per_quarter_in_sorted_order(self, two_quarter_dataset):
+        plan = plan_shards(two_quarter_dataset, 2, "quarter")
+        assert len(plan) == 2
+        assert_partition(plan, len(two_quarter_dataset))
+        quarters = [
+            {two_quarter_dataset.reports[tid].quarter for tid in shard}
+            for shard in plan
+        ]
+        assert quarters == [{"2014Q1"}, {"2014Q2"}]
+
+    def test_n_shards_does_not_split_quarters(self, two_quarter_dataset):
+        # The strategy shards by quarter label; n_shards is only the
+        # worker budget, not a forced shard count.
+        plan = plan_shards(two_quarter_dataset, 8, "quarter")
+        assert len(plan) == 2
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, two_quarter_dataset):
+        with pytest.raises(ConfigError, match="unknown shard strategy"):
+            plan_shards(two_quarter_dataset, 2, "astrology")
+
+    def test_zero_shards_rejected(self, two_quarter_dataset):
+        with pytest.raises(ConfigError, match="n_shards"):
+            plan_shards(two_quarter_dataset, 0, "hash")
+
+    def test_round_robin_covers(self):
+        plan = round_robin_shards(10, 3)
+        assert_partition(plan, 10)
+
+    def test_round_robin_more_shards_than_transactions(self):
+        plan = round_robin_shards(2, 5)
+        assert_partition(plan, 2)
+        assert all(shard for shard in plan)
+
+    def test_validate_plan_accepts_partition(self):
+        assert validate_plan([(0, 2), (1,)], 3) == ((0, 2), (1,))
+
+    def test_validate_plan_drops_empty_shards(self):
+        assert validate_plan([(0,), (), (1,)], 2) == ((0,), (1,))
+
+    def test_validate_plan_rejects_overlap(self):
+        with pytest.raises(ConfigError, match="two shards"):
+            validate_plan([(0, 1), (1, 2)], 3)
+
+    def test_validate_plan_rejects_gaps(self):
+        with pytest.raises(ConfigError, match="covers 2 of 3"):
+            validate_plan([(0,), (2,)], 3)
+
+    def test_validate_plan_rejects_out_of_range(self):
+        with pytest.raises(ConfigError, match="outside database"):
+            validate_plan([(0, 7)], 3)
+
+
+class TestWorkerScaling:
+    def test_local_threshold_pigeonhole_floor(self):
+        # ceil(5 * 25 / 100) = 2; never below 1 even for tiny shards.
+        assert local_threshold(5, 25, 100) == 2
+        assert local_threshold(5, 100, 100) == 5
+        assert local_threshold(5, 1, 100) == 1
+        assert local_threshold(1, 0, 100) == 1
+
+    def test_resolve_workers(self):
+        # Positive requests pass through unclamped: they size the shard
+        # plan, which must not depend on the machine's core count.
+        assert resolve_workers(1) == 1
+        assert resolve_workers(6) == 6
+        assert resolve_workers(0) >= 1  # 0 = one per core
+        with pytest.raises(ConfigError):
+            resolve_workers(-1)

@@ -169,8 +169,21 @@ class TestConcurrentHammer:
             path = paths[index % len(paths)]
             return path, http_get(server.url, path)
 
+        # submit + explicit exception collection, not pool.map: map
+        # re-raises only the first worker exception and only when its
+        # turn comes up in iteration order, which can mask every other
+        # failing thread (and an early assertion would leave later
+        # futures' exceptions unobserved entirely). Collect them all and
+        # fail with the full list so no worker dies silently.
         with ThreadPoolExecutor(max_workers=8) as pool:
-            results = list(pool.map(hammer, range(200)))
+            futures = [pool.submit(hammer, index) for index in range(200)]
+        errors = [
+            repr(error)
+            for error in (future.exception() for future in futures)
+            if error is not None
+        ]
+        assert not errors, f"{len(errors)} hammer thread(s) raised: {errors[:5]}"
+        results = [future.result() for future in futures]
 
         for path, (status, body) in results:
             assert status == 200, path

@@ -219,6 +219,47 @@ class TestExport:
         assert loaded.clusters
 
 
+class TestRun:
+    def test_run_writes_export(self, capsys, tmp_path):
+        from repro.core.export import load_export
+
+        code, out, _ = run(
+            capsys, "run", *SYNTH, "--min-support", "4",
+            "--out", str(tmp_path / "r.json"),
+        )
+        assert code == 0
+        assert "workers=1" in out
+        assert load_export(tmp_path / "r.json").clusters
+
+    def test_run_workers_byte_identical(self, capsys, tmp_path):
+        serial, sharded = tmp_path / "w1.json", tmp_path / "w2.json"
+        code, _, _ = run(
+            capsys, "run", *SYNTH, "--min-support", "4",
+            "--out", str(serial),
+        )
+        assert code == 0
+        code, out, _ = run(
+            capsys, "run", *SYNTH, "--min-support", "4",
+            "--workers", "2", "--out", str(sharded),
+        )
+        assert code == 0
+        assert "workers=2" in out
+        assert sharded.read_bytes() == serial.read_bytes()
+
+    def test_bad_shard_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--synthetic", "2014Q1", "--shard-strategy", "nope"]
+            )
+
+    def test_negative_workers_is_config_error(self, capsys):
+        code, _, err = run(
+            capsys, "run", *SYNTH, "--workers", "-2",
+        )
+        assert code == 2
+        assert "n_workers" in err
+
+
 class TestDashboard:
     def test_dashboard_written(self, capsys, tmp_path):
         code, out, _ = run(
