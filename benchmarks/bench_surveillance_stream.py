@@ -11,13 +11,38 @@ crosses the threshold.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
 from repro.core import MarasConfig
 from repro.core.incremental import SurveillanceMonitor
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
 from repro.faers.schema import CaseReport
 
 from benchmarks.conftest import write_artifact
 
 N_BATCHES = 4
+
+# --- incremental-vs-rescan trajectory ---------------------------------
+# Larger than the shared SCALE quarters: the claim is about re-mining
+# cost, so mining has to *have* a cost. ~10k reports puts a full rescan
+# at seconds. The stream shape mirrors the paper's §1.1 motivation — a
+# standing database plus modest ongoing batches — as one bulk backfill
+# (the initial build) followed by small batches of ~2% of the base, the
+# regime where delta-restricted re-mining prunes most of the lattice.
+STREAM_SCALE = 0.08
+BACKFILL_FRACTION = 0.78
+STREAM_BATCHES = 12  # ongoing small batches after the backfill
+STREAM_MIN_SUPPORT = 4
+LATE_BATCHES = 4  # speedup is averaged over the last 4 batches
+
+TRAJECTORY_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_surveillance.json"
+)
 
 
 def test_surveillance_stream(benchmark, quarter_datasets):
@@ -75,3 +100,103 @@ def test_surveillance_stream(benchmark, quarter_datasets):
         cumulative += len(delta.newly_surfaced) - len(delta.dropped)
         fractions.append(len(delta.newly_surfaced) / max(cumulative, 1))
     assert fractions[-1] < fractions[1]
+
+
+@pytest.fixture(scope="module")
+def stream_batches():
+    generator = SyntheticFAERSGenerator(
+        quarter_config("2014Q1", scale=STREAM_SCALE)
+    )
+    reports = list(ReportDataset(generator.generate()))
+    backfill = int(len(reports) * BACKFILL_FRACTION)
+    rest = reports[backfill:]
+    size = -(-len(rest) // STREAM_BATCHES)
+    return [reports[:backfill]] + [
+        rest[i * size : (i + 1) * size] for i in range(STREAM_BATCHES)
+    ]
+
+
+def test_trajectory_incremental_vs_rescan(stream_batches):
+    """Per-batch wall clock: incremental engine vs full-rescan monitor.
+
+    The tentpole's acceptance bar — once the base dwarfs the batch, the
+    incremental path must ingest a batch ≥3× faster than re-mining the
+    whole accumulated quarter, while staying byte-identical (that part
+    is pinned by tests/incremental/test_differential.py; here we only
+    measure).
+    """
+    config = dict(min_support=STREAM_MIN_SUPPORT, clean=False)
+    rows = []
+    with SurveillanceMonitor(
+        MarasConfig(**config, incremental=True)
+    ) as fast, SurveillanceMonitor(MarasConfig(**config)) as slow:
+        for index, batch in enumerate(stream_batches):
+            start = time.perf_counter()
+            fast.ingest(batch)
+            fast_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            slow.ingest(batch)
+            slow_seconds = time.perf_counter() - start
+
+            stats = fast.engine_stats
+            rows.append(
+                {
+                    "batch": index,
+                    "n_reports_total": sum(
+                        len(b) for b in stream_batches[: index + 1]
+                    ),
+                    "incremental_seconds": round(fast_seconds, 6),
+                    "rescan_seconds": round(slow_seconds, 6),
+                    "speedup": round(slow_seconds / fast_seconds, 2),
+                    "rebuild_reason": stats.get("rebuild_reason"),
+                    "reuse_ratio": stats.get("reuse_ratio"),
+                    "n_carried": stats.get("n_carried"),
+                    "n_mined": stats.get("n_mined"),
+                }
+            )
+        assert fast.watchlist() == slow.watchlist()
+
+    late = rows[-LATE_BATCHES:]
+    late_speedup = sum(r["speedup"] for r in late) / len(late)
+
+    lines = ["Incremental vs full-rescan ingest (2014 Q1 synthetic stream)"]
+    lines.append(
+        f"{'batch':>6s} {'reports':>9s} {'incr s':>9s} {'rescan s':>9s} "
+        f"{'speedup':>8s} {'reuse':>6s} {'rebuild':>24s}"
+    )
+    for r in rows:
+        reuse = "" if r["reuse_ratio"] is None else f"{r['reuse_ratio']:.2f}"
+        lines.append(
+            f"{r['batch']:>6d} {r['n_reports_total']:>9,d} "
+            f"{r['incremental_seconds']:>9.3f} {r['rescan_seconds']:>9.3f} "
+            f"{r['speedup']:>8.2f} {reuse:>6s} "
+            f"{(r['rebuild_reason'] or '-')[:24]:>24s}"
+        )
+    lines.append(f"late-batch mean speedup (last {LATE_BATCHES}): {late_speedup:.2f}x")
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("surveillance_incremental.txt", artifact)
+
+    record = {
+        "benchmark": "surveillance/incremental-vs-rescan",
+        "label": os.environ.get("BENCH_LABEL", "local"),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_reports": rows[-1]["n_reports_total"],
+        "n_batches": len(rows),  # backfill + STREAM_BATCHES small batches
+        "min_support": STREAM_MIN_SUPPORT,
+        "late_batch_mean_speedup": round(late_speedup, 2),
+        "batches": rows,
+    }
+    trajectory = {"benchmark": "surveillance/streaming", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    trajectory["runs"].append(record)
+    TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert late_speedup >= 3.0, (
+        f"late-batch incremental ingest only {late_speedup:.2f}x faster "
+        "than a full rescan"
+    )

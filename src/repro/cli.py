@@ -33,7 +33,7 @@ import sys
 from pathlib import Path
 
 from repro.core import Maras, MarasConfig, MarasResult, RankingMethod
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.faers import (
     ReportCleaner,
     ReportDataset,
@@ -124,6 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--out", type=Path, default=Path("glyphs"))
         if name == "study":
             sub.add_argument("--annotators", type=int, default=50)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="stream a quarter in batches through incremental surveillance",
+    )
+    _add_input_arguments(watch)
+    watch.add_argument("--min-support", type=int, default=5)
+    watch.add_argument("--max-drugs", type=int, default=4)
+    _add_worker_arguments(watch)
+    watch.add_argument(
+        "--batches",
+        type=int,
+        default=8,
+        metavar="N",
+        help="split the input stream into N ingest batches",
+    )
+    watch.add_argument("--top", type=int, default=5)
+    watch.add_argument(
+        "--full-rescan",
+        action="store_true",
+        help="re-run the full pipeline per batch instead of the "
+        "incremental engine (for comparison)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve mined results over a JSON HTTP API"
@@ -402,6 +425,59 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.core.incremental import SurveillanceMonitor
+
+    if args.batches < 1:
+        raise ConfigError(f"--batches must be >= 1, got {args.batches}")
+    dataset = load_dataset(args)
+    reports = dataset.reports
+    config = MarasConfig(
+        min_support=args.min_support,
+        max_drugs=args.max_drugs,
+        clean=False,  # load_dataset already cleaned when asked to
+        incremental=not args.full_rescan,
+        n_workers=getattr(args, "workers", 1),
+        shard_strategy=getattr(args, "shard_strategy", "hash"),
+    )
+    registry = build_registry(args)
+    size = max(1, -(-len(reports) // args.batches))
+    mode = "full-rescan" if args.full_rescan else "incremental"
+    print(
+        f"watching {len(reports)} reports as {args.batches} batches ({mode})"
+    )
+    with SurveillanceMonitor(config, registry=registry) as monitor:
+        for start in range(0, len(reports), size):
+            delta = monitor.ingest(reports[start : start + size])
+            line = (
+                f"batch {delta.batch_index}: {delta.n_reports_total} reports, "
+                f"+{len(delta.newly_surfaced)} surfaced, "
+                f"-{len(delta.dropped)} dropped, {len(delta.risers)} risers"
+            )
+            if delta.rank_correlation is not None:
+                line += f", rank ρ={delta.rank_correlation:.3f}"
+            stats = monitor.engine_stats
+            if stats:
+                line += (
+                    f" | delta +{stats['n_rows_appended']}"
+                    f"/~{stats['n_rows_updated']} rows, "
+                    f"reuse {stats.get('reuse_ratio', 0.0):.0%} "
+                    f"({stats.get('n_carried', 0)} carried, "
+                    f"{stats.get('n_mined', 0)} re-mined)"
+                )
+                if stats.get("rebuild_reason"):
+                    line += f" [rebuild: {stats['rebuild_reason']}]"
+            print(line)
+        print(f"\ntop {args.top} after {monitor.history[-1].batch_index} batches:")
+        for key, rank in monitor.watchlist(top_k=args.top):
+            drugs, adrs = key
+            print(f"  #{rank:<3d} {' + '.join(drugs)} => {', '.join(adrs)}")
+    if registry.enabled:
+        print(monitor.result.metrics.format_table(), file=sys.stderr)
+        registry.close()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import MediarHTTPServer, QueryEngine, ResultStore
 
@@ -447,6 +523,7 @@ COMMANDS = {
     "dashboard": cmd_dashboard,
     "profile": cmd_profile,
     "run": cmd_run,
+    "watch": cmd_watch,
     "serve": cmd_serve,
 }
 

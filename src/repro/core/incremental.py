@@ -15,10 +15,13 @@ a drug-safety evaluator acts on:
 - **rank stability** — Spearman correlation between consecutive
   rankings, a one-number answer to "did this batch reshuffle my queue?".
 
-Mining is re-run per batch (closed-itemset mining at these scales is
-sub-second; see the mining-scaling benchmark); what is *incremental* is
-the diffing and the evaluator-facing change feed, which is where the
-paper's workflow needs help.
+By default mining is re-run per batch over the accumulated history
+(closed-itemset mining at these scales is sub-second; see the
+mining-scaling benchmark) and only the diffing is incremental. With
+``MarasConfig(incremental=True)`` the monitor instead folds each batch
+through :class:`~repro.incremental.IncrementalEngine`, whose per-batch
+cost is proportional to the *delta* — same results byte for byte, at
+streaming cost.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.core.ranking import RankingMethod
 from repro.errors import ConfigError
 from repro.faers.dataset import ReportDataset
 from repro.faers.schema import CaseReport
+from repro.incremental.engine import IncrementalEngine
 from repro.obs import NULL_REGISTRY, MetricsRegistry, NullRegistry
 
 ClusterKey = tuple[tuple[str, ...], tuple[str, ...]]
@@ -146,11 +150,30 @@ class SurveillanceMonitor:
         self.riser_threshold = riser_threshold
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._reports: list[CaseReport] = []
+        # Case ids seen so far, live in *both* clean modes: the no-clean
+        # path dedups against it, and both paths use it to report how
+        # many rows of a batch were genuinely new versus follow-ups.
         self._seen_case_ids: set[str] = set()
         self._batch_index = 0
         self._last_result: MarasResult | None = None
         self._last_ranks: dict[ClusterKey, int] = {}
         self._history: list[BatchDelta] = []
+        self._engine: IncrementalEngine | None = (
+            IncrementalEngine(self.config, registry=self.registry)
+            if self.config.incremental
+            else None
+        )
+
+    def close(self) -> None:
+        """Release engine resources (normalization pool); idempotent."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "SurveillanceMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def result(self) -> MarasResult:
@@ -163,6 +186,14 @@ class SurveillanceMonitor:
     def history(self) -> Sequence[BatchDelta]:
         return tuple(self._history)
 
+    @property
+    def engine_stats(self) -> dict[str, object]:
+        """Delta/reuse accounting of the incremental engine's last batch.
+
+        Empty when the monitor runs in re-run-everything mode.
+        """
+        return dict(self._engine.last_batch_stats) if self._engine else {}
+
     def __len__(self) -> int:
         return len(self._reports)
 
@@ -170,31 +201,46 @@ class SurveillanceMonitor:
         """Append one batch, re-mine, and return the change feed.
 
         With ``config.clean`` on, every raw row is kept — including
-        follow-up versions of an already-seen case — and the whole
-        accumulated stream goes through :class:`ReportCleaner` inside
-        the pipeline, exactly as a one-shot ``Maras.run`` over the same
-        raw reports would. Surveillance results therefore match the
-        batch-free run (case-version merging and name normalization
-        included). With cleaning off, rows re-using a seen case id are
-        dropped, since an uncleaned :class:`ReportDataset` requires
-        unique case ids.
+        follow-up versions of an already-seen case — and case-version
+        merging / name normalization happen downstream, exactly as a
+        one-shot ``Maras.run`` over the same raw reports would do.
+        Surveillance results therefore match the batch-free run. With
+        cleaning off, rows re-using a seen case id are dropped, since an
+        uncleaned :class:`ReportDataset` requires unique case ids.
+
+        ``surveillance.reports_ingested`` counts rows that introduced a
+        new case id in either mode; rows carrying a follow-up version of
+        a seen case count into ``surveillance.case_updates`` instead.
+
+        With ``config.incremental`` the batch folds through the stateful
+        :class:`~repro.incremental.IncrementalEngine` (per-batch cost
+        proportional to the delta); the change feed and the result are
+        byte-identical to the re-run-everything path.
         """
         rows = list(batch)
+        new_rows = [r for r in rows if r.case_id not in self._seen_case_ids]
+        n_updates = len(rows) - len(new_rows)
         if self.config.clean:
-            fresh = rows
+            # Every raw row is kept — follow-up versions merge into
+            # their case downstream — but only rows introducing an
+            # unseen case id count as fresh intake.
+            kept = rows
         else:
-            fresh = [r for r in rows if r.case_id not in self._seen_case_ids]
-            for report in fresh:
-                self._seen_case_ids.add(report.case_id)
-        if not fresh and self._last_result is None:
+            # An uncleaned ReportDataset requires unique case ids, so
+            # rows re-using a seen case id are dropped.
+            kept = new_rows
+        self._seen_case_ids.update(r.case_id for r in new_rows)
+        if not kept and self._last_result is None:
             raise ConfigError("first batch contained no new reports")
-        self._reports.extend(fresh)
+        self._reports.extend(kept)
         self._batch_index += 1
 
         registry = self.registry
         mine_start = time.perf_counter()
         with registry.timer("surveillance.batch"):
-            if self.config.clean:
+            if self._engine is not None:
+                result = self._engine.ingest(kept)
+            elif self.config.clean:
                 # Pass the raw rows: the pipeline cleans (merging case
                 # versions), so a ReportDataset — which rejects
                 # duplicate case ids — is built only afterwards.
@@ -230,12 +276,14 @@ class SurveillanceMonitor:
             ),
         )
         registry.counter("surveillance.batches").inc()
-        registry.counter("surveillance.reports_ingested").inc(len(fresh))
+        registry.counter("surveillance.reports_ingested").inc(len(new_rows))
+        registry.counter("surveillance.case_updates").inc(n_updates)
         registry.emit(
             "surveillance.batch",
             batch_index=self._batch_index,
             n_reports_total=len(self._reports),
-            n_fresh=len(fresh),
+            n_fresh=len(new_rows),
+            n_case_updates=n_updates,
             n_workers=self.config.n_workers,
             mine_seconds=mine_seconds,
             n_newly_surfaced=len(newly_surfaced),

@@ -99,6 +99,20 @@ class MarasConfig:
         How the parallel path partitions reports: ``"hash"`` (stable
         hash of the case id) or ``"quarter"`` (one shard per distinct
         quarter label). Ignored when ``n_workers == 1``.
+    incremental:
+        Make :class:`~repro.core.incremental.SurveillanceMonitor` fold
+        batches through the stateful
+        :class:`~repro.incremental.IncrementalEngine` (per-batch cost
+        proportional to the delta) instead of re-running the full
+        pipeline over the accumulated history. One-shot ``Maras.run``
+        calls are unaffected by the flag. Requires ``use_bitsets=True``
+        and is incompatible with ``count_rule_space`` (the rule-space
+        census is a whole-history measurement).
+    incremental_rebuild_fraction:
+        When a batch's delta touches more than this fraction of the
+        post-batch database, the incremental engine falls back to a
+        full rebuild: near-total deltas make delta-restricted mining
+        pure overhead. ``1.0`` disables the fallback.
     """
 
     min_support: int | float = 5
@@ -112,6 +126,8 @@ class MarasConfig:
     decay: str = "linear"
     n_workers: int = 1
     shard_strategy: str = "hash"
+    incremental: bool = False
+    incremental_rebuild_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         support = self.min_support
@@ -151,6 +167,20 @@ class MarasConfig:
             raise ConfigError(
                 f"unknown shard strategy {self.shard_strategy!r}; "
                 f"choose from {SHARD_STRATEGIES}"
+            )
+        if self.incremental and not self.use_bitsets:
+            raise ConfigError(
+                "incremental surveillance requires use_bitsets=True"
+            )
+        if self.incremental and self.count_rule_space:
+            raise ConfigError(
+                "incremental surveillance is incompatible with "
+                "count_rule_space"
+            )
+        if not 0.0 < self.incremental_rebuild_fraction <= 1.0:
+            raise ConfigError(
+                "incremental_rebuild_fraction must be in (0, 1], got "
+                f"{self.incremental_rebuild_fraction}"
             )
 
 

@@ -261,18 +261,36 @@ class ReportCleaner:
         stats: CleaningStats,
         side: str,
     ) -> set[str]:
-        cleaned: set[str] = set()
-        for verbatim in terms:
-            term = normalizer(verbatim)
-            if not term:
-                continue
-            if corrector is not None:
-                corrected = corrector.correct(term)
-                if corrected != term:
-                    if side == "drug":
-                        stats.drug_names_corrected += 1
-                    else:
-                        stats.adr_terms_corrected += 1
-                    term = corrected
-            cleaned.add(term)
-        return cleaned
+        return clean_terms(terms, normalizer, corrector, stats, side)
+
+
+def clean_terms(
+    terms: tuple[str, ...],
+    normalizer,
+    corrector: SpellingCorrector | None,
+    stats: CleaningStats,
+    side: str,
+) -> set[str]:
+    """Normalize (and optionally spell-correct) one side of one report.
+
+    Shared between the whole-dataset :class:`ReportCleaner` pass and the
+    per-batch incremental cleaner
+    (:class:`repro.incremental.cleaning.IncrementalCleaner`), which must
+    produce byte-identical terms; correction counters accumulate into
+    ``stats`` per verbatim occurrence, exactly as the one-shot pass does.
+    """
+    cleaned: set[str] = set()
+    for verbatim in terms:
+        term = normalizer(verbatim)
+        if not term:
+            continue
+        if corrector is not None:
+            corrected = corrector.correct(term)
+            if corrected != term:
+                if side == "drug":
+                    stats.drug_names_corrected += 1
+                else:
+                    stats.adr_terms_corrected += 1
+                term = corrected
+        cleaned.add(term)
+    return cleaned

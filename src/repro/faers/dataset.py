@@ -53,6 +53,29 @@ class EncodedDataset:
         self._reports = reports
         self._report_by_case = {r.case_id: r for r in reports}
 
+    @classmethod
+    def from_parts(
+        cls,
+        database: TransactionDatabase,
+        case_ids: tuple[str, ...],
+        reports: tuple[CaseReport, ...],
+        report_by_case: dict[str, CaseReport],
+    ) -> "EncodedDataset":
+        """Assemble from pre-validated parallel parts without re-deriving.
+
+        The incremental engine maintains the tid → case-id / report
+        linkage across batches; rebuilding the per-case dict from
+        scratch on every batch would reintroduce the O(history) cost the
+        engine exists to avoid. Callers are trusted to pass parallel
+        sequences and a consistent ``report_by_case``.
+        """
+        self = cls.__new__(cls)
+        self.database = database
+        self._case_ids = case_ids
+        self._reports = reports
+        self._report_by_case = report_by_case
+        return self
+
     @property
     def catalog(self) -> ItemCatalog:
         return self.database.catalog
@@ -88,6 +111,23 @@ class ReportDataset:
                 f"{duplicated}"
             )
         self.quarter = quarter or self._infer_quarter()
+
+    @classmethod
+    def from_cleaned(
+        cls, reports: tuple[CaseReport, ...], quarter: str = ""
+    ) -> "ReportDataset":
+        """Wrap reports known to have unique case ids, skipping the scan.
+
+        The duplicate-case-id check in ``__init__`` is O(n) on every
+        call; the incremental engine already guarantees uniqueness (its
+        merge state is keyed by case id), so the per-batch result
+        assembly uses this trusted path. ``quarter`` follows the same
+        contract as ``__init__`` (empty string = no single quarter).
+        """
+        self = cls.__new__(cls)
+        self._reports = tuple(reports)
+        self.quarter = quarter
+        return self
 
     def _infer_quarter(self) -> str:
         quarters = {r.quarter for r in self._reports if r.quarter}

@@ -1,0 +1,259 @@
+"""Incremental cleaning: the §5.2 preparation step as a stream fold.
+
+:class:`~repro.faers.cleaning.ReportCleaner` is a whole-dataset pass:
+normalize every row, merge case versions, drop exact duplicates. Run
+per surveillance batch over the accumulated raw stream it costs
+O(history) — the asymptotic bug the incremental engine removes.
+:class:`IncrementalCleaner` folds the *same* algorithm over batches: it
+keeps the per-case merge state (latest merged report per case id, the
+signature groups the duplicate-drop is defined over) and per batch only
+normalizes the batch's rows, producing a :class:`CleaningDelta` of
+appended / updated kept cases.
+
+The equivalence invariant (enforced by the differential harness in
+``tests/incremental``): after any batch schedule, :meth:`kept_reports`
+and :meth:`stats` are byte-identical to one
+``ReportCleaner().clean(all_rows_so_far)`` call. The duplicate-drop rule
+that makes this foldable: a merged case is *kept* iff it has the minimal
+first-appearance position within its (drugs, adrs) signature group —
+which is exactly what the one-shot pass's "first signature wins" scan
+computes. A follow-up version that moves a case between signature
+groups can flip the kept/dropped status of *pre-batch* cases; the delta
+then reports ``needs_rebuild`` because rows would appear or disappear
+in the middle of the encoded transaction order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.faers.cleaning import (
+    CleaningStats,
+    SpellingCorrector,
+    clean_terms,
+    normalize_adr_term,
+    normalize_drug_name,
+)
+from repro.faers.schema import CaseReport
+
+Signature = tuple[tuple[str, ...], tuple[str, ...]]
+
+NormalizedRow = tuple[frozenset[str], frozenset[str]]
+
+
+@dataclass(slots=True)
+class CleaningDelta:
+    """What one ingested batch changed in the cleaned view of the stream.
+
+    ``appended`` — merged reports of kept cases that first appeared in
+    this batch, in first-appearance order (their rows append at the end
+    of the encoded transaction order). ``updated`` — new merged reports
+    of pre-batch kept cases whose content changed (a follow-up version
+    merged in). ``needs_rebuild`` — a pre-batch case's kept/dropped
+    status flipped, so the appended/updated view cannot express the
+    change and the caller must re-encode from :meth:`IncrementalCleaner.
+    kept_reports`.
+    """
+
+    appended: list[CaseReport] = field(default_factory=list)
+    updated: list[CaseReport] = field(default_factory=list)
+    needs_rebuild: bool = False
+    n_new_cases: int = 0
+    n_updated_cases: int = 0
+
+
+class IncrementalCleaner:
+    """Fold of :class:`~repro.faers.cleaning.ReportCleaner` over batches."""
+
+    def __init__(
+        self,
+        drug_vocabulary: Iterable[str] | None = None,
+        adr_vocabulary: Iterable[str] | None = None,
+    ) -> None:
+        self._drug_corrector = (
+            SpellingCorrector(drug_vocabulary) if drug_vocabulary else None
+        )
+        self._adr_corrector = (
+            SpellingCorrector(adr_vocabulary) if adr_vocabulary else None
+        )
+        self._merged: dict[str, CaseReport] = {}
+        self._order: list[str] = []  # every case id, first-appearance order
+        self._position: dict[str, int] = {}
+        self._sig_of: dict[str, Signature] = {}
+        self._groups: dict[Signature, set[int]] = {}  # sig → member positions
+        self._rows_in = 0
+        self._cases_merged = 0
+        self._empty_dropped = 0
+        # Correction counters accumulate here via the shared clean_terms.
+        self._correction_stats = CleaningStats()
+
+    def ingest(
+        self,
+        rows: Sequence[CaseReport],
+        normalized: Sequence[NormalizedRow] | None = None,
+    ) -> CleaningDelta:
+        """Fold one batch into the merge state and return the delta.
+
+        ``normalized`` optionally supplies pre-normalized (drugs, adrs)
+        per row — the parallel delta-normalization path
+        (:mod:`repro.parallel.cleaning`) computes them in worker
+        processes. It is only valid without spelling vocabularies, since
+        correction counting happens inside normalization.
+        """
+        if normalized is not None:
+            if self._drug_corrector is not None or self._adr_corrector is not None:
+                raise ConfigError(
+                    "pre-normalized rows cannot be combined with "
+                    "spelling vocabularies"
+                )
+            if len(normalized) != len(rows):
+                raise ConfigError(
+                    "normalized rows must parallel the batch rows"
+                )
+        self._rows_in += len(rows)
+        batch_floor = len(self._order)
+        # Pre-batch merged report of every case touched this batch
+        # (None = the case first appeared in this batch).
+        touched: dict[str, CaseReport | None] = {}
+        needs_rebuild = False
+        for index, report in enumerate(rows):
+            if normalized is not None:
+                drugs, adrs = normalized[index]
+            else:
+                drugs = clean_terms(
+                    report.drugs,
+                    normalize_drug_name,
+                    self._drug_corrector,
+                    self._correction_stats,
+                    "drug",
+                )
+                adrs = clean_terms(
+                    report.adrs,
+                    normalize_adr_term,
+                    self._adr_corrector,
+                    self._correction_stats,
+                    "adr",
+                )
+            if not drugs or not adrs:
+                self._empty_dropped += 1
+                continue
+            case_id = report.case_id
+            existing = self._merged.get(case_id)
+            if existing is None:
+                touched.setdefault(case_id, None)
+                position = len(self._order)
+                self._order.append(case_id)
+                self._position[case_id] = position
+                merged = CaseReport.build(
+                    case_id,
+                    drugs,
+                    adrs,
+                    report_type=report.report_type,
+                    quarter=report.quarter,
+                    age=report.age,
+                    sex=report.sex,
+                    country=report.country,
+                    event_date=report.event_date,
+                )
+                self._merged[case_id] = merged
+                signature = merged.signature()
+                self._sig_of[case_id] = signature
+                self._groups.setdefault(signature, set()).add(position)
+                continue
+            touched.setdefault(case_id, existing)
+            self._cases_merged += 1
+            merged = CaseReport.build(
+                existing.case_id,
+                set(existing.drugs) | drugs,
+                set(existing.adrs) | adrs,
+                report_type=existing.report_type,
+                quarter=existing.quarter,
+                age=existing.age,
+                sex=existing.sex,
+                country=existing.country,
+                event_date=existing.event_date or report.event_date,
+            )
+            if merged == existing:
+                continue  # exact resubmission: nothing changed
+            self._merged[case_id] = merged
+            new_signature = merged.signature()
+            old_signature = self._sig_of[case_id]
+            if new_signature != old_signature:
+                needs_rebuild |= self._move(
+                    self._position[case_id],
+                    old_signature,
+                    new_signature,
+                    batch_floor,
+                )
+                self._sig_of[case_id] = new_signature
+
+        delta = CleaningDelta(needs_rebuild=needs_rebuild)
+        for case_id in sorted(touched, key=self._position.__getitem__):
+            before = touched[case_id]
+            now = self._merged[case_id]
+            kept = self._is_kept(case_id)
+            if before is None:
+                delta.n_new_cases += 1
+                if kept:
+                    delta.appended.append(now)
+            elif now != before:
+                delta.n_updated_cases += 1
+                if kept:
+                    delta.updated.append(now)
+        return delta
+
+    def _move(
+        self,
+        position: int,
+        old_signature: Signature,
+        new_signature: Signature,
+        batch_floor: int,
+    ) -> bool:
+        """Move one case between signature groups; True if a *pre-batch*
+        case's kept/dropped status may have changed (conservative)."""
+        flip = False
+        group = self._groups[old_signature]
+        was_kept = position == min(group)
+        group.remove(position)
+        if group:
+            # Leaving as the keeper promotes the group's next-oldest
+            # member; a pre-batch promotion inserts a row mid-stream.
+            if was_kept and min(group) < batch_floor:
+                flip = True
+        else:
+            del self._groups[old_signature]
+        target = self._groups.setdefault(new_signature, set())
+        if target and position < min(target) and min(target) < batch_floor:
+            flip = True  # pre-batch keeper demoted to duplicate
+        target.add(position)
+        now_kept = position == min(target)
+        if position < batch_floor and was_kept != now_kept:
+            flip = True  # the moving case's own row appears/disappears
+        return flip
+
+    def _is_kept(self, case_id: str) -> bool:
+        return self._position[case_id] == min(
+            self._groups[self._sig_of[case_id]]
+        )
+
+    def kept_reports(self) -> list[CaseReport]:
+        """The cleaned dataset — identical to a one-shot cleaner's output."""
+        return [
+            self._merged[case_id]
+            for case_id in self._order
+            if self._is_kept(case_id)
+        ]
+
+    def stats(self) -> CleaningStats:
+        """Cumulative counters, matching one clean() over the whole stream."""
+        return CleaningStats(
+            rows_in=self._rows_in,
+            reports_out=len(self._groups),
+            cases_merged=self._cases_merged,
+            exact_duplicates_dropped=len(self._merged) - len(self._groups),
+            drug_names_corrected=self._correction_stats.drug_names_corrected,
+            adr_terms_corrected=self._correction_stats.adr_terms_corrected,
+            empty_reports_dropped=self._empty_dropped,
+        )

@@ -1,0 +1,214 @@
+"""Append-only encoding: grow the catalog and bitmask tidsets in place.
+
+The one-shot path re-runs :meth:`repro.faers.dataset.ReportDataset.
+encode` per batch — a fresh catalog and a fresh mask table over the
+whole history. :class:`IncrementalEncoder` maintains the *same* encoding
+across batches over a
+:class:`~repro.mining.transactions.GrowableTransactionDatabase`:
+appended kept cases append rows (new bits at the top of the touched item
+masks), and a follow-up version of a kept case rewrites exactly one row
+(bit invalidation). Because
+:class:`~repro.mining.bitsets.BitsetIndex` shares the database's mask
+dict, a fresh index per batch sees the mutations with no rebuild.
+
+Byte-identity with the one-shot encoding requires the *catalog* to come
+out identical (ids are assigned in first-seen row order, and an ADR
+label colliding with any drug label in the dataset is suffixed). Four
+situations break in-place maintenance and force a full re-encode,
+reported by :meth:`IncrementalEncoder.rebuild_reason`:
+
+- a batch introduces a drug label equal to an already-encoded
+  *unsuffixed* ADR label (the historical ADR rows would need the
+  ``" (REACTION)"`` suffix retroactively);
+- an updated row adds an item that is new to the catalog (the one-shot
+  encoding would have assigned its id at that earlier row's position);
+- an updated row adds an existing item whose first-seen row is *later*
+  than the updated row (same id-order violation);
+- an updated row removes items (cannot happen under union merging, but
+  checked so the invariant never silently rots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faers.dataset import _COLLISION_SUFFIX, ADR_KIND, DRUG_KIND
+from repro.faers.schema import CaseReport
+from repro.incremental.cleaning import CleaningDelta
+from repro.mining.transactions import (
+    GrowableTransactionDatabase,
+    ItemCatalog,
+)
+
+
+@dataclass(slots=True)
+class EncodingDelta:
+    """Effect of one batch on the encoded database."""
+
+    touched_mask: int = 0  # OR of the bits of every row whose items changed
+    delta_items: set[int] = field(default_factory=set)
+    appended_tids: list[int] = field(default_factory=list)
+    updated_tids: list[int] = field(default_factory=list)
+
+
+class IncrementalEncoder:
+    """Maintains catalog + growable database across surveillance batches."""
+
+    def __init__(self) -> None:
+        self.catalog = ItemCatalog()
+        self.database = GrowableTransactionDatabase([], self.catalog)
+        self._drug_labels: set[str] = set()
+        self._unsuffixed_adrs: set[str] = set()
+        self._first_row: dict[int, int] = {}  # item id → first tid containing it
+        self._row_case_ids: list[str] = []
+        self._row_reports: list[CaseReport] = []
+        self._tid_by_case: dict[str, int] = {}
+        self._report_by_case: dict[str, CaseReport] = {}
+        self._quarters: set[str] = set()
+
+    @property
+    def row_case_ids(self) -> list[str]:
+        return self._row_case_ids
+
+    @property
+    def row_reports(self) -> list[CaseReport]:
+        return self._row_reports
+
+    @property
+    def report_by_case(self) -> dict[str, CaseReport]:
+        return self._report_by_case
+
+    def quarter(self) -> str:
+        """Same contract as ``ReportDataset._infer_quarter``."""
+        return next(iter(self._quarters)) if len(self._quarters) == 1 else ""
+
+    def rebuild_reason(self, delta: CleaningDelta) -> str | None:
+        """Why this delta cannot be applied in place (None = it can).
+
+        Pure check — no state is mutated, so the caller can fall back to
+        :meth:`rebuild` on a non-None answer.
+        """
+        batch_drugs: set[str] = set()
+        for report in delta.appended:
+            batch_drugs.update(report.drugs)
+        for report in delta.updated:
+            batch_drugs.update(report.drugs)
+        new_drugs = batch_drugs - self._drug_labels
+        if new_drugs & self._unsuffixed_adrs:
+            return "new drug label collides with an encoded ADR label"
+        drug_labels = self._drug_labels | new_drugs
+        for report in delta.updated:
+            tid = self._tid_by_case[report.case_id]
+            old_row = self.database[tid]
+            new_row: set[int] = set()
+            for drug in report.drugs:
+                item = self.catalog.get_id(drug)
+                if item is None:
+                    return "follow-up adds an item new to the catalog"
+                if self._first_row[item] > tid:
+                    return "follow-up back-fills an item first seen later"
+                new_row.add(item)
+            for adr in report.adrs:
+                label = adr + _COLLISION_SUFFIX if adr in drug_labels else adr
+                item = self.catalog.get_id(label)
+                if item is None:
+                    return "follow-up adds an item new to the catalog"
+                if self._first_row[item] > tid:
+                    return "follow-up back-fills an item first seen later"
+                new_row.add(item)
+            if old_row - new_row:
+                return "follow-up removes items from a row"
+        return None
+
+    def apply(self, delta: CleaningDelta) -> EncodingDelta:
+        """Mutate the encoding in place (call :meth:`rebuild_reason` first)."""
+        effect = EncodingDelta()
+        # All batch drug labels join the collision namespace before any
+        # row encodes, exactly as the one-shot pass computes
+        # ``distinct_drugs`` over the whole dataset first.
+        for report in delta.appended:
+            self._drug_labels.update(report.drugs)
+        for report in delta.updated:
+            self._drug_labels.update(report.drugs)
+
+        for report in delta.updated:
+            tid = self._tid_by_case[report.case_id]
+            row = self._encode_existing_row(report)
+            added, removed = self.database.update_row(tid, row)
+            self._row_reports[tid] = report
+            self._report_by_case[report.case_id] = report
+            if added or removed:
+                effect.touched_mask |= 1 << tid
+                effect.delta_items |= added | removed
+                effect.updated_tids.append(tid)
+
+        for report in delta.appended:
+            row: set[int] = set()
+            for drug in report.drugs:
+                row.add(self.catalog.add(drug, DRUG_KIND))
+            for adr in report.adrs:
+                if adr in self._drug_labels:
+                    label = adr + _COLLISION_SUFFIX
+                else:
+                    label = adr
+                    self._unsuffixed_adrs.add(adr)
+                row.add(self.catalog.add(label, ADR_KIND))
+            tid = self.database.append_row(row)
+            for item in row:
+                self._first_row.setdefault(item, tid)
+            self._row_case_ids.append(report.case_id)
+            self._row_reports.append(report)
+            self._tid_by_case[report.case_id] = tid
+            self._report_by_case[report.case_id] = report
+            if report.quarter:
+                self._quarters.add(report.quarter)
+            effect.touched_mask |= 1 << tid
+            effect.delta_items |= row
+            effect.appended_tids.append(tid)
+        return effect
+
+    def _encode_existing_row(self, report: CaseReport) -> set[int]:
+        """Item ids of an updated row (all labels known per rebuild_reason)."""
+        row: set[int] = set()
+        for drug in report.drugs:
+            row.add(self.catalog.id(drug))
+        for adr in report.adrs:
+            label = (
+                adr + _COLLISION_SUFFIX if adr in self._drug_labels else adr
+            )
+            row.add(self.catalog.id(label))
+        return row
+
+    def rebuild(self, kept_reports: list[CaseReport]) -> None:
+        """Re-encode from scratch — mirrors ``ReportDataset.encode``."""
+        catalog = ItemCatalog()
+        drug_labels = {d for r in kept_reports for d in r.drugs}
+        unsuffixed: set[str] = set()
+        first_row: dict[int, int] = {}
+        transactions: list[set[int]] = []
+        case_ids: list[str] = []
+        for tid, report in enumerate(kept_reports):
+            row: set[int] = set()
+            for drug in report.drugs:
+                row.add(catalog.add(drug, DRUG_KIND))
+            for adr in report.adrs:
+                if adr in drug_labels:
+                    label = adr + _COLLISION_SUFFIX
+                else:
+                    label = adr
+                    unsuffixed.add(adr)
+                row.add(catalog.add(label, ADR_KIND))
+            for item in row:
+                first_row.setdefault(item, tid)
+            transactions.append(row)
+            case_ids.append(report.case_id)
+        self.catalog = catalog
+        self.database = GrowableTransactionDatabase(transactions, catalog)
+        self._drug_labels = set(drug_labels)
+        self._unsuffixed_adrs = unsuffixed
+        self._first_row = first_row
+        self._row_case_ids = case_ids
+        self._row_reports = list(kept_reports)
+        self._tid_by_case = {cid: tid for tid, cid in enumerate(case_ids)}
+        self._report_by_case = {r.case_id: r for r in kept_reports}
+        self._quarters = {r.quarter for r in kept_reports if r.quarter}

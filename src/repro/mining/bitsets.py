@@ -149,6 +149,25 @@ class SupportOracle:
         key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
         self._cache.setdefault(key, support)
 
+    def warm_from(
+        self, previous: "SupportOracle", *, invalidated: frozenset[int]
+    ) -> int:
+        """Carry still-valid memo entries from a previous batch's oracle.
+
+        An itemset containing no invalidated item has the same tidset
+        mask it had before the delta was applied (no touched row changed
+        any of its items' bits for it), hence the same support — so its
+        cached answer transfers verbatim. The empty itemset is skipped:
+        its support is the transaction count, which the delta grew.
+        Returns the number of entries carried.
+        """
+        carried = 0
+        for key, support in previous._cache.items():
+            if key and key.isdisjoint(invalidated):
+                self._cache.setdefault(key, support)
+                carried += 1
+        return carried
+
     def tidset(self, itemset: Iterable[int]) -> frozenset[int]:
         """Matching tids (uncached — tidsets are large, supports are not)."""
         return self._index.tidset(itemset)

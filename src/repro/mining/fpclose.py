@@ -51,6 +51,7 @@ def fpclose(
     min_support: int | float = 1,
     *,
     max_len: int | None = None,
+    touched_mask: int | None = None,
 ) -> list[FrequentItemset]:
     """Mine all closed frequent itemsets of ``database`` (bitset core).
 
@@ -65,17 +66,36 @@ def fpclose(
         Because the search only ever grows itemsets, branches whose
         closure already exceeds the cap are pruned entirely; closed
         itemsets within the cap are unaffected.
+    touched_mask:
+        Optional transaction bitmask restricting the search to closed
+        itemsets whose tidset intersects the mask. Branch tidsets only
+        shrink along a DFS path, so a branch whose projected mask is
+        disjoint from ``touched_mask`` can never reach a touched
+        transaction anywhere in its subtree and is skipped whole — this
+        is what makes delta re-mining in :mod:`repro.incremental` cost
+        proportional to the delta. ``None`` (the default) mines
+        everything; ``0`` returns nothing.
 
     Returns
     -------
     list[FrequentItemset]
         Every closed itemset with support ≥ the threshold (the same set
-        :func:`fpclose_reference` returns, enumeration order aside). The
-        empty itemset is never returned, even when no item is universal.
+        :func:`fpclose_reference` returns, enumeration order aside) —
+        restricted, when ``touched_mask`` is given, to exactly those
+        whose tidset intersects it. The empty itemset is never
+        returned, even when no item is universal.
     """
     threshold = resolve_min_support(min_support, len(database))
     if max_len is not None and max_len < 1:
         raise ConfigError(f"max_len must be >= 1, got {max_len}")
+    if touched_mask is not None and touched_mask < 0:
+        raise ConfigError(f"touched_mask must be >= 0, got {touched_mask}")
+    if touched_mask == 0:
+        return []
+    # -1 is all-ones: in the unrestricted case the filter below reduces
+    # to `ext & -1 == ext`, always truthy for a non-empty tidset, so the
+    # hot loop pays one C-level AND and no branch misprediction.
+    touched = -1 if touched_mask is None else touched_mask
 
     registry = get_registry()
     branches = registry.counter("fpclose.branches")
@@ -103,6 +123,7 @@ def fpclose(
         # method call per branch/extension.
         n_branches = 0
         n_closures = 1
+        n_skipped = 0
         item_checks = n_ranks
 
         # Root closure: items present in every transaction.
@@ -150,6 +171,13 @@ def fpclose(
             n_candidates = len(candidates)
             for pos in range(start, n_candidates):
                 r, ext, ext_count = candidates[pos]
+                # Delta restriction: every tidset in this subtree is a
+                # subset of `ext`, so if `ext` misses the touched rows
+                # entirely, nothing below can intersect them either —
+                # the closure scan and the whole subtree are skipped.
+                if not ext & touched:
+                    n_skipped += 1
+                    continue
                 n_closures += 1
                 # Fused closure + conditional-candidate scan: for every
                 # candidate j of the parent, one intersection popcount
@@ -193,6 +221,8 @@ def fpclose(
                     )
         branches.inc(n_branches)
         closures.inc(n_closures)
+        if n_skipped:
+            registry.counter("fpclose.delta_subtrees_skipped").inc(n_skipped)
         registry.counter("fpclose.closed_itemsets").inc(len(results))
         registry.counter("fpclose.closure_item_checks").inc(item_checks)
     return results

@@ -341,6 +341,96 @@ class TransactionDatabase:
         )
 
 
+class GrowableTransactionDatabase(TransactionDatabase):
+    """A :class:`TransactionDatabase` whose rows can be appended and edited.
+
+    The incremental surveillance engine (:mod:`repro.incremental`) keeps
+    one of these alive across batches: new reports append rows (new bits
+    at the top of every touched item mask), and a follow-up case version
+    rewrites exactly one row — clearing the removed items' bits and
+    setting the added items' bits in place. The vertical tidsets and the
+    bitmask table are maintained eagerly so :meth:`item_masks` stays the
+    single shared table that :class:`~repro.mining.bitsets.BitsetIndex`
+    wraps; a fresh index over this database after a mutation sees the
+    updated masks with no rebuild.
+
+    The mutating methods return enough information (the row's bit, the
+    added/removed item ids) for the caller to accumulate a touched-rows
+    mask and a delta item universe for delta-aware re-mining.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Collection[int]],
+        catalog: ItemCatalog,
+    ) -> None:
+        super().__init__(transactions, catalog)
+        # The parent's vertical view is frozen; swap in mutable sets so
+        # row edits are O(row length), not O(database).
+        self._tidsets = {item: set(tids) for item, tids in self._tidsets.items()}
+        self.item_masks()  # force the mask table into existence
+
+    def append_row(self, items: Collection[int]) -> int:
+        """Append a transaction and return its tid (bit position)."""
+        row = frozenset(items)
+        n_items = len(self._catalog)
+        for item in row:
+            if not 0 <= item < n_items:
+                raise MiningError(
+                    f"appended row references item id {item} "
+                    f"outside catalog of size {n_items}"
+                )
+        tid = len(self._transactions)
+        bit = 1 << tid
+        self._transactions.append(row)
+        masks = self._bitmasks
+        assert masks is not None  # built eagerly in __init__
+        for item in row:
+            masks[item] = masks.get(item, 0) | bit
+            self._tidsets.setdefault(item, set()).add(tid)
+        return tid
+
+    def update_row(self, tid: int, items: Collection[int]) -> tuple[Itemset, Itemset]:
+        """Rewrite row ``tid`` in place; return ``(added, removed)`` item ids.
+
+        Removed items have their bit cleared from the mask table (the
+        bit-invalidation path a follow-up case version exercises); items
+        whose tidset empties are dropped from the vertical view so
+        :meth:`item_supports` never reports support 0.
+        """
+        if not 0 <= tid < len(self._transactions):
+            raise MiningError(f"update_row: tid {tid} out of range")
+        new_row = frozenset(items)
+        n_items = len(self._catalog)
+        for item in new_row:
+            if not 0 <= item < n_items:
+                raise MiningError(
+                    f"updated row references item id {item} "
+                    f"outside catalog of size {n_items}"
+                )
+        old_row = self._transactions[tid]
+        added = new_row - old_row
+        removed = old_row - new_row
+        self._transactions[tid] = new_row
+        bit = 1 << tid
+        masks = self._bitmasks
+        assert masks is not None
+        for item in added:
+            masks[item] = masks.get(item, 0) | bit
+            self._tidsets.setdefault(item, set()).add(tid)
+        for item in removed:
+            remaining = masks[item] & ~bit
+            if remaining:
+                masks[item] = remaining
+            else:
+                del masks[item]
+            tids = self._tidsets[item]
+            tids.discard(tid)
+            if not tids:
+                del self._tidsets[item]
+        return added, removed
+
+
 @dataclass(frozen=True, slots=True)
 class DatabaseStats:
     """Aggregate shape of a transaction database."""

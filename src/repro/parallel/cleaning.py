@@ -1,0 +1,60 @@
+"""Parallel normalization of one surveillance batch — shard the delta.
+
+The incremental engine's per-batch cost is dominated (once mining is
+delta-restricted) by the regex normalization of the batch's verbatim
+drug/ADR strings. With ``MarasConfig(n_workers > 1)`` the engine ships
+*only the batch* — never the accumulated history — through a persistent
+process pool, one pure :func:`normalize_report` call per row.
+
+Determinism: ``executor.map`` preserves submission order and the worker
+function is a pure per-row computation, so the output is positionally
+identical to the inline path — the differential harness runs the same
+schedules at workers 1 and 2 to prove it. Only the vocabulary-free
+normalizer runs here (spelling correction counts corrections per
+occurrence into shared stats, which cannot cross a process boundary);
+the engine never configures vocabularies, matching the one-shot
+pipeline's ``ReportCleaner()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import Executor
+
+from repro.faers.cleaning import (
+    CleaningStats,
+    clean_terms,
+    normalize_adr_term,
+    normalize_drug_name,
+)
+from repro.faers.schema import CaseReport
+
+NormalizedRow = tuple[frozenset[str], frozenset[str]]
+
+
+def normalize_report(report: CaseReport) -> NormalizedRow:
+    """Normalized (drugs, adrs) of one report, vocabulary-free.
+
+    Must stay byte-identical to what
+    :class:`~repro.incremental.cleaning.IncrementalCleaner` computes
+    inline with no correctors — same ``clean_terms``, same normalizers.
+    """
+    throwaway = CleaningStats()  # no correctors → counters stay zero
+    return (
+        frozenset(
+            clean_terms(report.drugs, normalize_drug_name, None, throwaway, "drug")
+        ),
+        frozenset(
+            clean_terms(report.adrs, normalize_adr_term, None, throwaway, "adr")
+        ),
+    )
+
+
+def normalize_batch(
+    reports: Sequence[CaseReport],
+    pool: Executor,
+    n_workers: int,
+) -> list[NormalizedRow]:
+    """Normalize a batch through ``pool``, preserving row order."""
+    chunksize = max(1, len(reports) // (max(1, n_workers) * 4))
+    return list(pool.map(normalize_report, reports, chunksize=chunksize))

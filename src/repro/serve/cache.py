@@ -92,6 +92,20 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``.
+
+        Targeted invalidation for run refreshes: entries of a replaced
+        snapshot are keyed by its token, so one pass drops exactly that
+        run's pages while every other run stays cached. Returns the
+        number of entries dropped (not counted as capacity evictions).
+        """
+        with self._lock:
+            stale = [key for key in self._data if predicate(key)]
+            for key in stale:
+                del self._data[key]
+            return len(stale)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(

@@ -82,6 +82,9 @@ class QueryEngine:
         self.store = store
         self.cache = LRUCache(maxsize=cache_size)
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # When a run is refreshed in place, drop exactly that run's
+        # cached pages (keys lead with the snapshot token).
+        store.subscribe(self._run_replaced)
 
     # -- public queries -------------------------------------------------
 
@@ -142,7 +145,23 @@ class QueryEngine:
             "hit_rate": round(stats.hit_rate, 4),
         }
 
+    def refresh(self, name: str, result) -> RunSnapshot:
+        """Swap run ``name`` to a re-mined result; stale cache entries go.
+
+        Convenience over :meth:`ResultStore.refresh` — the store
+        notifies this engine's subscription, which invalidates the
+        replaced snapshot's cache entries before the call returns.
+        """
+        return self.store.refresh(name, result)
+
     # -- mechanics ------------------------------------------------------
+
+    def _run_replaced(self, old: RunSnapshot, new: RunSnapshot) -> None:
+        token = old.token
+        dropped = self.cache.evict_where(
+            lambda key: isinstance(key, tuple) and key and key[0] == token
+        )
+        self.registry.counter("serve.cache.invalidated").inc(dropped)
 
     def _snapshot(self, run: str | None) -> RunSnapshot:
         return self.store.get(run if run is not None else self.store.default_run())

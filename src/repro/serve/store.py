@@ -116,6 +116,19 @@ class ResultStore:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._runs: dict[str, RunSnapshot] = {}
+        self._subscribers: list[Any] = []
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(old, new)`` to fire when a run is replaced.
+
+        ``old`` is the snapshot being superseded, ``new`` its
+        replacement. First registrations (no previous snapshot under
+        the name) do not notify. Callbacks run outside the store lock,
+        in registration order, on the thread that performed the swap —
+        the query-engine cache invalidation hangs off this.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
 
     def add_result(
         self,
@@ -140,9 +153,38 @@ class ResultStore:
     def add_snapshot(self, snapshot: RunSnapshot) -> RunSnapshot:
         with self._lock:
             runs = dict(self._runs)
+            old = runs.get(snapshot.name)
             runs[snapshot.name] = snapshot
             self._runs = runs
+            subscribers = tuple(self._subscribers)
+        if old is not None:
+            for callback in subscribers:
+                callback(old, snapshot)
         return snapshot
+
+    def refresh(
+        self,
+        name: str,
+        result: MarasResult,
+        *,
+        include_case_ids: bool = True,
+    ) -> RunSnapshot:
+        """Replace an *existing* run with a re-mined result, atomically.
+
+        The surveillance path: a monitor ingests a batch, and the
+        serving layer swaps the run in place. The snapshot (export
+        normalization + index build) is constructed entirely outside
+        the lock; readers see either the old or the new snapshot, never
+        a partial one, and subscribers (cache invalidation) fire after
+        the swap. Unknown names raise :class:`NotFoundError` — use
+        :meth:`add_result` to register a new run.
+        """
+        if name not in self._runs:
+            raise NotFoundError(
+                f"cannot refresh unknown run {name!r}; "
+                f"have {sorted(self._runs) or 'no runs'}"
+            )
+        return self.add_result(name, result, include_case_ids=include_case_ids)
 
     def get(self, name: str) -> RunSnapshot:
         """The snapshot named ``name``; :class:`NotFoundError` if absent."""

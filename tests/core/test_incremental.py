@@ -229,3 +229,170 @@ class TestSurveillanceCleaning:
         # c1 must mention it.
         reports = {r.case_id: r for r in monitor.result.dataset}
         assert "NAUSEA" in reports["c1"].adrs
+
+
+class TestIngestAccounting:
+    """Regression: with ``clean=True`` every raw row used to count as
+    "fresh" in ``surveillance.reports_ingested`` — follow-up versions
+    and even resubmissions of a seen case inflated the intake counter,
+    and ``_seen_case_ids`` was dead state on that path."""
+
+    @staticmethod
+    def _stream():
+        first = [
+            CaseReport.build("c1", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]),
+            CaseReport.build("c2", ["NEXIUM"], ["PAIN"]),
+        ]
+        second = [
+            # Follow-up of c1 plus one genuinely new case.
+            CaseReport.build("c1", ["ASPIRIN", "WARFARIN"], ["NAUSEA"]),
+            CaseReport.build("c3", ["NEXIUM"], ["PAIN", "RASH"]),
+        ]
+        return first, second
+
+    @pytest.mark.parametrize("clean", [True, False])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_fresh_counts_new_cases_not_raw_rows(self, clean, incremental):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first, second = self._stream()
+        with SurveillanceMonitor(
+            MarasConfig(min_support=1, clean=clean, incremental=incremental),
+            registry=registry,
+        ) as monitor:
+            monitor.ingest(first)
+            monitor.ingest(second)
+        counters = registry.snapshot().counters
+        assert counters["surveillance.reports_ingested"] == 3  # c1 c2 c3
+        assert counters["surveillance.case_updates"] == 1  # c1's follow-up
+
+    @pytest.mark.parametrize("clean", [True, False])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_empty_batch_after_first_is_a_no_op(self, clean, incremental):
+        first, _ = self._stream()
+        with SurveillanceMonitor(
+            MarasConfig(min_support=1, clean=clean, incremental=incremental)
+        ) as monitor:
+            monitor.ingest(first)
+            before = {
+                cluster_key(monitor.result, c) for c in monitor.result.clusters
+            }
+            delta = monitor.ingest([])
+            after = {
+                cluster_key(monitor.result, c) for c in monitor.result.clusters
+            }
+        assert after == before
+        assert not delta.newly_surfaced
+        assert not delta.dropped
+
+    @pytest.mark.parametrize("clean", [True, False])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_all_duplicates_batch(self, clean, incremental):
+        """A batch of exact resubmissions must not change the result."""
+        first, _ = self._stream()
+        with SurveillanceMonitor(
+            MarasConfig(min_support=1, clean=clean, incremental=incremental)
+        ) as monitor:
+            monitor.ingest(first)
+            before = {
+                cluster_key(monitor.result, c) for c in monitor.result.clusters
+            }
+            delta = monitor.ingest(list(first))  # same rows again
+            after = {
+                cluster_key(monitor.result, c) for c in monitor.result.clusters
+            }
+        assert after == before
+        assert not delta.newly_surfaced
+        assert not delta.dropped
+
+    def test_empty_first_batch_rejected_in_clean_mode(self):
+        monitor = SurveillanceMonitor(MarasConfig(min_support=1, clean=True))
+        with pytest.raises(ConfigError, match="no new reports"):
+            monitor.ingest([])
+
+
+class TestFollowUpRemovingDrug:
+    """A follow-up version listing *fewer* drugs: §5.2 union-merge keeps
+    the superset, and the incremental engine must agree with the
+    one-shot run byte for byte (the shrunken row exercises the
+    rebuild-guarded removal path, never silent bit corruption)."""
+
+    @staticmethod
+    def _stream():
+        first = [
+            CaseReport.build(
+                "c1", ["ASPIRIN", "WARFARIN", "NEXIUM"], ["HAEMORRHAGE"]
+            ),
+            CaseReport.build("c2", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]),
+            CaseReport.build("c3", ["NEXIUM"], ["PAIN"]),
+        ]
+        second = [
+            # c1's follow-up drops NEXIUM and adds an ADR.
+            CaseReport.build("c1", ["ASPIRIN", "WARFARIN"], ["NAUSEA"]),
+            CaseReport.build("c4", ["ASPIRIN", "WARFARIN"], ["HAEMORRHAGE"]),
+        ]
+        return first, second
+
+    def test_incremental_matches_one_shot(self):
+        import json
+
+        from repro.core import Maras
+        from repro.core.export import export_result
+
+        first, second = self._stream()
+        config = MarasConfig(min_support=1, clean=True)
+        reference = Maras(config).run(first + second)
+        with SurveillanceMonitor(
+            MarasConfig(min_support=1, clean=True, incremental=True)
+        ) as monitor:
+            monitor.ingest(first)
+            monitor.ingest(second)
+            result = monitor.result
+        dump = lambda r: json.dumps(export_result(r), sort_keys=True)  # noqa: E731
+        assert dump(result) == dump(reference)
+        # Union merge: the dropped drug survives in the merged case.
+        merged = {r.case_id: r for r in result.dataset}
+        assert "NEXIUM" in merged["c1"].drugs
+        assert "NAUSEA" in merged["c1"].adrs
+
+
+class TestUpdateOnlyBatch:
+    """A batch of *only* follow-ups: the transaction count is unchanged,
+    which arms whole-artifact reuse — but a follow-up adding one item
+    grows the support of every sub-itemset its row now covers, so any
+    reused rule/cluster whose itemset meets the delta's items would
+    serve stale confidence/lift (the hypothesis-found regression)."""
+
+    @staticmethod
+    def _stream():
+        first = [
+            CaseReport.build("c1", ["ASPIRIN"], ["NAUSEA"]),
+            CaseReport.build(
+                "c2", ["ASPIRIN", "WARFARIN"], ["NAUSEA", "HAEMORRHAGE"]
+            ),
+        ]
+        # No new cases: c1's follow-up adds HAEMORRHAGE, which doubles
+        # the support of the {NAUSEA, HAEMORRHAGE} consequent while the
+        # {ASPIRIN, WARFARIN, ...} itemset's own tidset is untouched.
+        second = [CaseReport.build("c1", ["ASPIRIN"], ["HAEMORRHAGE"])]
+        return first, second
+
+    def test_subset_support_growth_invalidates_reuse(self):
+        import json
+
+        from repro.core import Maras
+        from repro.core.export import export_result
+
+        first, second = self._stream()
+        reference = Maras(MarasConfig(min_support=1, clean=True)).run(
+            first + second
+        )
+        with SurveillanceMonitor(
+            MarasConfig(min_support=1, clean=True, incremental=True)
+        ) as monitor:
+            monitor.ingest(first)
+            monitor.ingest(second)
+            result = monitor.result
+        dump = lambda r: json.dumps(export_result(r), sort_keys=True)  # noqa: E731
+        assert dump(result) == dump(reference)

@@ -1,0 +1,57 @@
+"""Golden fixture replayed as a stream: incremental end-state == golden.
+
+The frozen golden dataset (including its trailing follow-up versions)
+is cut into four ingest batches and folded through the incremental
+surveillance monitor; the final export must match
+``tests/golden/golden_export.json`` exactly — the same bar the one-shot
+pipeline is held to. A drift here but not in the one-shot golden test
+means the *incremental* path broke.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import export_result
+from repro.core.incremental import SurveillanceMonitor
+from repro.core.pipeline import MarasConfig
+
+from tests.golden.regenerate import (
+    DATASET_PATH,
+    EXPORT_PATH,
+    GOLDEN_CONFIG,
+    report_from_dict,
+    round_floats,
+)
+
+N_BATCHES = 4
+
+
+@pytest.fixture(scope="module")
+def golden_reports():
+    rows = json.loads(DATASET_PATH.read_text())
+    return [report_from_dict(row) for row in rows]
+
+
+@pytest.fixture(scope="module")
+def golden_expected():
+    return json.loads(EXPORT_PATH.read_text())
+
+
+def test_streamed_golden_export_matches_fixture(
+    golden_reports, golden_expected
+):
+    config = MarasConfig(**GOLDEN_CONFIG, incremental=True)
+    size = -(-len(golden_reports) // N_BATCHES)
+    with SurveillanceMonitor(config) as monitor:
+        for start in range(0, len(golden_reports), size):
+            monitor.ingest(golden_reports[start : start + size])
+        actual = json.loads(
+            json.dumps(round_floats(export_result(monitor.result)))
+        )
+    assert actual == golden_expected, (
+        "incremental stream export drifted from the golden fixture "
+        "(the one-shot golden test pins the fixture itself)"
+    )

@@ -1,0 +1,92 @@
+"""Shared stream builders for the incremental differential harness."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core.export import export_result
+from repro.faers.schema import CaseReport
+
+
+def make_stream(
+    seed: int,
+    n_cases: int = 150,
+    n_drugs: int = 14,
+    n_adrs: int = 10,
+    follow_up_rate: float = 0.2,
+) -> list[CaseReport]:
+    """A raw surveillance stream with interleaved follow-up versions.
+
+    Roughly ``follow_up_rate`` of the cases receive a later version that
+    *adds* a drug and an ADR; follow-ups are inserted at random later
+    stream positions, so any batch split can land one in a different
+    batch than its first version. A few rows duplicate another case's
+    exact content under a new case id (the cleaner drops those), and a
+    few have an empty side after normalization.
+    """
+    rng = random.Random(seed)
+    drugs = [f"DRUG{i}" for i in range(n_drugs)]
+    adrs = [f"ADR{i}" for i in range(n_adrs)]
+    rows: list[CaseReport] = []
+    for i in range(n_cases):
+        rows.append(
+            CaseReport.build(
+                f"C{i:04d}",
+                set(rng.sample(drugs, rng.randint(1, 4))),
+                set(rng.sample(adrs, rng.randint(1, 3))),
+                quarter="2014Q1",
+            )
+        )
+    for i in rng.sample(range(n_cases), int(n_cases * follow_up_rate)):
+        base = rows[i]
+        follow_up = CaseReport.build(
+            base.case_id,
+            set(base.drugs) | {rng.choice(drugs)},
+            set(base.adrs) | {rng.choice(adrs)},
+            quarter=base.quarter,
+        )
+        rows.insert(rng.randint(i + 1, len(rows)), follow_up)
+    # Exact-content duplicates under fresh case ids → duplicate drop.
+    for j, i in enumerate(rng.sample(range(n_cases), max(2, n_cases // 30))):
+        base = rows[i]
+        rows.insert(
+            rng.randint(0, len(rows)),
+            CaseReport.build(
+                f"DUP{j:03d}", set(base.drugs), set(base.adrs), quarter=base.quarter
+            ),
+        )
+    # Rows that normalize to an empty side → empty_reports_dropped.
+    rows.insert(
+        rng.randint(0, len(rows)),
+        CaseReport.build("EMPTY01", {"100 MG"}, {rng.choice(adrs)}, quarter="2014Q1"),
+    )
+    return rows
+
+
+def split_schedule(rows: list[CaseReport], fractions: tuple[float, ...]):
+    """Cut a stream at cumulative fractions (last must be 1.0)."""
+    batches = []
+    start = 0
+    for fraction in fractions:
+        end = round(len(rows) * fraction)
+        batches.append(rows[start:end])
+        start = end
+    return batches
+
+
+def dedup_first_version(rows: list[CaseReport]) -> list[CaseReport]:
+    """No-clean stream semantics: the first version of a case wins."""
+    seen: set[str] = set()
+    kept = []
+    for row in rows:
+        if row.case_id not in seen:
+            seen.add(row.case_id)
+            kept.append(row)
+    return kept
+
+
+def export_bytes(result) -> bytes:
+    return json.dumps(
+        export_result(result), sort_keys=True, separators=(",", ":")
+    ).encode()

@@ -1,0 +1,124 @@
+"""In-place run refresh: atomic snapshot swap + cache invalidation.
+
+The surveillance loop re-mines a quarter per batch and swaps the served
+run in place. Readers must never see a partially-built snapshot, a
+stale cached page after the swap, or a cross-snapshot mixture — the
+hammer test drives concurrent readers straight through repeated swaps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.errors import NotFoundError
+from repro.obs import MetricsRegistry
+from repro.serve import QueryEngine, ResultStore
+
+RUN = "hammered"
+
+
+@pytest.fixture(scope="module")
+def half_quarter(small_quarter_reports):
+    """A second, distinct result to swap against the full quarter."""
+    return Maras(MarasConfig(min_support=4, clean=False)).run(
+        small_quarter_reports[: len(small_quarter_reports) // 2]
+    )
+
+
+@pytest.fixture
+def fresh_engine(mined_quarter):
+    store = ResultStore()
+    store.add_result(RUN, mined_quarter)
+    return QueryEngine(store, registry=MetricsRegistry())
+
+
+class TestRefresh:
+    def test_refresh_swaps_snapshot_atomically(
+        self, fresh_engine, half_quarter, mined_quarter
+    ):
+        before = fresh_engine.store.get(RUN)
+        swapped = fresh_engine.refresh(RUN, half_quarter)
+        assert fresh_engine.store.get(RUN) is swapped
+        assert swapped.token != before.token
+        assert swapped.n_clusters == len(half_quarter.clusters)
+
+    def test_refresh_unknown_run_is_not_found(self, fresh_engine, half_quarter):
+        with pytest.raises(NotFoundError, match="cannot refresh"):
+            fresh_engine.store.refresh("nope", half_quarter)
+
+    def test_refresh_invalidates_only_that_runs_cache(
+        self, mined_quarter, half_quarter
+    ):
+        store = ResultStore()
+        store.add_result(RUN, mined_quarter)
+        store.add_result("other", mined_quarter)
+        engine = QueryEngine(store, registry=MetricsRegistry())
+        engine.clusters(run=RUN)
+        engine.clusters(run="other")
+        assert len(engine.cache) == 2
+
+        engine.refresh(RUN, half_quarter)
+        assert len(engine.cache) == 1  # "other" stays cached
+
+        page = engine.clusters(run=RUN)
+        assert page["total"] == len(half_quarter.clusters)
+        counters = engine.registry.snapshot().counters
+        assert counters["serve.cache.invalidated"] == 1
+
+    def test_stale_pages_never_served_after_refresh(
+        self, fresh_engine, half_quarter, mined_quarter
+    ):
+        first = fresh_engine.clusters(run=RUN)
+        assert first["total"] == len(mined_quarter.clusters)
+        fresh_engine.refresh(RUN, half_quarter)
+        second = fresh_engine.clusters(run=RUN)
+        assert second["total"] == len(half_quarter.clusters)
+
+    def test_subscriber_not_fired_on_first_registration(self, mined_quarter):
+        store = ResultStore()
+        calls = []
+        store.subscribe(lambda old, new: calls.append((old.name, new.name)))
+        store.add_result(RUN, mined_quarter)
+        assert calls == []
+        store.add_result(RUN, mined_quarter)
+        assert calls == [(RUN, RUN)]
+
+
+class TestRefreshHammer:
+    def test_readers_survive_concurrent_swaps(
+        self, fresh_engine, half_quarter, mined_quarter
+    ):
+        """Readers hammer the engine while the run is swapped repeatedly;
+        every response must be one snapshot's truth, never a mixture."""
+        totals = {len(mined_quarter.clusters), len(half_quarter.clusters)}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    page = fresh_engine.clusters(run=RUN, limit=5)
+                    assert page["total"] in totals
+                    assert len(page["items"]) == page["count"] <= 5
+                    listing = fresh_engine.runs()["runs"]
+                    assert [run["name"] for run in listing] == [RUN]
+            except BaseException as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for cycle in range(20):
+                result = half_quarter if cycle % 2 == 0 else mined_quarter
+                fresh_engine.refresh(RUN, result)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors[:1]
+        final = fresh_engine.clusters(run=RUN, limit=5)
+        assert final["total"] == len(mined_quarter.clusters)
