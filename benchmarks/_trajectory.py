@@ -1,0 +1,50 @@
+"""Shared writer for the ``BENCH_*.json`` perf-trajectory files.
+
+Each trajectory file is ``{"suite": <file id>, "runs": [...]}`` where
+**every run carries its own** ``"benchmark"`` **field** naming the
+benchmark that produced it. The earlier per-file layout put a single
+top-level ``"benchmark"`` key on the file, which silently mislabelled
+runs appended by *other* benchmark modules sharing the file (the
+sharded-mining run in ``BENCH_mining.json`` had to nest its own id to
+stay identifiable). :func:`append_run` migrates such legacy files in
+place: the old top-level id is pushed down onto every run that lacks
+one, then replaced by a neutral ``"suite"`` id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+#: Repository root (the trajectory files live next to README.md).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def base_record(**fields) -> dict:
+    """The boilerplate every run record shares: label + timestamp."""
+    return {
+        "label": os.environ.get("BENCH_LABEL", "local"),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **fields,
+    }
+
+
+def append_run(path: Path, suite: str, benchmark: str, record: dict) -> None:
+    """Append one run (tagged with its benchmark id) to a trajectory file."""
+    trajectory: dict = {"suite": suite, "runs": []}
+    if path.exists():
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    legacy = trajectory.pop("benchmark", None)
+    if legacy is not None:
+        # Legacy layout: one file-level id, runs largely untagged.
+        trajectory.setdefault("suite", suite)
+        for run in trajectory.get("runs", []):
+            run.setdefault("benchmark", legacy)
+    entry = {"benchmark": benchmark, **record}
+    entry["benchmark"] = benchmark
+    trajectory.setdefault("runs", []).append(entry)
+    path.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )

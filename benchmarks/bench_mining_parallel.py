@@ -3,8 +3,9 @@
 The parallel layer's acceptance bar: on a benchmark-scale quarter,
 ``fpclose_sharded`` at 4 workers must produce byte-identical closed
 itemsets to the in-process miner at ≥2× wall-clock speedup (pool
-startup, pickling, and the exact merge all inside the measured time).
-Appends the measured trajectory to ``BENCH_mining.json``.
+startup, pickling, and the tree merge all inside the measured time) —
+and 4 workers must not regress against 2 workers. Appends the measured
+trajectory, including the root-merge counters, to ``BENCH_mining.json``.
 
 This uses a larger fixture than the shared ``SCALE`` quarters: at 2-3k
 reports mining takes ~30 ms, where process startup dominates and no
@@ -12,30 +13,55 @@ parallel scheme can win; the speedup claim is only meaningful where
 mining is the cost. Sharding helps superlinearly on the bitmask miner —
 per-shard masks are ``N/k`` bits, so every AND inside a worker is
 ``k×`` cheaper than over the full database, and per-shard FP-trees are
-smaller — which is why the ≥2× floor holds even on a single core with
-the workers fully serialized (measured 2.7× at 4 workers on 1 CPU);
-real multi-core machines add the parallel overlap on top.
+smaller.
+
+The 4-vs-2 gate carries a small tolerance because the two are expected
+to *tie* on serial hardware: when the pool is narrower than the leaf
+count, the scheduler coalesces the 4 shards into ``max(2, pool_size)``
+regions mined at region thresholds (see :mod:`repro.parallel.miner`) —
+on a 1-CPU runner that is structurally the same work as the 2-worker
+plan, so 4 workers sit within measurement jitter of 2 rather than the
+~1.4× regression the old single-level merge paid for its weakened
+quarter-shard thresholds. Real multi-core machines run the full tree
+and pull strictly ahead.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
 from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
 from repro.mining.fpclose import fpclose
 from repro.mining.transactions import canonical_itemset_order
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import use_registry
 from repro.parallel import fpclose_sharded, plan_shards
 
 MIN_SUPPORT = 5
 MAX_LEN = 6
 BENCH_SCALE = 0.1  # ~12.7k reports: mining seconds, not milliseconds
 
-TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_mining.json"
+
+# Serial runners coalesce 4 shards down to the 2-worker shape, so the
+# honest expectation there is a tie; the gate allows jitter on a tie
+# while still catching a structural regression like the old one.
+REGRESSION_TOLERANCE = 1.10
+
+#: Root-merge counters worth tracking across PRs (per worker count).
+MERGE_COUNTERS = (
+    "parallel.merge.candidates",
+    "parallel.merge.summed",
+    "parallel.merge.reintersections",
+    "parallel.merge.pruned_dead",
+    "parallel.merge.globally_frequent",
+    "parallel.pair.candidates",
+    "parallel.pair.bound_kills",
+)
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +94,7 @@ def test_trajectory_sharded_speedup(bench_dataset):
     )
 
     sharded_seconds = {}
+    merge_counters = {}
     for n_workers in (2, 4):
         plan = plan_shards(bench_dataset, n_workers, "hash")
         seconds, sharded = _best_of(
@@ -83,34 +110,57 @@ def test_trajectory_sharded_speedup(bench_dataset):
         # Identical output is a precondition of calling this a speedup.
         assert sharded == single
         sharded_seconds[n_workers] = seconds
+        # One extra instrumented (untimed) run captures the merge-tree
+        # counters without polluting the measured rounds.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            fpclose_sharded(
+                database,
+                MIN_SUPPORT,
+                max_len=MAX_LEN,
+                n_workers=n_workers,
+                plan=plan,
+            )
+        counters = registry.snapshot().counters
+        merge_counters[n_workers] = {
+            name.removeprefix("parallel."): counters[name]
+            for name in MERGE_COUNTERS
+            if name in counters
+        }
 
     speedup_2 = single_seconds / sharded_seconds[2]
     speedup_4 = single_seconds / sharded_seconds[4]
-    record = {
-        "benchmark": "mining-parallel/sharded",
-        "label": os.environ.get("BENCH_LABEL", "local"),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "n_transactions": len(database),
-        "min_support": MIN_SUPPORT,
-        "max_len": MAX_LEN,
-        "n_closed_itemsets": len(single),
-        "seconds": {
+    record = base_record(
+        n_transactions=len(database),
+        min_support=MIN_SUPPORT,
+        max_len=MAX_LEN,
+        cpu_count=os.cpu_count(),
+        n_closed_itemsets=len(single),
+        seconds={
             "fpclose_single": round(single_seconds, 6),
             "sharded_2_workers": round(sharded_seconds[2], 6),
             "sharded_4_workers": round(sharded_seconds[4], 6),
         },
-        "speedup_4_workers": round(speedup_4, 2),
-        "speedup_2_workers": round(speedup_2, 2),
-    }
-
-    trajectory = {"benchmark": "mining-scaling/closed-miner", "runs": []}
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
-    trajectory["runs"].append(record)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+        speedup_2_workers=round(speedup_2, 2),
+        speedup_4_workers=round(speedup_4, 2),
+        merge_counters={
+            str(n): merge_counters[n] for n in sorted(merge_counters)
+        },
+    )
+    append_run(
+        TRAJECTORY_PATH, "mining-perf", "mining-parallel/sharded", record
     )
 
-    # ≥2× at 4 workers is the PR's acceptance criterion; the recorded
+    # ≥2× at 4 workers is the PR-4 acceptance criterion; the recorded
     # trajectory documents the (usually much higher) real ratio.
     assert speedup_4 >= 2.0, f"4-worker sharding only {speedup_4:.2f}x faster"
+    # The 4-worker regression gate: more workers must never cost more
+    # than the tolerance over fewer (ties are expected on serial boxes,
+    # see the module docstring).
+    assert (
+        sharded_seconds[4] <= sharded_seconds[2] * REGRESSION_TOLERANCE
+    ), (
+        f"4-worker run ({sharded_seconds[4]:.3f}s) regressed beyond "
+        f"{REGRESSION_TOLERANCE:.2f}x of the 2-worker run "
+        f"({sharded_seconds[2]:.3f}s)"
+    )

@@ -26,13 +26,11 @@ attributable to pruning, not machine luck.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
 from repro.mining import apriori, fpclose, fpclose_reference, fpgrowth
 from repro.mining.bitsets import BitsetIndex, SupportOracle
 from repro.obs import MetricsRegistry
@@ -41,7 +39,7 @@ from repro.obs.metrics import use_registry
 MIN_SUPPORT = 5
 MAX_LEN = 6
 
-TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_mining.json"
 
 
 @pytest.fixture(scope="module")
@@ -181,19 +179,17 @@ def test_trajectory_set_vs_bitset(database):
     counters = registry.snapshot().counters
 
     speedup = set_seconds / bitset_seconds if bitset_seconds else float("inf")
-    record = {
-        "label": os.environ.get("BENCH_LABEL", "local"),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "n_transactions": len(database),
-        "min_support": MIN_SUPPORT,
-        "max_len": MAX_LEN,
-        "n_closed_itemsets": len(bitset_result),
-        "seconds": {
+    record = base_record(
+        n_transactions=len(database),
+        min_support=MIN_SUPPORT,
+        max_len=MAX_LEN,
+        n_closed_itemsets=len(bitset_result),
+        seconds={
             "fpclose_set": round(set_seconds, 6),
             "fpclose_bitset": round(bitset_seconds, 6),
         },
-        "speedup_set_over_bitset": round(speedup, 2),
-        "counters": {
+        speedup_set_over_bitset=round(speedup, 2),
+        counters={
             "set": {
                 "branches": counters["fpclose_reference.branches"],
                 "closure_calls": counters["fpclose_reference.closure_calls"],
@@ -207,14 +203,9 @@ def test_trajectory_set_vs_bitset(database):
                 "closure_item_checks": counters["fpclose.closure_item_checks"],
             },
         },
-    }
-
-    trajectory = {"benchmark": "mining-scaling/closed-miner", "runs": []}
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
-    trajectory["runs"].append(record)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    append_run(
+        TRAJECTORY_PATH, "mining-perf", "mining-scaling/closed-miner", record
     )
 
     # The acceptance floor for this PR is 3×; assert a conservative 2×

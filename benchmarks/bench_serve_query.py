@@ -23,18 +23,16 @@ hit rate alongside wall-clock.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
 from repro.core import Maras, MarasConfig
 from repro.serve import QueryEngine, ResultStore
 from repro.serve.indexes import rank_positions
 
-TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_serve.json"
 
 MIN_SUPPORT = 4
 RUN = "2014Q1"
@@ -186,30 +184,21 @@ def test_trajectory_serve_query(snapshot_store, records):
 
     speedup_scan = scan_seconds / indexed_seconds if indexed_seconds else float("inf")
     speedup_cache = cold_seconds / warm_seconds if warm_seconds else float("inf")
-    record = {
-        "label": os.environ.get("BENCH_LABEL", "local"),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "n_clusters": len(records),
-        "n_query_drugs": len(drugs),
-        "request_mix_size": len(mix),
-        "seconds": {
+    record = base_record(
+        n_clusters=len(records),
+        n_query_drugs=len(drugs),
+        request_mix_size=len(mix),
+        seconds={
             "drug_lookup_scan": round(scan_seconds, 6),
             "drug_lookup_indexed": round(indexed_seconds, 6),
             "mix_cold_cache": round(cold_seconds, 6),
             "mix_warm_cache": round(warm_seconds, 6),
         },
-        "speedup_scan_over_indexed": round(speedup_scan, 2),
-        "speedup_cold_over_warm": round(speedup_cache, 2),
-        "lru_hit_rate": round(hit_rate, 4),
-    }
-
-    trajectory = {"benchmark": "serve-query", "runs": []}
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
-    trajectory["runs"].append(record)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+        speedup_scan_over_indexed=round(speedup_scan, 2),
+        speedup_cold_over_warm=round(speedup_cache, 2),
+        lru_hit_rate=round(hit_rate, 4),
     )
+    append_run(TRAJECTORY_PATH, "serve-perf", "serve-query", record)
 
     # Conservative floors so a loaded CI machine cannot flake the
     # suite; the trajectory documents the real ratios.

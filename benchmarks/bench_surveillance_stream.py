@@ -11,10 +11,7 @@ crosses the threshold.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -23,6 +20,7 @@ from repro.core.incremental import SurveillanceMonitor
 from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
 from repro.faers.schema import CaseReport
 
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
 from benchmarks.conftest import write_artifact
 
 N_BATCHES = 4
@@ -40,9 +38,7 @@ STREAM_BATCHES = 12  # ongoing small batches after the backfill
 STREAM_MIN_SUPPORT = 4
 LATE_BATCHES = 4  # speedup is averaged over the last 4 batches
 
-TRAJECTORY_PATH = (
-    Path(__file__).resolve().parent.parent / "BENCH_surveillance.json"
-)
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_surveillance.json"
 
 
 def test_surveillance_stream(benchmark, quarter_datasets):
@@ -178,22 +174,18 @@ def test_trajectory_incremental_vs_rescan(stream_batches):
     print("\n" + artifact)
     write_artifact("surveillance_incremental.txt", artifact)
 
-    record = {
-        "benchmark": "surveillance/incremental-vs-rescan",
-        "label": os.environ.get("BENCH_LABEL", "local"),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "n_reports": rows[-1]["n_reports_total"],
-        "n_batches": len(rows),  # backfill + STREAM_BATCHES small batches
-        "min_support": STREAM_MIN_SUPPORT,
-        "late_batch_mean_speedup": round(late_speedup, 2),
-        "batches": rows,
-    }
-    trajectory = {"benchmark": "surveillance/streaming", "runs": []}
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
-    trajectory["runs"].append(record)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    record = base_record(
+        n_reports=rows[-1]["n_reports_total"],
+        n_batches=len(rows),  # backfill + STREAM_BATCHES small batches
+        min_support=STREAM_MIN_SUPPORT,
+        late_batch_mean_speedup=round(late_speedup, 2),
+        batches=rows,
+    )
+    append_run(
+        TRAJECTORY_PATH,
+        "surveillance-perf",
+        "surveillance/incremental-vs-rescan",
+        record,
     )
 
     assert late_speedup >= 3.0, (

@@ -20,7 +20,13 @@ surveillance stream and turns each ingested batch into a full
    (:func:`~repro.incremental.mining.carry_closed_itemsets`);
    :func:`~repro.mining.fpclose.fpclose` with ``touched_mask`` re-mines
    only the subtrees whose conditional databases intersect the delta.
-   The two halves partition the new closed family exactly.
+   The two halves partition the new closed family exactly. At
+   ``n_workers > 1`` the delta re-mine itself is sharded across the
+   engine's long-lived process pool
+   (:func:`~repro.parallel.miner.fpclose_sharded` with the same
+   ``touched_mask`` contract): shard rows are projected onto the
+   touched rows' item universe, so worker cost tracks the delta's
+   neighbourhood rather than the accumulated history.
 4. **Downstream reuse** — the support oracle is warm-started from the
    previous batch (entries disjoint from the delta's item universe keep
    their counts), support types of carried itemsets are reused
@@ -256,6 +262,7 @@ class IncrementalEngine:
                     n_workers=n_workers,
                     plan=plan_shards(dataset, n_workers, config.shard_strategy),
                     oracle=oracle,
+                    pool=self._ensure_pool(n_workers),
                 )
             else:
                 closed = fpclose(
@@ -312,16 +319,36 @@ class IncrementalEngine:
             return
 
         touched_tids = effect.updated_tids + effect.appended_tids
+        n_workers = resolve_workers(config.n_workers)
         with registry.timer("incremental.mine"):
             carried, suspects = carry_closed_itemsets(
                 self._closed, database, touched_tids, threshold
             )
-            mined = fpclose(
-                database,
-                threshold,
-                max_len=config.max_itemset_len,
-                touched_mask=effect.touched_mask,
-            )
+            if n_workers > 1 and len(database) > 1:
+                # Shard the delta re-mine across the long-lived pool:
+                # the same plan the one-shot pipeline would use, but
+                # each shard's rows projected onto the touched rows'
+                # item universe (see repro.parallel.miner), so worker
+                # cost tracks the delta's neighbourhood, not history.
+                dataset = ReportDataset.from_cleaned(
+                    tuple(self._encoder.row_reports), self._encoder.quarter()
+                )
+                mined = fpclose_sharded(
+                    database,
+                    threshold,
+                    max_len=config.max_itemset_len,
+                    n_workers=n_workers,
+                    plan=plan_shards(dataset, n_workers, config.shard_strategy),
+                    pool=self._ensure_pool(n_workers),
+                    touched_mask=effect.touched_mask,
+                )
+            else:
+                mined = fpclose(
+                    database,
+                    threshold,
+                    max_len=config.max_itemset_len,
+                    touched_mask=effect.touched_mask,
+                )
             closed = canonical_itemset_order(carried + mined)
         registry.counter("incremental.closed_carried").inc(len(carried))
         registry.counter("incremental.closed_mined").inc(len(mined))

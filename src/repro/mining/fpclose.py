@@ -196,6 +196,12 @@ def fpclose(
                     if j == r:
                         continue
                     intersection = j_mask & ext
+                    if not intersection:
+                        # Empty intersections are the common case deep
+                        # in the tree; ext_count >= threshold >= 1, so
+                        # this can be neither a closure member nor a
+                        # surviving candidate — skip the popcount.
+                        continue
                     count = bit_count(intersection)
                     if count == ext_count:
                         if j < r:

@@ -140,6 +140,38 @@ class ItemCatalog:
         return frozenset(self.id(label) for label in labels)
 
 
+class MiningCatalog:
+    """A label-free catalog stand-in for mining-only databases.
+
+    Mining consults a catalog for exactly one thing — ``len()``, to
+    bound valid item ids. Worker processes used to materialise a real
+    :class:`ItemCatalog` with formatted placeholder labels per shard per
+    task, making setup cost grow with vocabulary size; this stand-in
+    carries only the id bound. Labels are synthesised on demand in the
+    (diagnostic-only) accessors.
+    """
+
+    __slots__ = ("_n_items",)
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 0:
+            raise ConfigError(f"n_items must be >= 0, got {n_items}")
+        self._n_items = n_items
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    def label(self, item_id: int) -> str:
+        if not 0 <= item_id < self._n_items:
+            raise UnknownItemError(item_id)
+        return f"i{item_id}"
+
+    def kind_of(self, item_id: int) -> str:
+        if not 0 <= item_id < self._n_items:
+            raise UnknownItemError(item_id)
+        return "item"
+
+
 @dataclass(frozen=True, slots=True)
 class FrequentItemset:
     """A mined itemset together with its absolute support count.

@@ -2,13 +2,18 @@
 
 Partition a dataset into shards (:mod:`~repro.parallel.sharding`), mine
 all locally frequent itemsets per shard in worker processes
-(:mod:`~repro.parallel.worker`), and merge them into the exact global
-closed set (:mod:`~repro.parallel.merge`). The top-level entry point is
+(:mod:`~repro.parallel.worker`), and merge them *tree-wise* into the
+exact global closed set (:mod:`~repro.parallel.merge`): sibling shards
+pair-merge at region thresholds inside the workers (or coalesce into
+directly-mined regions when the pool is narrower than the leaf count),
+and only region survivors reach the parent's root merge over chunked
+tidset masks. The top-level entry point is
 :func:`~repro.parallel.miner.fpclose_sharded`, threaded through
-``Maras.run`` via ``MarasConfig(n_workers=...)``.
+``Maras.run`` via ``MarasConfig(n_workers=...)`` — and through the
+incremental engine's delta re-mining via ``touched_mask``.
 """
 
-from repro.parallel.merge import merge_shard_itemsets
+from repro.parallel.merge import merge_pair, merge_shard_itemsets
 from repro.parallel.miner import fpclose_sharded, resolve_workers
 from repro.parallel.sharding import (
     HASH_STRATEGY,
@@ -27,6 +32,7 @@ __all__ = [
     "SHARD_STRATEGIES",
     "fpclose_sharded",
     "local_threshold",
+    "merge_pair",
     "merge_shard_itemsets",
     "mine_shard",
     "plan_shards",

@@ -8,10 +8,31 @@ each shard in a worker process, and merges the results exactly
 the single-process miner's output after canonical ordering — the
 differential harness in ``tests/parallel`` enforces this.
 
-Worker results are collected with ``executor.map``, which preserves
-submission order, and the merge itself is order-insensitive (it
-operates on the candidate *union*), so scheduling jitter between
-workers can never perturb the output.
+The merge is a tree, not a single parent-side pass: when the pool can
+run every leaf concurrently, sibling shards' outputs are pair-merged at
+pigeonhole-scaled *region* thresholds inside the workers
+(:func:`repro.parallel.merge.merge_pair`, dispatched as its own
+level-synchronous round), and only region survivors — with exact
+region supports — reach the parent's root merge. On narrower pools the
+tree is *coalesced* instead: decomposing further than the pool can run
+concurrently weakens the leaf pigeonhole thresholds (more locally
+frequent noise) without buying parallelism — the root cause of the old
+4-worker regression — so sibling shards are grouped into
+``max(2, pool_size)`` regions, each mined directly at its region
+threshold (a shallower instance of the same tree, so the completeness
+chain argument is untouched). Either shape, and any scheduling jitter
+inside it, yields the same bytes: results are collected with
+``executor.map`` (submission order), and the merges are
+order-insensitive.
+
+Passing ``touched_mask`` runs the *delta* contract instead — only
+closed itemsets whose tidset intersects the mask are returned, exactly
+like ``fpclose(touched_mask=...)``. Shard rows are projected onto the
+union of the touched rows' items (every delta-affected closed itemset
+is contained in some touched row, hence in that union), which leaves
+all relevant supports intact while shrinking the mined databases to
+the delta's neighbourhood; thresholds still come from *full* shard
+sizes, so the pigeonhole guarantee is untouched.
 """
 
 from __future__ import annotations
@@ -25,7 +46,7 @@ from repro.errors import ConfigError
 from repro.mining.bitsets import SupportOracle
 from repro.mining.transactions import FrequentItemset, TransactionDatabase
 from repro.obs.metrics import get_registry
-from repro.parallel.merge import merge_shard_itemsets
+from repro.parallel.merge import merge_pair, merge_shard_itemsets
 from repro.parallel.sharding import ShardPlan, round_robin_shards, validate_plan
 from repro.parallel.worker import local_threshold, mine_shard
 
@@ -53,49 +74,199 @@ def fpclose_sharded(
     n_workers: int,
     plan: Sequence[Sequence[int]] | None = None,
     oracle: SupportOracle | None = None,
+    pool: ProcessPoolExecutor | None = None,
+    touched_mask: int | None = None,
 ) -> list[FrequentItemset]:
     """Mine the global closed frequent itemsets via sharded workers.
 
     ``plan`` is a covering, disjoint partition of tids (see
     :func:`repro.parallel.sharding.plan_shards`); when omitted, a
     round-robin partition into ``n_workers`` shards is used. Shards are
-    mined in ``n_workers`` processes at pigeonhole-scaled local
-    thresholds, then merged over the full bitmask table.
+    mined at pigeonhole-scaled local thresholds, pair-merged at region
+    thresholds inside the workers, and root-merged over the full
+    chunked bitmask table. A caller-owned ``pool`` (e.g. the
+    incremental engine's long-lived executor) is used as-is and never
+    shut down here; ``touched_mask`` switches to the delta contract
+    described in the module docstring.
     """
     registry = get_registry()
     n_transactions = len(database)
+    if touched_mask is not None and not touched_mask:
+        return []
     if plan is None:
         shards: ShardPlan = round_robin_shards(n_transactions, n_workers)
     else:
         shards = validate_plan(plan, n_transactions)
-    if not shards:
-        return []
-    registry.counter("parallel.shards").inc(len(shards))
-
     transactions = list(database)
-    n_items = len(database.catalog)
-    tasks = []
+
+    universe: frozenset[int] | None = None
+    if touched_mask is not None:
+        touched_items: set[int] = set()
+        remaining = touched_mask
+        while remaining:
+            low = remaining & -remaining
+            touched_items |= transactions[low.bit_length() - 1]
+            remaining ^= low
+        universe = frozenset(touched_items)
+
+    # (original shard index, full shard size, threshold, mined rows).
+    # Shards with no (projected) rows contribute zero support to every
+    # candidate and are dropped; under projection, thresholds still come
+    # from the *full* shard size so the pigeonhole argument is over the
+    # true partition.
+    leaves = []
     for index, shard in enumerate(shards):
-        rows = tuple(tuple(sorted(transactions[tid])) for tid in shard)
-        threshold = local_threshold(min_support, len(shard), n_transactions)
-        tasks.append((index, rows, n_items, threshold, max_len))
-
-    # Pool size never exceeds the cores: extra processes on a loaded or
-    # small machine only add contention, and the merged result is
-    # independent of how shards map onto processes. Any multi-worker
-    # request still goes through the pool (even a 1-process pool on a
-    # 1-core box), so the pickling boundary is always exercised.
-    pool_size = max(1, min(n_workers, len(shards), os.cpu_count() or 1))
-    with registry.timer("parallel.local_mine"):
-        if len(shards) == 1 or n_workers <= 1:
-            shard_results = [mine_shard(*task) for task in tasks]
+        if universe is None:
+            rows = tuple(
+                tuple(sorted(transactions[tid])) for tid in shard
+            )
         else:
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                shard_results = list(pool.map(_run_task, tasks))
+            rows = tuple(
+                projected
+                for tid in shard
+                if (
+                    projected := tuple(
+                        sorted(transactions[tid] & universe)
+                    )
+                )
+            )
+        if not rows:
+            continue
+        threshold = local_threshold(min_support, len(shard), n_transactions)
+        leaves.append((index, len(shard), threshold, rows))
+    if not leaves:
+        return []
+    registry.counter("parallel.shards").inc(len(leaves))
+    n_items = len(database.catalog)
 
-    shard_outputs = []
+    pool_size = max(1, min(n_workers, len(leaves), os.cpu_count() or 1))
+    if n_workers <= 1 or len(leaves) == 1:
+        with registry.timer("parallel.local_mine"):
+            shard_results = [
+                mine_shard(index, rows, n_items, threshold, max_len)
+                for index, _size, threshold, rows in leaves
+            ]
+        region_outputs = [result[4] for result in shard_results]
+        _emit_shards(registry, shard_results)
+    elif len(leaves) < 4 or pool_size >= len(leaves):
+        # Every leaf can run concurrently: mine leaves as their own
+        # round, then (for 4+ shards) pair-merge in a second round.
+        tasks = [
+            (index, rows, n_items, threshold, max_len)
+            for index, _size, threshold, rows in leaves
+        ]
+        with registry.timer("parallel.local_mine"):
+            shard_results = _map_tasks(_run_shard, tasks, pool, pool_size)
+        _emit_shards(registry, shard_results)
+        if len(leaves) < 4:
+            region_outputs = [result[4] for result in shard_results]
+        else:
+            pair_tasks = []
+            passthrough = []
+            for k in range(0, len(leaves) - 1, 2):
+                left, right = leaves[k], leaves[k + 1]
+                region_threshold = local_threshold(
+                    min_support, left[1] + right[1], n_transactions
+                )
+                pair_tasks.append((
+                    shard_results[k][4],
+                    shard_results[k + 1][4],
+                    left[3],
+                    right[3],
+                    left[2],
+                    right[2],
+                    region_threshold,
+                ))
+            if len(leaves) % 2:
+                passthrough.append(shard_results[-1][4])
+            with registry.timer("parallel.tree_merge"):
+                pair_results = _map_tasks(
+                    _run_pair, pair_tasks, pool, pool_size
+                )
+            region_outputs = []
+            for pair_index, (survivors, stats) in enumerate(pair_results):
+                region_outputs.append(survivors)
+                _emit_region(registry, pair_index, stats, len(survivors))
+            region_outputs.extend(passthrough)
+    else:
+        # Narrow pool: the tree would decompose further than the pool
+        # can run concurrently, and every extra leaf level weakens the
+        # pigeonhole thresholds (more locally frequent noise) without
+        # buying any parallelism — the root cause of the 4-worker
+        # regression. Coalesce sibling shards into ``max(2, pool_size)``
+        # regions and mine each region *directly* at its region
+        # threshold: a shallower instance of the same tree, so the
+        # completeness chain argument is untouched.
+        n_regions = max(2, pool_size)
+        group_size = -(-len(leaves) // n_regions)
+        region_tasks = []
+        region_shards = []
+        for start in range(0, len(leaves), group_size):
+            group = leaves[start:start + group_size]
+            region_rows = tuple(
+                row for _i, _s, _t, rows in group for row in rows
+            )
+            region_threshold = local_threshold(
+                min_support,
+                sum(size for _i, size, _t, _r in group),
+                n_transactions,
+            )
+            region_shards.append([index for index, _s, _t, _r in group])
+            region_tasks.append((
+                len(region_tasks),
+                region_rows,
+                n_items,
+                region_threshold,
+                max_len,
+            ))
+        with registry.timer("parallel.local_mine"):
+            region_results = _map_tasks(
+                _run_shard, region_tasks, pool, pool_size
+            )
+        region_outputs = []
+        for region_index, size, threshold, seconds, payload in region_results:
+            region_outputs.append(payload)
+            registry.counter("parallel.local_itemsets").inc(len(payload))
+            registry.emit(
+                "parallel.region",
+                region=region_index,
+                shards=region_shards[region_index],
+                n_transactions=size,
+                region_threshold=threshold,
+                n_survivors=len(payload),
+                seconds=round(seconds, 6),
+            )
+
+    with registry.timer("parallel.merge"):
+        started = time.perf_counter()
+        merged = merge_shard_itemsets(
+            region_outputs,
+            database,
+            min_support,
+            max_len=max_len,
+            oracle=oracle,
+            touched_mask=touched_mask,
+        )
+        registry.emit(
+            "parallel.merge",
+            n_shards=len(leaves),
+            n_regions=len(region_outputs),
+            n_closed=len(merged),
+            seconds=round(time.perf_counter() - started, 6),
+        )
+    return merged
+
+
+def _map_tasks(fn, tasks, pool: ProcessPoolExecutor | None, pool_size: int):
+    """Run tasks through a caller-owned or ephemeral pool, in order."""
+    if pool is not None:
+        return list(pool.map(fn, tasks))
+    with ProcessPoolExecutor(max_workers=pool_size) as ephemeral:
+        return list(ephemeral.map(fn, tasks))
+
+
+def _emit_shards(registry, shard_results) -> None:
     for index, shard_size, threshold, seconds, itemsets in shard_results:
-        shard_outputs.append(itemsets)
         registry.counter("parallel.local_itemsets").inc(len(itemsets))
         registry.emit(
             "parallel.shard",
@@ -106,23 +277,34 @@ def fpclose_sharded(
             seconds=round(seconds, 6),
         )
 
-    with registry.timer("parallel.merge"):
-        started = time.perf_counter()
-        merged = merge_shard_itemsets(
-            shard_outputs,
-            database,
-            min_support,
-            max_len=max_len,
-            oracle=oracle,
+
+def _emit_region(
+    registry, region_index: int, stats, n_survivors: int, *, seconds=None
+) -> None:
+    if stats is not None:
+        registry.counter("parallel.pair.candidates").inc(stats["candidates"])
+        registry.counter("parallel.pair.summed").inc(stats["summed"])
+        registry.counter("parallel.pair.reintersections").inc(
+            stats["reintersections"]
         )
-        registry.emit(
-            "parallel.merge",
-            n_shards=len(shards),
-            n_closed=len(merged),
-            seconds=round(time.perf_counter() - started, 6),
-        )
-    return merged
+        registry.counter("parallel.pair.pruned_dead").inc(stats["pruned_dead"])
+        registry.counter("parallel.pair.bound_kills").inc(stats["bound_kills"])
+    fields = {"region": region_index, "n_survivors": n_survivors}
+    if stats is not None:
+        fields.update(stats)
+    if seconds is not None:
+        fields["seconds"] = round(seconds, 6)
+    registry.emit("parallel.region", **fields)
+
+
+def _run_shard(task):
+    return mine_shard(*task)
+
+
+def _run_pair(task):
+    return merge_pair(*task)
 
 
 def _run_task(task):
+    """Back-compat alias for the leaf task runner."""
     return mine_shard(*task)

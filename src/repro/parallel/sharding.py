@@ -2,7 +2,8 @@
 
 The sharded miner (:mod:`repro.parallel.miner`) splits the *data*, not
 the search space: each worker process mines one subset of the encoded
-transactions and the parent merges the per-shard results back into the
+transactions and the per-shard results merge tree-wise (pair nodes
+inside workers, or coalesced regions on narrow pools) back into the
 exact global answer. The partition therefore only has to be
 
 - **covering and disjoint** — every transaction lands in exactly one

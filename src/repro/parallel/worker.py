@@ -1,4 +1,4 @@
-"""The per-shard mining task executed inside worker processes.
+"""The per-shard and per-region mining tasks run inside worker processes.
 
 Each worker mines **all locally frequent itemsets** (``fpgrowth``) over
 its shard at a scaled-down local threshold, not closed itemsets. That
@@ -16,10 +16,19 @@ instead would lose this guarantee: an itemset can be non-closed in
 every shard yet closed globally (e.g. ``{A}`` when shard 1 only sees
 ``AB`` rows and shard 2 only ``AC`` rows).
 
+The same argument nests: a *region* (union of sibling shards) at
+threshold ``ceil(s * |region| / N)`` keeps every globally frequent
+itemset alive along some root-to-leaf chain. That is what lets the
+scheduler in :mod:`repro.parallel.miner` pair-merge sibling shards
+inside workers (:func:`repro.parallel.merge.merge_pair`) or mine a
+coalesced region directly at its region threshold — both are nodes of
+the same merge tree.
+
 Everything crossing the process boundary is plain ints/tuples so
 pickling stays cheap: transactions travel as tuples of item ids, and
-the worker rebuilds a throwaway catalog of the right size (labels are
-never consulted during mining).
+the worker wraps them in a label-free
+:class:`~repro.mining.transactions.MiningCatalog` (labels are never
+consulted during mining, so none are built).
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from __future__ import annotations
 import time
 
 from repro.mining.fpgrowth import fpgrowth
-from repro.mining.transactions import ItemCatalog, TransactionDatabase
+from repro.mining.transactions import MiningCatalog, TransactionDatabase
 
 #: What a worker sends back: shard index, transaction count, local
 #: threshold used, wall-clock seconds, and the locally frequent
@@ -42,13 +51,6 @@ def local_threshold(min_support: int, shard_size: int, n_transactions: int) -> i
     return max(1, -((-min_support * shard_size) // n_transactions))
 
 
-def _dummy_catalog(n_items: int) -> ItemCatalog:
-    catalog = ItemCatalog()
-    for k in range(n_items):
-        catalog.add(f"i{k}")
-    return catalog
-
-
 def mine_shard(
     index: int,
     transactions: tuple[tuple[int, ...], ...],
@@ -58,9 +60,7 @@ def mine_shard(
 ) -> ShardResult:
     """Mine one shard; module-level so it pickles under ProcessPoolExecutor."""
     started = time.perf_counter()
-    database = TransactionDatabase(
-        [frozenset(row) for row in transactions], _dummy_catalog(n_items)
-    )
+    database = TransactionDatabase(transactions, MiningCatalog(n_items))
     itemsets = fpgrowth(database, threshold, max_len=max_len)
     payload = tuple(
         (tuple(sorted(fi.items)), fi.support) for fi in itemsets

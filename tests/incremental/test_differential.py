@@ -75,11 +75,18 @@ class TestByteIdentity:
         result = run_incremental(stream, schedule, clean=clean)
         assert export_bytes(result) == export_bytes(references[clean])
 
+    @pytest.mark.parametrize("n_workers", [2, 4])
     @pytest.mark.parametrize("clean", [True, False])
-    def test_workers_do_not_perturb_output(self, stream, references, clean):
-        # Two workers shard the (first-batch) rebuild mine and the
-        # batch normalization; the export must not notice.
-        result = run_incremental(stream, "fine", clean=clean, n_workers=2)
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+    def test_workers_do_not_perturb_output(
+        self, stream, references, schedule, clean, n_workers
+    ):
+        # Workers shard the (first-batch) rebuild mine, the batch
+        # normalization, AND every delta re-mine (fpclose_sharded with
+        # touched_mask); the export must not notice any of it.
+        result = run_incremental(
+            stream, schedule, clean=clean, n_workers=n_workers
+        )
         assert export_bytes(result) == export_bytes(references[clean])
 
     def test_cleaning_stats_match_one_shot(self, stream, references):
