@@ -1,0 +1,219 @@
+"""Closed-loop load benchmark of the serving transports.
+
+The async-transport claim is about *throughput under concurrency*: a
+thread-per-connection server pays scheduler and GIL overhead per client,
+an event loop serving precomputed bytes does not. This benchmark drives
+both transports with closed-loop keep-alive clients (every client keeps
+exactly one request in flight on one persistent connection) over the
+byte-cached hot paths, sweeping concurrency × async worker processes,
+and appends RPS and p50/p99 latency per cell to ``BENCH_serve.json``
+(benchmark id ``serve-load``).
+
+Cells:
+
+- ``threaded`` at each concurrency — the ``--sync`` fallback baseline;
+- ``async`` workers=1 in-process at each concurrency;
+- ``async`` workers∈{2,4} via :func:`repro.serve.aio.forked_workers`
+  (pre-fork snapshot sharing, one inherited listening socket).
+
+``BENCH_SERVE_QUICK=1`` shrinks the grid (concurrency {1,8}, workers
+{1,2}, shorter cells) for the CI smoke job, which gates on the headline
+comparison: async RPS at concurrency 8 must not fall below the threaded
+baseline (with a tie tolerance — on a 1-CPU runner both transports are
+compute-bound on the same byte tables, so the async edge narrows to
+scheduler overhead).
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import statistics
+import threading
+import time
+
+import pytest
+
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
+from repro.core import Maras, MarasConfig
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    ApiResponder,
+    QueryEngine,
+    ResultStore,
+    forked_workers,
+    running_async_server,
+    running_server,
+)
+
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_serve.json"
+
+MIN_SUPPORT = 4
+RUN = "2014Q1"
+
+QUICK = os.environ.get("BENCH_SERVE_QUICK", "") not in ("", "0")
+CONCURRENCY_GRID = (1, 8) if QUICK else (1, 8, 32, 128)
+WORKER_GRID = (1, 2) if QUICK else (1, 2, 4)
+CELL_SECONDS = 0.5 if QUICK else 1.2
+WARMUP_REQUESTS = 5
+#: Tie tolerance for the async-vs-threaded gate: on a 1-CPU runner both
+#: transports serve the same precomputed bytes compute-bound, so "async
+#: does not lose" is the stable assertable form of "async wins".
+GATE_RATIO = 0.9
+
+
+@pytest.fixture(scope="module")
+def responder(quarter_datasets):
+    result = Maras(MarasConfig(min_support=MIN_SUPPORT, clean=False)).run(
+        quarter_datasets[RUN]
+    )
+    store = ResultStore()
+    store.add_result(RUN, result)
+    responder = ApiResponder(QueryEngine(store, registry=MetricsRegistry()))
+    responder.warm()
+    return responder
+
+
+def _hot_paths(responder) -> list[str]:
+    """The byte-cached request mix: listings + id-addressed resources."""
+    snapshot = responder.engine.store.get(RUN)
+    record = snapshot.records[0]
+    return [
+        "/v1/associations",
+        f"/v1/clusters/{record['id']}",
+        f"/v1/drugs/{record['drugs'][0]}",
+        "/v1/clusters",
+    ]
+
+
+def _closed_loop(url: str, paths: list[str], concurrency: int) -> dict:
+    """Drive ``concurrency`` keep-alive clients; measure RPS and latency.
+
+    Closed loop: each client thread issues its next request only after
+    fully reading the previous response, so offered load adapts to the
+    server instead of overrunning it.
+    """
+    host, port = url.removeprefix("http://").split(":")
+    stop = threading.Event()
+    go = threading.Event()
+    per_client: list[list[float]] = [[] for _ in range(concurrency)]
+    errors: list[BaseException] = []
+
+    def client(slot: int) -> None:
+        latencies = per_client[slot]
+        conn = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            for i in range(WARMUP_REQUESTS):
+                conn.request("GET", paths[i % len(paths)])
+                conn.getresponse().read()
+            go.wait()
+            i = slot
+            while not stop.is_set():
+                start = time.perf_counter()
+                conn.request("GET", paths[i % len(paths)])
+                response = conn.getresponse()
+                body = response.read()
+                latencies.append(time.perf_counter() - start)
+                assert response.status == 200 and body
+                i += 1
+        except BaseException as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    go.set()
+    measure_start = time.perf_counter()
+    time.sleep(CELL_SECONDS)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+    elapsed = time.perf_counter() - measure_start
+    assert not errors, errors[:1]
+    latencies = sorted(
+        latency for client_latencies in per_client for latency in client_latencies
+    )
+    assert latencies, "no requests completed in the measurement window"
+    return {
+        "requests": len(latencies),
+        "rps": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(1000 * statistics.median(latencies), 3),
+        "p99_ms": round(
+            1000 * latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))],
+            3,
+        ),
+    }
+
+
+def test_trajectory_serve_load(responder):
+    """Sweep the transport × concurrency grid; append the trajectory.
+
+    Gates: every cell serves without errors, and async does not lose to
+    the threaded baseline at concurrency 8 (``GATE_RATIO`` tie band).
+    """
+    paths = _hot_paths(responder)
+    cells = []
+
+    for concurrency in CONCURRENCY_GRID:
+        with running_server(responder) as server:
+            measured = _closed_loop(server.url, paths, concurrency)
+        cells.append(
+            {"transport": "threaded", "workers": 1, "concurrency": concurrency}
+            | measured
+        )
+
+    for workers in WORKER_GRID:
+        for concurrency in CONCURRENCY_GRID:
+            if workers == 1:
+                with running_async_server(responder) as server:
+                    measured = _closed_loop(server.url, paths, concurrency)
+            else:
+                with forked_workers(responder, workers) as url:
+                    measured = _closed_loop(url, paths, concurrency)
+            cells.append(
+                {"transport": "async", "workers": workers, "concurrency": concurrency}
+                | measured
+            )
+
+    def rps(transport: str, workers: int, concurrency: int) -> float:
+        return next(
+            cell["rps"]
+            for cell in cells
+            if cell["transport"] == transport
+            and cell["workers"] == workers
+            and cell["concurrency"] == concurrency
+        )
+
+    gate_concurrency = 8
+    threaded_rps = rps("threaded", 1, gate_concurrency)
+    async_rps = rps("async", 1, gate_concurrency)
+    record = base_record(
+        quick=QUICK,
+        cell_seconds=CELL_SECONDS,
+        cpu_count=os.cpu_count(),
+        cells=cells,
+        gate={
+            "concurrency": gate_concurrency,
+            "threaded_rps": threaded_rps,
+            "async_rps": async_rps,
+            "ratio": round(async_rps / threaded_rps, 3),
+        },
+    )
+    append_run(TRAJECTORY_PATH, "serve-perf", "serve-load", record)
+
+    for cell in cells:
+        print(
+            f"{cell['transport']:>8s} w={cell['workers']} "
+            f"c={cell['concurrency']:>3d}: {cell['rps']:>8.1f} rps "
+            f"p50={cell['p50_ms']:.2f}ms p99={cell['p99_ms']:.2f}ms"
+        )
+
+    assert async_rps >= GATE_RATIO * threaded_rps, (
+        f"async transport lost to threaded at concurrency {gate_concurrency}: "
+        f"{async_rps:.0f} vs {threaded_rps:.0f} rps"
+    )

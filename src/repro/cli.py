@@ -181,6 +181,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="bounded LRU response-cache capacity",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serving worker processes sharing one listening socket "
+        "(async transport only; default 1)",
+    )
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--async",
+        dest="async_transport",
+        action="store_true",
+        default=True,
+        help="asyncio transport (the default)",
+    )
+    transport.add_argument(
+        "--sync",
+        dest="async_transport",
+        action="store_false",
+        help="threaded fallback transport (single process)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="per-worker open-connection cap before shedding with 503",
+    )
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain deadline on SIGTERM/SIGINT",
+    )
     return parser
 
 
@@ -479,8 +515,25 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import MediarHTTPServer, QueryEngine, ResultStore
+    import signal
+    import tempfile
+    import threading
 
+    from repro.serve import (
+        ApiResponder,
+        MediarHTTPServer,
+        QueryEngine,
+        ResultStore,
+        serve_forked,
+    )
+
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    if not args.async_transport and args.workers > 1:
+        raise ReproError(
+            "--sync serves from one threaded process; "
+            "use the async transport for --workers > 1"
+        )
     if args.load:
         store = ResultStore.load(args.load)
     else:
@@ -496,7 +549,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         store, cache_size=args.cache_size, registry=MetricsRegistry()
     )
-    server = MediarHTTPServer(engine, args.host, args.port)
+    responder = ApiResponder(engine)
+    primed = responder.warm()
+    print(f"primed {primed} precomputed responses", flush=True)
+
+    if args.async_transport:
+        runs = ", ".join(store.names())
+        with tempfile.TemporaryDirectory(prefix="mediar-metrics-") as mdir:
+            return serve_forked(
+                responder,
+                args.host,
+                args.port,
+                args.workers,
+                metrics_dir=mdir if args.workers > 1 else None,
+                max_connections=args.max_connections,
+                grace=args.grace,
+                announce=lambda url: print(
+                    f"serving {runs} on {url} "
+                    f"({args.workers} worker(s), Ctrl-C to stop)",
+                    flush=True,
+                ),
+            )
+
+    server = MediarHTTPServer(responder, args.host, args.port)
+
+    def _stop(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever returns, so hand it to a
+        # helper thread and let the main thread fall through to drain.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
     print(
         f"serving {', '.join(store.names())} on {server.url} "
         "(Ctrl-C to stop)",
@@ -504,9 +587,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover — interactive stop
-        pass
     finally:
+        server.drain(args.grace)
         server.server_close()
     return 0
 

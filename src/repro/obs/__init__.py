@@ -43,6 +43,7 @@ from repro.obs.metrics import (
     TimerReading,
     TimerStat,
     get_registry,
+    merge_metric_dicts,
     use_registry,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "TimerReading",
     "TimerStat",
     "get_registry",
+    "merge_metric_dicts",
     "read_jsonl",
     "use_registry",
 ]

@@ -325,6 +325,43 @@ class NullRegistry:
         pass
 
 
+def merge_metric_dicts(snapshots: "list[dict] | tuple[dict, ...]") -> dict:
+    """Aggregate several ``MetricsSnapshot.as_dict()`` payloads into one.
+
+    The multi-worker serving tier runs one registry per worker process;
+    ``/v1/metrics`` merges their JSON snapshots into a fleet view:
+
+    - **counters** sum (requests served anywhere are requests served);
+    - **timers** sum ``total_seconds`` and ``calls`` and keep the worst
+      ``max_seconds`` (the fleet's tail is the worst worker's tail);
+    - **gauges** sum — every per-worker gauge in the serving tier is a
+      size (cache entries, bytes held), where the fleet total is the
+      meaningful aggregate.
+
+    Operates on the JSON-roundtrippable dict form rather than live
+    registries because worker snapshots cross a process boundary as
+    files.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    timers: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, stat in snapshot.get("timers", {}).items():
+            merged = timers.setdefault(
+                name, {"total_seconds": 0.0, "calls": 0, "max_seconds": 0.0}
+            )
+            merged["total_seconds"] += stat.get("total_seconds", 0.0)
+            merged["calls"] += stat.get("calls", 0)
+            merged["max_seconds"] = max(
+                merged["max_seconds"], stat.get("max_seconds", 0.0)
+            )
+    return {"timers": timers, "counters": counters, "gauges": gauges}
+
+
 NULL_REGISTRY = NullRegistry()
 
 _active: MetricsRegistry | NullRegistry = NULL_REGISTRY

@@ -12,12 +12,20 @@ not re-run the miner. This package is that layer, stdlib-only:
   (drug→clusters, ADR→clusters, drug-pair→MCACs, stable-id, prefix
   tokens) so every lookup is an index probe, never a scan;
 - :mod:`repro.serve.cache` — the bounded thread-safe
-  :class:`LRUCache` absorbing repeated queries;
+  :class:`LRUCache` absorbing repeated parameterized queries;
 - :mod:`repro.serve.engine` — the transport-agnostic
   :class:`QueryEngine` (pagination, sort-by, filter floors, response
   cache, :mod:`repro.obs` accounting);
-- :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` JSON API the
-  ``mediar serve`` CLI boots.
+- :mod:`repro.serve.bytecache` — precomputed response *bytes* + strong
+  ETags for the hot endpoints, so serving them never JSON-encodes;
+- :mod:`repro.serve.api` — the shared :class:`ApiResponder`: routing,
+  conditional GETs, error mapping — one implementation behind both
+  transports, which is why their bodies are byte-identical;
+- :mod:`repro.serve.aio` — the asyncio HTTP/1.1 front-end
+  (:class:`AsyncHTTPServer`), keep-alive, load shedding, graceful
+  shutdown, and forked multi-worker serving over shared snapshots;
+- :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` fallback
+  (``mediar serve --sync``).
 
 >>> from repro.serve import QueryEngine, ResultStore, running_server
 >>> store = ResultStore()
@@ -27,6 +35,15 @@ not re-run the miner. This package is that layer, stdlib-only:
 ...     print(server.url)
 """
 
+from repro.serve.aio import (
+    AsyncHTTPServer,
+    WorkerMetricsHub,
+    forked_workers,
+    running_async_server,
+    serve_forked,
+)
+from repro.serve.api import ApiResponder, ApiResponse
+from repro.serve.bytecache import ByteCacheDirectory, SnapshotBytes
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.engine import (
     DEFAULT_PAGE_SIZE,
@@ -41,6 +58,10 @@ from repro.serve.indexes import PrefixTokenIndex, RunIndexes
 from repro.serve.store import ResultStore, RunSnapshot
 
 __all__ = [
+    "ApiResponder",
+    "ApiResponse",
+    "AsyncHTTPServer",
+    "ByteCacheDirectory",
     "CacheStats",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_SORT",
@@ -53,7 +74,12 @@ __all__ = [
     "ResultStore",
     "RunIndexes",
     "RunSnapshot",
+    "SnapshotBytes",
+    "WorkerMetricsHub",
     "association_view",
     "cluster_view",
+    "forked_workers",
+    "running_async_server",
     "running_server",
+    "serve_forked",
 ]

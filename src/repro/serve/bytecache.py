@@ -1,0 +1,173 @@
+"""Precomputed response *bytes* for the hot serving endpoints.
+
+The query engine's LRU caches Python dicts, which still leaves a full
+``json.dumps`` on every request — at "millions of users" traffic the
+serializer, not the index probe, dominates the hot path. This module
+removes it: when a snapshot is first served, every id-addressed
+resource (``/v1/clusters/<id>`` and its ``assoc-`` alias,
+``/v1/drugs/<name>``) and every default-shaped listing page (first
+page, default limit, descending, one per sort key, for both
+``/v1/associations`` and ``/v1/clusters``) is rendered to wire bytes
+**once**, together with its strong ETag. Requests matching those keys
+are answered by a dict probe returning a ready ``bytes`` object — zero
+per-request JSON encoding, which ``/v1/metrics`` proves via the
+``serve.responses.precomputed`` vs ``serve.responses.encoded``
+counters. Parameterized long-tail queries keep going through the
+engine and its LRU.
+
+Consistency: a table is built from exactly one immutable
+:class:`~repro.serve.store.RunSnapshot`, and the directory swaps whole
+tables keyed by the snapshot's process-unique ``token``. A reader that
+resolved the old snapshot keeps serving the old snapshot's complete
+bytes; a reader that resolves the new one gets the new table — there is
+no state in which one response mixes two snapshots (the torn-response
+hammer in ``tests/serve/test_refresh.py`` drives this under load).
+
+ETags are the SHA-256 of the response body, *not* the cluster's stable
+id: the id only hashes the rule's drug/ADR labels, while a refresh can
+change support counts under the same id — a strong validator must
+cover the representation, so a 304 is returned exactly when the bytes
+the client holds are the bytes it would receive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any
+
+from repro.core.ids import ASSOCIATION_PREFIX
+from repro.serve.engine import (
+    DEFAULT_PAGE_SIZE,
+    association_view,
+    cluster_view,
+    drug_payload,
+    page_payload,
+    spec_key,
+)
+
+#: Tables kept for distinct snapshot tokens before the oldest is
+#: evicted — a backstop against the (tiny) race where a request holding
+#: a just-replaced snapshot rebuilds its table after invalidation.
+MAX_TABLES = 8
+
+
+def encode_payload(payload: dict[str, Any]) -> bytes:
+    """The one wire encoding of the API (shared by every response path)."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def strong_etag(body: bytes) -> str:
+    """A strong validator: quoted SHA-256 content hash of the body."""
+    return f'"{hashlib.sha256(body).hexdigest()[:32]}"'
+
+
+class SnapshotBytes:
+    """Every precomputed hot-path response of one run snapshot.
+
+    Three probe surfaces, all returning ``(body, etag)`` with
+    ``etag is None`` for listing pages (conditional GETs are an
+    id-addressed contract):
+
+    - :meth:`cluster` — stable cluster id or its association alias;
+    - :meth:`drug` — canonical drug label;
+    - :meth:`page` — canonical spec key of a default-shaped listing.
+    """
+
+    __slots__ = ("token", "n_entries", "n_bytes", "_clusters", "_drugs", "_pages")
+
+    def __init__(self, snapshot) -> None:
+        self.token = snapshot.token
+        clusters: dict[str, tuple[bytes, str]] = {}
+        drugs: dict[str, tuple[bytes, str]] = {}
+        pages: dict[tuple, tuple[bytes, None]] = {}
+        for record in snapshot.records:
+            payload = cluster_view(record)
+            payload["run"] = snapshot.name
+            body = encode_payload(payload)
+            entry = (body, strong_etag(body))
+            clusters[record["id"]] = entry
+            digest = record["id"].split("-", 1)[1]
+            clusters[f"{ASSOCIATION_PREFIX}-{digest}"] = entry
+        for name in snapshot.indexes.by_drug:
+            body = encode_payload(drug_payload(snapshot, name))
+            drugs[name] = (body, strong_etag(body))
+        for endpoint, view in (
+            ("associations", association_view),
+            ("clusters", cluster_view),
+        ):
+            for sort in snapshot.indexes.sort_keys:
+                spec = {
+                    "sort": sort,
+                    "order": "desc",
+                    "limit": DEFAULT_PAGE_SIZE,
+                    "offset": 0,
+                }
+                body = encode_payload(page_payload(snapshot, spec, view))
+                pages[(endpoint, spec_key(spec))] = (body, None)
+        self._clusters = clusters
+        self._drugs = drugs
+        self._pages = pages
+        self.n_entries = len(clusters) + len(drugs) + len(pages)
+        self.n_bytes = sum(
+            len(body)
+            for table in (clusters, drugs, pages)
+            for body, _ in table.values()
+        )
+
+    def cluster(self, cluster_id: str) -> tuple[bytes, str] | None:
+        return self._clusters.get(cluster_id)
+
+    def drug(self, name: str) -> tuple[bytes, str] | None:
+        return self._drugs.get(name)
+
+    def page(self, endpoint: str, key: tuple) -> tuple[bytes, None] | None:
+        return self._pages.get((endpoint, key))
+
+
+class ByteCacheDirectory:
+    """Snapshot token → :class:`SnapshotBytes`, swapped atomically.
+
+    Tables are built lazily on the first hot-path request that sees a
+    snapshot (one serialization pass over the run), then shared by
+    every transport and worker thread. :meth:`invalidate` — wired to
+    :meth:`ResultStore.subscribe` — drops a replaced snapshot's whole
+    table in one dict deletion, so post-refresh requests can never be
+    answered from superseded bytes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: dict[int, SnapshotBytes] = {}
+        self.builds = 0
+
+    def for_snapshot(self, snapshot) -> SnapshotBytes:
+        table = self._tables.get(snapshot.token)
+        if table is not None:
+            return table
+        with self._lock:
+            table = self._tables.get(snapshot.token)
+            if table is None:
+                table = SnapshotBytes(snapshot)
+                self._tables[snapshot.token] = table
+                self.builds += 1
+                while len(self._tables) > MAX_TABLES:
+                    del self._tables[next(iter(self._tables))]
+        return table
+
+    def invalidate(self, token: int) -> bool:
+        """Drop the table of snapshot ``token``; True if one was held."""
+        with self._lock:
+            return self._tables.pop(token, None) is not None
+
+    def stats(self) -> dict[str, int]:
+        """Size accounting for ``/v1/metrics``."""
+        with self._lock:
+            tables = list(self._tables.values())
+        return {
+            "tables": len(tables),
+            "entries": sum(table.n_entries for table in tables),
+            "bytes": sum(table.n_bytes for table in tables),
+            "builds": self.builds,
+        }

@@ -20,6 +20,14 @@ Request flow, in order:
 
 Every query records a per-endpoint timer and counter into the active
 :mod:`repro.obs` registry, which is what ``/v1/metrics`` surfaces.
+
+The payload builders (:func:`cluster_payload`, :func:`drug_payload`,
+:func:`page_payload`, :func:`search_payload`) and the parameter
+validator (:func:`validated_params`) are module-level functions over an
+immutable :class:`~repro.serve.store.RunSnapshot`: the engine's cached
+methods delegate to them, and :mod:`repro.serve.bytecache` calls them
+directly to precompute response bytes without touching the LRU — both
+paths build byte-identical payloads because they *are* the same code.
 """
 
 from __future__ import annotations
@@ -69,6 +77,211 @@ def cluster_view(record: dict[str, Any]) -> dict[str, Any]:
     return view
 
 
+# -- snapshot-level query functions -------------------------------------
+#
+# Pure functions of (immutable snapshot, validated parameters): the
+# engine wraps them with run resolution + LRU caching, the byte-cache
+# precomputes their output for the hot endpoints.
+
+
+def _validated_int(value: Any, name: str, floor: int) -> int:
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise BadQueryError(f"{name} must be an integer, got {value!r}") from None
+    if value < floor:
+        raise BadQueryError(f"{name} must be >= {floor}, got {value}")
+    return value
+
+
+def _validated_float(value: Any, name: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise BadQueryError(f"{name} must be a number, got {value!r}") from None
+
+
+def validated_limit(value: Any) -> int:
+    limit = _validated_int(value, "limit", 1)
+    if limit > MAX_PAGE_SIZE:
+        raise BadQueryError(f"limit must be <= {MAX_PAGE_SIZE}, got {limit}")
+    return limit
+
+
+def validated_params(snapshot, params: dict[str, Any]) -> dict[str, Any]:
+    """Canonicalize list-endpoint parameters against one snapshot.
+
+    The canonical spec is what response caches key on: two requests
+    that differ only in parameter spelling (``limit=20`` explicit vs
+    defaulted) resolve to the same spec, the same cache entry, and the
+    same bytes.
+    """
+    known = {
+        "drug", "adr", "sort", "order", "limit", "offset", *_NUMERIC_FILTERS,
+    }
+    unknown = set(params) - known
+    if unknown:
+        raise BadQueryError(
+            f"unknown parameters {sorted(unknown)}; valid: {sorted(known)}"
+        )
+    sort = params.get("sort", DEFAULT_SORT)
+    if sort not in snapshot.indexes.order_by:
+        raise BadQueryError(
+            f"unknown sort key {sort!r}; valid: {list(snapshot.indexes.sort_keys)}"
+        )
+    order = params.get("order", "desc")
+    if order not in ("asc", "desc"):
+        raise BadQueryError(f"order must be 'asc' or 'desc', got {order!r}")
+    spec: dict[str, Any] = {
+        "sort": sort,
+        "order": order,
+        "limit": validated_limit(params.get("limit", DEFAULT_PAGE_SIZE)),
+        "offset": _validated_int(params.get("offset", 0), "offset", 0),
+    }
+    for name in ("drug", "adr"):
+        if params.get(name) is not None:
+            spec[name] = str(params[name])
+    for name in _NUMERIC_FILTERS:
+        if params.get(name) is not None:
+            spec[name] = _validated_float(params[name], name)
+    return spec
+
+
+def spec_key(spec: dict[str, Any]) -> tuple:
+    """The hashable cache key of one canonical parameter spec."""
+    return tuple(sorted(spec.items()))
+
+
+def candidate_positions(
+    snapshot, spec: dict[str, Any]
+) -> list[int] | tuple[int, ...]:
+    """Resolve index probes; ``None`` criteria select everything."""
+    indexes = snapshot.indexes
+    probes = []
+    if "drug" in spec:
+        probes.append(indexes.by_drug.get(spec["drug"], ()))
+    if "adr" in spec:
+        probes.append(indexes.by_adr.get(spec["adr"], ()))
+    if not probes:
+        ordered = indexes.order_by[spec["sort"]]
+        return ordered if spec["order"] == "desc" else ordered[::-1]
+    positions = intersect_sorted(probes)
+    return rank_positions(
+        snapshot.records,
+        positions,
+        spec["sort"],
+        descending=spec["order"] == "desc",
+    )
+
+
+def page_payload(snapshot, spec: dict[str, Any], view) -> dict[str, Any]:
+    """One listing page (``/v1/associations`` / ``/v1/clusters``)."""
+    records = snapshot.records
+    positions = candidate_positions(snapshot, spec)
+    floors = [
+        (name.removeprefix("min_"), spec[name])
+        for name in _NUMERIC_FILTERS
+        if name in spec
+    ]
+    if floors:
+        positions = [
+            p
+            for p in positions
+            if all(records[p][field] >= floor for field, floor in floors)
+        ]
+    total = len(positions)
+    offset, limit = spec["offset"], spec["limit"]
+    window = positions[offset : offset + limit]
+    items = [view(records[p]) for p in window]
+    return {
+        "run": snapshot.name,
+        "total": total,
+        "offset": offset,
+        "limit": limit,
+        "count": len(items),
+        "sort": spec["sort"],
+        "order": spec["order"],
+        "items": items,
+    }
+
+
+def cluster_payload(snapshot, cluster_id: str) -> dict[str, Any]:
+    """One cluster by stable id (accepts the association alias too)."""
+    lookup = cluster_id
+    if lookup.startswith(f"{ASSOCIATION_PREFIX}-"):
+        lookup = f"{CLUSTER_PREFIX}-{lookup.split('-', 1)[1]}"
+    position = snapshot.indexes.by_id.get(lookup)
+    if position is None:
+        raise NotFoundError(
+            f"unknown cluster {cluster_id!r} in run {snapshot.name!r}"
+        )
+    payload = cluster_view(snapshot.records[position])
+    payload["run"] = snapshot.name
+    return payload
+
+
+def drug_payload(snapshot, name: str) -> dict[str, Any]:
+    """The ``/v1/drugs/<name>`` profile payload."""
+    indexes = snapshot.indexes
+    positions = indexes.by_drug.get(name)
+    if positions is None:
+        raise NotFoundError(f"unknown drug {name!r} in run {snapshot.name!r}")
+    records = snapshot.records
+    partners: dict[str, int] = {}
+    adrs: dict[str, int] = {}
+    for position in positions:
+        record = records[position]
+        for drug in record["drugs"]:
+            if drug != name:
+                partners[drug] = partners.get(drug, 0) + 1
+        for adr in record["adrs"]:
+            adrs[adr] = adrs.get(adr, 0) + 1
+    ranked = rank_positions(records, positions, DEFAULT_SORT)
+    return {
+        "run": snapshot.name,
+        "drug": name,
+        "n_clusters": len(positions),
+        "partners": [
+            {"drug": drug, "n_clusters": count}
+            for drug, count in sorted(
+                partners.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ],
+        "adrs": [
+            {"adr": adr, "n_clusters": count}
+            for adr, count in sorted(adrs.items(), key=lambda kv: (-kv[1], kv[0]))
+        ],
+        "cluster_ids": [records[p]["id"] for p in ranked],
+    }
+
+
+def search_payload(
+    snapshot, query: str, kind: str | None, limit: int
+) -> dict[str, Any]:
+    """The prefix-token vocabulary search payload."""
+    indexes = snapshot.indexes
+    matches = []
+    for match_kind, label in indexes.prefixes.lookup(query, kind=kind):
+        positions = (
+            indexes.by_drug if match_kind == "drug" else indexes.by_adr
+        ).get(label, ())
+        matches.append(
+            {
+                "kind": match_kind,
+                "label": label,
+                "n_clusters": len(positions),
+                "cluster_ids": [snapshot.records[p]["id"] for p in positions],
+            }
+        )
+    matches.sort(key=lambda m: (-m["n_clusters"], m["kind"], m["label"]))
+    return {
+        "run": snapshot.name,
+        "query": query,
+        "total": len(matches),
+        "matches": matches[:limit],
+    }
+
+
 class QueryEngine:
     """Paginated, sorted, filtered queries over a :class:`ResultStore`."""
 
@@ -103,15 +316,15 @@ class QueryEngine:
 
     def cluster(self, cluster_id: str, *, run: str | None = None) -> dict[str, Any]:
         """One cluster by stable id (accepts the association alias too)."""
-        snapshot = self._snapshot(run)
+        snapshot = self.resolve(run)
         key = (snapshot.token, "cluster", cluster_id)
-        return self._cached(key, "cluster", self._cluster_payload, snapshot, cluster_id)
+        return self._cached(key, "cluster", cluster_payload, snapshot, cluster_id)
 
     def drug(self, name: str, *, run: str | None = None) -> dict[str, Any]:
         """The ``/v1/drugs/<name>`` profile: partners, ADRs, clusters."""
-        snapshot = self._snapshot(run)
+        snapshot = self.resolve(run)
         key = (snapshot.token, "drug", name)
-        return self._cached(key, "drug", self._drug_payload, snapshot, name)
+        return self._cached(key, "drug", drug_payload, snapshot, name)
 
     def search(
         self,
@@ -126,11 +339,11 @@ class QueryEngine:
             raise BadQueryError("search requires a non-empty q parameter")
         if kind is not None and kind not in ("drug", "adr"):
             raise BadQueryError(f"kind must be 'drug' or 'adr', got {kind!r}")
-        limit = self._validated_limit(limit)
-        snapshot = self._snapshot(run)
+        limit = validated_limit(limit)
+        snapshot = self.resolve(run)
         key = (snapshot.token, "search", query.strip().lower(), kind, limit)
         return self._cached(
-            key, "search", self._search_payload, snapshot, query, kind, limit
+            key, "search", search_payload, snapshot, query, kind, limit
         )
 
     def cache_stats(self) -> dict[str, Any]:
@@ -163,7 +376,8 @@ class QueryEngine:
         )
         self.registry.counter("serve.cache.invalidated").inc(dropped)
 
-    def _snapshot(self, run: str | None) -> RunSnapshot:
+    def resolve(self, run: str | None = None) -> RunSnapshot:
+        """The snapshot a query addresses (the store default when unnamed)."""
         return self.store.get(run if run is not None else self.store.default_run())
 
     def _cached(self, key, endpoint: str, build, *args) -> dict[str, Any]:
@@ -181,190 +395,7 @@ class QueryEngine:
     def _paged_query(
         self, endpoint: str, run: str | None, view, params: dict[str, Any]
     ) -> dict[str, Any]:
-        snapshot = self._snapshot(run)
-        spec = self._validated_params(snapshot, params)
-        key = (snapshot.token, endpoint, tuple(sorted(spec.items())))
-        return self._cached(
-            key, endpoint, self._page_payload, snapshot, spec, view
-        )
-
-    def _validated_params(
-        self, snapshot: RunSnapshot, params: dict[str, Any]
-    ) -> dict[str, Any]:
-        known = {
-            "drug", "adr", "sort", "order", "limit", "offset", *_NUMERIC_FILTERS,
-        }
-        unknown = set(params) - known
-        if unknown:
-            raise BadQueryError(
-                f"unknown parameters {sorted(unknown)}; valid: {sorted(known)}"
-            )
-        sort = params.get("sort", DEFAULT_SORT)
-        if sort not in snapshot.indexes.order_by:
-            raise BadQueryError(
-                f"unknown sort key {sort!r}; valid: {list(snapshot.indexes.sort_keys)}"
-            )
-        order = params.get("order", "desc")
-        if order not in ("asc", "desc"):
-            raise BadQueryError(f"order must be 'asc' or 'desc', got {order!r}")
-        spec: dict[str, Any] = {
-            "sort": sort,
-            "order": order,
-            "limit": self._validated_limit(params.get("limit", DEFAULT_PAGE_SIZE)),
-            "offset": self._validated_int(params.get("offset", 0), "offset", 0),
-        }
-        for name in ("drug", "adr"):
-            if params.get(name) is not None:
-                spec[name] = str(params[name])
-        for name in _NUMERIC_FILTERS:
-            if params.get(name) is not None:
-                spec[name] = self._validated_float(params[name], name)
-        return spec
-
-    @staticmethod
-    def _validated_int(value: Any, name: str, floor: int) -> int:
-        try:
-            value = int(value)
-        except (TypeError, ValueError):
-            raise BadQueryError(f"{name} must be an integer, got {value!r}") from None
-        if value < floor:
-            raise BadQueryError(f"{name} must be >= {floor}, got {value}")
-        return value
-
-    @staticmethod
-    def _validated_float(value: Any, name: str) -> float:
-        try:
-            return float(value)
-        except (TypeError, ValueError):
-            raise BadQueryError(f"{name} must be a number, got {value!r}") from None
-
-    def _validated_limit(self, value: Any) -> int:
-        limit = self._validated_int(value, "limit", 1)
-        if limit > MAX_PAGE_SIZE:
-            raise BadQueryError(f"limit must be <= {MAX_PAGE_SIZE}, got {limit}")
-        return limit
-
-    def _candidate_positions(
-        self, snapshot: RunSnapshot, spec: dict[str, Any]
-    ) -> list[int] | tuple[int, ...]:
-        """Resolve index probes; ``None`` criteria select everything."""
-        indexes = snapshot.indexes
-        probes = []
-        if "drug" in spec:
-            probes.append(indexes.by_drug.get(spec["drug"], ()))
-        if "adr" in spec:
-            probes.append(indexes.by_adr.get(spec["adr"], ()))
-        if not probes:
-            ordered = indexes.order_by[spec["sort"]]
-            return ordered if spec["order"] == "desc" else ordered[::-1]
-        positions = intersect_sorted(probes)
-        return rank_positions(
-            snapshot.records,
-            positions,
-            spec["sort"],
-            descending=spec["order"] == "desc",
-        )
-
-    def _page_payload(
-        self, snapshot: RunSnapshot, spec: dict[str, Any], view
-    ) -> dict[str, Any]:
-        records = snapshot.records
-        positions = self._candidate_positions(snapshot, spec)
-        floors = [
-            (name.removeprefix("min_"), spec[name])
-            for name in _NUMERIC_FILTERS
-            if name in spec
-        ]
-        if floors:
-            positions = [
-                p
-                for p in positions
-                if all(records[p][field] >= floor for field, floor in floors)
-            ]
-        total = len(positions)
-        offset, limit = spec["offset"], spec["limit"]
-        window = positions[offset : offset + limit]
-        items = [view(records[p]) for p in window]
-        return {
-            "run": snapshot.name,
-            "total": total,
-            "offset": offset,
-            "limit": limit,
-            "count": len(items),
-            "sort": spec["sort"],
-            "order": spec["order"],
-            "items": items,
-        }
-
-    def _cluster_payload(
-        self, snapshot: RunSnapshot, cluster_id: str
-    ) -> dict[str, Any]:
-        lookup = cluster_id
-        if lookup.startswith(f"{ASSOCIATION_PREFIX}-"):
-            lookup = f"{CLUSTER_PREFIX}-{lookup.split('-', 1)[1]}"
-        position = snapshot.indexes.by_id.get(lookup)
-        if position is None:
-            raise NotFoundError(
-                f"unknown cluster {cluster_id!r} in run {snapshot.name!r}"
-            )
-        payload = cluster_view(snapshot.records[position])
-        payload["run"] = snapshot.name
-        return payload
-
-    def _drug_payload(self, snapshot: RunSnapshot, name: str) -> dict[str, Any]:
-        indexes = snapshot.indexes
-        positions = indexes.by_drug.get(name)
-        if positions is None:
-            raise NotFoundError(f"unknown drug {name!r} in run {snapshot.name!r}")
-        records = snapshot.records
-        partners: dict[str, int] = {}
-        adrs: dict[str, int] = {}
-        for position in positions:
-            record = records[position]
-            for drug in record["drugs"]:
-                if drug != name:
-                    partners[drug] = partners.get(drug, 0) + 1
-            for adr in record["adrs"]:
-                adrs[adr] = adrs.get(adr, 0) + 1
-        ranked = rank_positions(records, positions, DEFAULT_SORT)
-        return {
-            "run": snapshot.name,
-            "drug": name,
-            "n_clusters": len(positions),
-            "partners": [
-                {"drug": drug, "n_clusters": count}
-                for drug, count in sorted(
-                    partners.items(), key=lambda kv: (-kv[1], kv[0])
-                )
-            ],
-            "adrs": [
-                {"adr": adr, "n_clusters": count}
-                for adr, count in sorted(adrs.items(), key=lambda kv: (-kv[1], kv[0]))
-            ],
-            "cluster_ids": [records[p]["id"] for p in ranked],
-        }
-
-    def _search_payload(
-        self, snapshot: RunSnapshot, query: str, kind: str | None, limit: int
-    ) -> dict[str, Any]:
-        indexes = snapshot.indexes
-        matches = []
-        for match_kind, label in indexes.prefixes.lookup(query, kind=kind):
-            positions = (
-                indexes.by_drug if match_kind == "drug" else indexes.by_adr
-            ).get(label, ())
-            matches.append(
-                {
-                    "kind": match_kind,
-                    "label": label,
-                    "n_clusters": len(positions),
-                    "cluster_ids": [snapshot.records[p]["id"] for p in positions],
-                }
-            )
-        matches.sort(key=lambda m: (-m["n_clusters"], m["kind"], m["label"]))
-        return {
-            "run": snapshot.name,
-            "query": query,
-            "total": len(matches),
-            "matches": matches[:limit],
-        }
+        snapshot = self.resolve(run)
+        spec = validated_params(snapshot, params)
+        key = (snapshot.token, endpoint, spec_key(spec))
+        return self._cached(key, endpoint, page_payload, snapshot, spec, view)

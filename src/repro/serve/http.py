@@ -1,118 +1,91 @@
-"""The stdlib HTTP/JSON transport in front of the query engine.
+"""The threaded (sync) HTTP transport in front of the shared responder.
 
-A :class:`~http.server.ThreadingHTTPServer` (one thread per in-flight
-request, daemonized) dispatching GET routes to
-:class:`~repro.serve.engine.QueryEngine` methods:
+A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+daemonized) that hands every ``GET``/``HEAD`` request to the shared
+:class:`~repro.serve.api.ApiResponder` — routing, byte-cache probes,
+ETags, and error mapping all live there, so this transport and the
+asyncio one (:mod:`repro.serve.aio`) produce byte-identical bodies.
 
-====================  =================================================
-``/v1/healthz``       liveness + loaded run names
-``/v1/metrics``       :mod:`repro.obs` snapshot + LRU cache accounting
-``/v1/runs``          run listing with dataset stats and sort keys
-``/v1/associations``  flat rule listing (filter/sort/paginate)
-``/v1/clusters``      MCAC listing; ``/v1/clusters/<id>`` for one
-``/v1/drugs/<name>``  drug profile: partners, ADRs, cluster ids
-``/v1/search``        prefix-token vocabulary search (``q=``, ``kind=``)
-====================  =================================================
-
-Error mapping is type-driven: :class:`~repro.errors.QueryError`
-subclasses carry their HTTP status (400/404), any other library error
-is a 400, and unexpected exceptions are a 500 whose body never leaks a
-traceback. All responses — errors included — are
-``{"error": {...}}``/payload JSON with ``Content-Type:
-application/json``.
-
-The engine is transport-agnostic; everything here is parsing, routing,
-serialization, and per-route :mod:`repro.obs` request accounting.
+This is the ``mediar serve --sync`` fallback and the simplest embedding
+(:func:`running_server` for tests and notebooks). What remains here is
+socket plumbing plus **graceful shutdown**: the server tracks in-flight
+requests and :meth:`MediarHTTPServer.drain` blocks until they complete
+(or a deadline passes), so a SIGTERM stops accepting, finishes what is
+being written, and exits cleanly instead of dying mid-response.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
-from urllib.parse import parse_qsl, unquote, urlsplit
 
-from repro.errors import NotFoundError, QueryError, ReproError
+from repro.serve.api import CONTENT_TYPE, ApiResponder, ApiResponse
 from repro.serve.engine import QueryEngine
 
 API_PREFIX = "/v1"
 
 
 class MediarRequestHandler(BaseHTTPRequestHandler):
-    """Routes one GET request into the engine and serializes the answer."""
+    """Hands one GET/HEAD request to the responder and writes the answer."""
 
     server: "MediarHTTPServer"
     server_version = "mediar-serve/1"
     protocol_version = "HTTP/1.1"
-
-    # -- routing --------------------------------------------------------
+    # Response head and body go out as separate writes; without
+    # TCP_NODELAY the Nagle/delayed-ACK interaction stalls every
+    # keep-alive response by ~40ms.
+    disable_nagle_algorithm = True
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        split = urlsplit(self.path)
-        route = split.path.rstrip("/") or "/"
-        params = dict(parse_qsl(split.query))
-        engine = self.server.engine
-        registry = engine.registry
-        registry.counter("serve.http.requests").inc()
-        try:
-            with registry.timer("serve.http.request"):
-                status, payload = self._dispatch(engine, route, params)
-        except QueryError as error:
-            status, payload = error.status, _error_body(error.status, str(error))
-        except ReproError as error:
-            status, payload = 400, _error_body(400, str(error))
-        except Exception:  # pragma: no cover — defensive 500 path
-            status, payload = 500, _error_body(500, "internal server error")
-        registry.counter(f"serve.http.status.{status}").inc()
-        self._respond(status, payload)
+        self._handle("GET")
 
-    def _dispatch(
-        self, engine: QueryEngine, route: str, params: dict[str, str]
-    ) -> tuple[int, dict[str, Any]]:
-        if route == f"{API_PREFIX}/healthz":
-            return 200, {"status": "ok", "runs": engine.store.names()}
-        if route == f"{API_PREFIX}/metrics":
-            return 200, {
-                "metrics": engine.registry.snapshot().as_dict(),
-                "cache": engine.cache_stats(),
+    def do_HEAD(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle("HEAD")
+
+    # Write methods route through the responder so clients get the API's
+    # JSON 405 + Allow header, not the stdlib's bare 501.
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle("DELETE")
+
+    def do_PATCH(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle("PATCH")
+
+    def _handle(self, method: str) -> None:
+        with self.server.in_flight():
+            headers = {
+                key.lower(): value for key, value in self.headers.items()
             }
-        if route == f"{API_PREFIX}/runs":
-            return 200, engine.runs()
-        if route == f"{API_PREFIX}/associations":
-            return 200, engine.associations(**_engine_params(params))
-        if route == f"{API_PREFIX}/clusters":
-            if "id" in params:
-                return 200, engine.cluster(params["id"], run=params.get("run"))
-            return 200, engine.clusters(**_engine_params(params))
-        if route.startswith(f"{API_PREFIX}/clusters/"):
-            cluster_id = unquote(route.rsplit("/", 1)[1])
-            return 200, engine.cluster(cluster_id, run=params.get("run"))
-        if route.startswith(f"{API_PREFIX}/drugs/"):
-            name = unquote(route.rsplit("/", 1)[1])
-            return 200, engine.drug(name, run=params.get("run"))
-        if route == f"{API_PREFIX}/search":
-            if "q" not in params:
-                raise QueryError("search requires a q parameter")
-            return 200, engine.search(
-                params["q"],
-                run=params.get("run"),
-                kind=params.get("kind"),
-                limit=params.get("limit", 20),
-            )
-        raise NotFoundError(f"no such endpoint: {route}")
+            # Discard any request body to keep the persistent connection
+            # framed (the next request must start at the right byte).
+            remaining = int(headers.get("content-length", 0) or 0)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            response = self.server.responder.handle(method, self.path, headers)
+            self._respond(response)
 
-    # -- plumbing -------------------------------------------------------
-
-    def _respond(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
+    def _respond(self, response: ApiResponse) -> None:
+        self.send_response(response.status)
+        if response.status != 304:
+            self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(response.content_length))
+        if response.etag is not None:
+            self.send_header("ETag", response.etag)
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        if response.send_body:
+            self.wfile.write(response.body)
 
     def log_message(self, format: str, *args) -> None:
         """Default request logging is suppressed; obs counters cover it."""
@@ -120,41 +93,66 @@ class MediarRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
-def _engine_params(params: dict[str, str]) -> dict[str, str]:
-    """Query-string params as engine kwargs (engine validates values)."""
-    return {key: value for key, value in params.items() if key != ""}
-
-
-def _error_body(status: int, message: str) -> dict[str, Any]:
-    return {"error": {"status": status, "message": message}}
-
-
 class MediarHTTPServer(ThreadingHTTPServer):
-    """The serving process: a threading HTTP server bound to one engine."""
+    """The sync serving process: a threading HTTP server, one responder."""
 
     daemon_threads = True
 
     def __init__(
         self,
-        engine: QueryEngine,
+        engine: QueryEngine | ApiResponder,
         host: str = "127.0.0.1",
         port: int = 8080,
         *,
         verbose: bool = False,
     ) -> None:
         super().__init__((host, port), MediarRequestHandler)
-        self.engine = engine
+        if isinstance(engine, ApiResponder):
+            self.responder = engine
+        else:
+            self.responder = ApiResponder(engine)
         self.verbose = verbose
+        self._in_flight = 0
+        self._drained = threading.Condition()
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.responder.engine
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    @contextmanager
+    def in_flight(self) -> Iterator[None]:
+        """Count one request for :meth:`drain` while it is being served."""
+        with self._drained:
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._drained:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._drained.notify_all()
+
+    def drain(self, deadline: float = 5.0) -> bool:
+        """Wait until no request is in flight; True if fully drained.
+
+        Call after :meth:`shutdown` (which stops the accept loop): the
+        pair is the graceful-stop sequence — stop accepting, finish
+        what is already being answered, then close the socket.
+        """
+        with self._drained:
+            return self._drained.wait_for(
+                lambda: self._in_flight == 0, timeout=deadline
+            )
+
 
 @contextmanager
 def running_server(
-    engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+    engine: QueryEngine | ApiResponder, host: str = "127.0.0.1", port: int = 0
 ) -> Iterator[MediarHTTPServer]:
     """Run a server on a background thread for the enclosed block.
 
@@ -168,5 +166,6 @@ def running_server(
         yield server
     finally:
         server.shutdown()
+        server.drain()
         server.server_close()
         thread.join(timeout=5)

@@ -7,14 +7,23 @@ each test reads its own cache and metrics counters from zero.
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
+from urllib.parse import urlsplit
 
 import pytest
 
 from repro.obs import MetricsRegistry
-from repro.serve import QueryEngine, ResultStore, RunSnapshot, running_server
+from repro.serve import (
+    ApiResponder,
+    QueryEngine,
+    ResultStore,
+    RunSnapshot,
+    running_async_server,
+    running_server,
+)
 
 RUN_NAME = "2014T1"
 
@@ -42,6 +51,17 @@ def server(engine):
         yield server
 
 
+@pytest.fixture
+def responder(engine) -> ApiResponder:
+    return ApiResponder(engine)
+
+
+@pytest.fixture
+def async_server(responder):
+    with running_async_server(responder) as server:
+        yield server
+
+
 def http_get(base_url: str, path: str) -> tuple[int, dict]:
     """GET returning ``(status, parsed_json)`` for 2xx and error statuses."""
     try:
@@ -49,3 +69,27 @@ def http_get(base_url: str, path: str) -> tuple[int, dict]:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as error:
         return error.code, json.loads(error.read())
+
+
+def http_request(
+    base_url: str,
+    path: str,
+    *,
+    method: str = "GET",
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], bytes]:
+    """One request returning ``(status, lowercased-headers, raw body)``.
+
+    Unlike :func:`http_get` this never parses the body, so it can
+    observe 304/HEAD emptiness and compare transports byte-for-byte.
+    """
+    parts = urlsplit(base_url)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=10)
+    try:
+        conn.request(method, path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        header_map = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, header_map, body
+    finally:
+        conn.close()

@@ -1,0 +1,169 @@
+"""The precomputed-bytes layer: correctness, the zero-encode property,
+and refresh invalidation.
+
+The headline acceptance for the async serving work is *zero per-request
+JSON encoding on the hot paths* — provable from the outside via the
+``serve.responses.precomputed`` / ``serve.responses.encoded`` counters,
+which is exactly how this suite asserts it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Maras, MarasConfig
+from repro.obs import MetricsRegistry
+from repro.serve import ApiResponder, QueryEngine, ResultStore
+from repro.serve.bytecache import (
+    ByteCacheDirectory,
+    SnapshotBytes,
+    encode_payload,
+    strong_etag,
+)
+
+from tests.serve.conftest import RUN_NAME
+
+
+class TestEncoding:
+    def test_encode_payload_is_canonical(self):
+        assert encode_payload({"b": 1, "a": [2]}) == b'{"a": [2], "b": 1}'
+
+    def test_strong_etag_is_quoted_and_content_addressed(self):
+        one, same, other = (
+            strong_etag(b"body"),
+            strong_etag(b"body"),
+            strong_etag(b"different"),
+        )
+        assert one == same != other
+        assert one.startswith('"') and one.endswith('"') and len(one) == 34
+
+
+class TestSnapshotBytes:
+    def test_cluster_bytes_match_engine_payload(self, snapshot, engine):
+        table = SnapshotBytes(snapshot)
+        record = snapshot.records[0]
+        body, etag = table.cluster(record["id"])
+        assert json.loads(body) == engine.cluster(record["id"])
+        assert etag == strong_etag(body)
+
+    def test_association_alias_shares_the_cluster_entry(self, snapshot):
+        table = SnapshotBytes(snapshot)
+        record = snapshot.records[0]
+        alias = "assoc-" + record["id"].split("-", 1)[1]
+        assert table.cluster(alias) == table.cluster(record["id"])
+
+    def test_drug_bytes_match_engine_payload(self, snapshot, engine):
+        table = SnapshotBytes(snapshot)
+        drug = snapshot.records[0]["drugs"][0]
+        body, _ = table.drug(drug)
+        assert json.loads(body) == engine.drug(drug)
+
+    def test_default_pages_cover_every_sort_key(self, snapshot, engine):
+        table = SnapshotBytes(snapshot)
+        for sort in snapshot.indexes.sort_keys:
+            page = engine.associations(sort=sort)
+            key = tuple(
+                sorted(
+                    {
+                        "sort": sort,
+                        "order": "desc",
+                        "limit": page["limit"],
+                        "offset": 0,
+                    }.items()
+                )
+            )
+            body, _ = table.page("associations", key)
+            assert json.loads(body) == page
+
+    def test_misses_return_none(self, snapshot):
+        table = SnapshotBytes(snapshot)
+        assert table.cluster("mcac-nope") is None
+        assert table.drug("NOPE") is None
+        assert table.page("associations", (("sort", "nope"),)) is None
+
+
+class TestDirectory:
+    def test_tables_are_built_once_and_shared(self, snapshot):
+        directory = ByteCacheDirectory()
+        first = directory.for_snapshot(snapshot)
+        assert directory.for_snapshot(snapshot) is first
+        assert directory.builds == 1
+
+    def test_invalidate_drops_exactly_that_token(self, snapshot):
+        directory = ByteCacheDirectory()
+        directory.for_snapshot(snapshot)
+        assert directory.invalidate(snapshot.token) is True
+        assert directory.invalidate(snapshot.token) is False
+        assert directory.stats()["tables"] == 0
+
+    def test_stats_account_entries_and_bytes(self, snapshot):
+        directory = ByteCacheDirectory()
+        table = directory.for_snapshot(snapshot)
+        stats = directory.stats()
+        assert stats == {
+            "tables": 1,
+            "entries": table.n_entries,
+            "bytes": table.n_bytes,
+            "builds": 1,
+        }
+
+
+@pytest.fixture
+def hammer_responder(mined_quarter):
+    store = ResultStore()
+    store.add_result(RUN_NAME, mined_quarter)
+    return ApiResponder(QueryEngine(store, registry=MetricsRegistry()))
+
+
+class TestZeroEncodeProperty:
+    def test_hot_paths_never_encode_after_warm(self, hammer_responder, snapshot):
+        responder = hammer_responder
+        assert responder.warm() > 0
+        registry = responder.engine.registry
+        encoded_before = registry.snapshot().counters.get(
+            "serve.responses.encoded", 0
+        )
+
+        cluster_id = snapshot.records[0]["id"]
+        drug = snapshot.records[0]["drugs"][0]
+        for _ in range(25):
+            assert responder.handle("GET", f"/v1/clusters/{cluster_id}").status == 200
+            assert responder.handle("GET", f"/v1/drugs/{drug}").status == 200
+            assert responder.handle("GET", "/v1/associations").status == 200
+            assert responder.handle("GET", "/v1/clusters?sort=lift").status == 200
+
+        counters = responder.engine.registry.snapshot().counters
+        assert counters.get("serve.responses.encoded", 0) == encoded_before
+        assert counters["serve.responses.precomputed"] == 100
+
+    def test_long_tail_queries_still_encode_through_the_lru(
+        self, hammer_responder
+    ):
+        responder = hammer_responder
+        responder.warm()
+        response = responder.handle("GET", "/v1/associations?limit=3&offset=7")
+        assert response.status == 200
+        counters = responder.engine.registry.snapshot().counters
+        assert counters["serve.responses.encoded"] == 1
+
+    def test_refresh_invalidates_byte_tables(self, mined_quarter):
+        store = ResultStore()
+        store.add_result(RUN_NAME, mined_quarter)
+        responder = ApiResponder(QueryEngine(store, registry=MetricsRegistry()))
+        responder.warm()
+        before = responder.handle("GET", "/v1/associations")
+        assert before.status == 200
+
+        smaller = Maras(MarasConfig(min_support=6, clean=False)).run(
+            mined_quarter.dataset
+        )
+        responder.engine.refresh(RUN_NAME, smaller)
+        counters = responder.engine.registry.snapshot().counters
+        assert counters["serve.bytecache.invalidated"] == 1
+
+        after = responder.handle("GET", "/v1/associations")
+        assert after.status == 200
+        assert json.loads(after.body)["total"] == len(smaller.clusters)
+        assert json.loads(before.body)["total"] == len(mined_quarter.clusters)

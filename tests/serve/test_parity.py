@@ -1,0 +1,112 @@
+"""Transport parity: sync and async answers are byte-identical.
+
+Both transports delegate to one shared :class:`ApiResponder`, so parity
+holds by construction — this suite asserts it end-to-end anyway, over
+real sockets, for success bodies, error envelopes, ETags, and status
+codes. ``/v1/metrics`` is excluded (its counters legitimately differ
+between two live servers).
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+import pytest
+
+from tests.serve.conftest import http_request
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    ApiResponder,
+    QueryEngine,
+    running_async_server,
+    running_server,
+)
+
+
+@pytest.fixture
+def transport_pair(store):
+    """One server per transport, each over its own responder/registry."""
+    sync_responder = ApiResponder(QueryEngine(store, registry=MetricsRegistry()))
+    async_responder = ApiResponder(QueryEngine(store, registry=MetricsRegistry()))
+    with running_server(sync_responder) as sync_server:
+        with running_async_server(async_responder) as async_server:
+            yield sync_server.url, async_server.url
+
+
+PATHS = [
+    "/v1/healthz",
+    "/v1/runs",
+    "/v1/associations",
+    "/v1/associations?limit=3&offset=1&sort=lift&order=asc",
+    "/v1/clusters",
+    "/v1/clusters?min_support=5&limit=2",
+    "/v1/search?q=a",
+    # error surface
+    "/v1/nope",
+    "/v1/associations?sort=bogus",
+    "/v1/associations?limit=5&limit=6",
+    "/v1/clusters/mcac-ffffffffffff",
+    "/v1/search",
+]
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("path", PATHS)
+    def test_fixed_paths_byte_identical(self, transport_pair, path):
+        sync_url, async_url = transport_pair
+        sync_status, sync_headers, sync_body = http_request(sync_url, path)
+        async_status, async_headers, async_body = http_request(async_url, path)
+        assert sync_status == async_status
+        assert sync_body == async_body
+        assert sync_headers.get("content-type") == async_headers.get(
+            "content-type"
+        )
+        assert sync_headers.get("etag") == async_headers.get("etag")
+
+    def test_id_addressed_resources_byte_identical(
+        self, transport_pair, snapshot
+    ):
+        sync_url, async_url = transport_pair
+        cluster_id = snapshot.records[0]["id"]
+        drug = snapshot.records[0]["drugs"][0]
+        for path in (
+            f"/v1/clusters/{cluster_id}",
+            f"/v1/drugs/{quote(drug)}",
+        ):
+            sync_status, sync_headers, sync_body = http_request(sync_url, path)
+            async_status, async_headers, async_body = http_request(
+                async_url, path
+            )
+            assert (sync_status, async_status) == (200, 200)
+            assert sync_body == async_body
+            assert sync_headers["etag"] == async_headers["etag"]
+
+    def test_conditional_get_parity(self, transport_pair, snapshot):
+        sync_url, async_url = transport_pair
+        path = f"/v1/clusters/{snapshot.records[0]['id']}"
+        _, headers, _ = http_request(sync_url, path)
+        etag = headers["etag"]
+        for url in (sync_url, async_url):
+            status, conditional_headers, body = http_request(
+                url, path, headers={"If-None-Match": etag}
+            )
+            assert status == 304
+            assert body == b""
+            assert conditional_headers["etag"] == etag
+
+    def test_head_parity(self, transport_pair):
+        sync_url, async_url = transport_pair
+        path = "/v1/associations?limit=4"
+        results = [
+            http_request(url, path, method="HEAD")
+            for url in (sync_url, async_url)
+        ]
+        (sync_status, sync_headers, sync_body) = results[0]
+        (async_status, async_headers, async_body) = results[1]
+        assert (sync_status, async_status) == (200, 200)
+        assert sync_body == async_body == b""
+        assert (
+            sync_headers["content-length"] == async_headers["content-length"]
+        )
+        assert int(sync_headers["content-length"]) > 0

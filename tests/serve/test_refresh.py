@@ -8,6 +8,7 @@ hammer test drives concurrent readers straight through repeated swaps.
 
 from __future__ import annotations
 
+import json
 import threading
 
 import pytest
@@ -15,7 +16,14 @@ import pytest
 from repro.core import Maras, MarasConfig
 from repro.errors import NotFoundError
 from repro.obs import MetricsRegistry
-from repro.serve import QueryEngine, ResultStore
+from repro.serve import (
+    ApiResponder,
+    QueryEngine,
+    ResultStore,
+    running_async_server,
+)
+
+from tests.serve.conftest import http_request
 
 RUN = "hammered"
 
@@ -122,3 +130,68 @@ class TestRefreshHammer:
         assert not errors, errors[:1]
         final = fresh_engine.clusters(run=RUN, limit=5)
         assert final["total"] == len(mined_quarter.clusters)
+
+
+class TestRefreshUnderLoadAsync:
+    def test_hot_path_bytes_never_torn_across_swaps(
+        self, fresh_engine, half_quarter, mined_quarter
+    ):
+        """HTTP clients hammer the byte-cached hot paths over the async
+        transport while the served run is swapped repeatedly. Every body
+        must be one snapshot's complete truth: a listing's ``total``
+        matches one of the two results exactly, and a cluster detail's
+        bytes verify against their own strong ETag — a torn or mixed
+        response cannot satisfy either."""
+        responder = ApiResponder(fresh_engine)
+        responder.warm()
+        totals = {len(mined_quarter.clusters), len(half_quarter.clusters)}
+        # ids present in both results stay resolvable across every swap
+        from repro.serve import RunSnapshot
+
+        half_ids = {
+            record["id"]
+            for record in RunSnapshot.from_result("half", half_quarter).records
+        }
+        common_ids = sorted(
+            {r["id"] for r in fresh_engine.store.get(RUN).records} & half_ids
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        with running_async_server(responder) as server:
+            def reader() -> None:
+                try:
+                    while not stop.is_set():
+                        status, _, body = http_request(
+                            server.url, "/v1/associations"
+                        )
+                        assert status == 200
+                        assert json.loads(body)["total"] in totals
+                        if common_ids:
+                            status, headers, body = http_request(
+                                server.url, f"/v1/clusters/{common_ids[0]}"
+                            )
+                            assert status == 200
+                            from repro.serve.bytecache import strong_etag
+
+                            assert headers["etag"] == strong_etag(body)
+                except BaseException as error:  # noqa: BLE001 — surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                for cycle in range(10):
+                    result = half_quarter if cycle % 2 == 0 else mined_quarter
+                    fresh_engine.refresh(RUN, result)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+        assert not errors, errors[:1]
+        counters = fresh_engine.registry.snapshot().counters
+        # each swap invalidates the replaced table when a reader had
+        # built one (readers hammer continuously, so nearly every cycle)
+        assert 1 <= counters["serve.bytecache.invalidated"] <= 10
+        assert counters.get("serve.responses.precomputed", 0) > 0
