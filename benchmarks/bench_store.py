@@ -1,0 +1,178 @@
+"""Durable-store performance: catalog ops and checkpoint round trips.
+
+Beyond the paper: the production posture the store subsystem adds —
+versioned snapshot saves, warm-restart loads, per-batch checkpoints —
+must cost little next to mining itself, or nobody runs with
+``--store`` enabled. Measures, for both backends where applicable:
+
+- ``save_run`` / ``load_run`` latency over a chain of versions;
+- ``compact()`` reclaim on the SQLite catalog (bytes on disk);
+- the checkpoint+restore round trip of a live surveillance stream,
+  including the serialized state size — the per-batch durability tax.
+
+Appends to ``BENCH_store.json`` via the shared trajectory writer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core import MarasConfig
+from repro.core.export import export_result
+from repro.core.incremental import SurveillanceMonitor
+from repro.faers import ReportDataset, SyntheticFAERSGenerator, quarter_config
+from repro.store import (
+    DirectoryBackend,
+    SQLiteBackend,
+    checkpoint_monitor,
+    config_fingerprint,
+    restore_monitor,
+)
+from repro.store.backend import JournalEntry
+
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
+from benchmarks.conftest import write_artifact
+
+SCALE = 0.02
+N_VERSIONS = 20
+N_BATCHES = 6
+MIN_SUPPORT = 5
+
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_store.json"
+
+
+def _mined_payload() -> dict:
+    from repro.core import Maras
+
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q1", scale=SCALE))
+    dataset = ReportDataset(generator.generate())
+    result = Maras(MarasConfig(min_support=MIN_SUPPORT, clean=False)).run(
+        dataset
+    )
+    return export_result(result)
+
+
+def _timed(operation, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        operation()
+    return (time.perf_counter() - start) / repeats * 1000.0
+
+
+def test_store_benchmark(tmp_path):
+    payload = _mined_payload()
+    payload_bytes = len(
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    )
+
+    # -- catalog ops, both backends ------------------------------------
+    timings: dict[str, float] = {}
+    directory = DirectoryBackend(tmp_path / "dirstore")
+    timings["dir_save_ms"] = _timed(
+        lambda: directory.save_run("q1", payload), N_VERSIONS
+    )
+    timings["dir_load_ms"] = _timed(
+        lambda: directory.load_run("q1"), N_VERSIONS
+    )
+
+    db_path = tmp_path / "runs.db"
+    with SQLiteBackend(db_path) as backend:
+        timings["sqlite_save_ms"] = _timed(
+            lambda: backend.save_run("q1", payload), N_VERSIONS
+        )
+        timings["sqlite_load_ms"] = _timed(
+            lambda: backend.load_run("q1"), N_VERSIONS
+        )
+        def on_disk() -> int:
+            # WAL mode: pages live in the -wal sidecar until folded in.
+            return sum(
+                p.stat().st_size
+                for suffix in ("", "-wal", "-shm")
+                for p in [db_path.with_name(db_path.name + suffix)]
+                if p.exists()
+            )
+
+        size_before = on_disk()
+        dropped = backend.compact()
+        size_after = on_disk()
+    assert dropped == N_VERSIONS - 1
+    assert size_after < size_before  # VACUUM reclaims superseded bodies
+
+    # -- checkpoint round trip on a live stream ------------------------
+    generator = SyntheticFAERSGenerator(quarter_config("2014Q2", scale=SCALE))
+    reports = list(ReportDataset(generator.generate()))
+    size = -(-len(reports) // N_BATCHES)
+    batches = [
+        reports[i * size : (i + 1) * size] for i in range(N_BATCHES)
+    ]
+    config = MarasConfig(
+        min_support=MIN_SUPPORT, clean=False, incremental=True
+    )
+    fingerprint = config_fingerprint(config)
+    checkpoint_ms = []
+    with SQLiteBackend(tmp_path / "watch.db") as backend:
+        with SurveillanceMonitor(config) as monitor:
+            for index, batch in enumerate(batches):
+                monitor.ingest(batch)
+                start = time.perf_counter()
+                checkpoint_monitor(
+                    backend,
+                    "q2",
+                    monitor,
+                    fingerprint=fingerprint,
+                    journal=[
+                        JournalEntry(index, [r.case_id for r in batch])
+                    ],
+                )
+                checkpoint_ms.append((time.perf_counter() - start) * 1000.0)
+            expected = export_result(monitor.result)
+        state_bytes = len(
+            json.dumps(
+                backend.load_checkpoint("q2").state,
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        start = time.perf_counter()
+        restored = restore_monitor(backend, "q2", config)
+        restore_ms = (time.perf_counter() - start) * 1000.0
+        with restored:
+            assert export_result(restored.result) == expected
+    timings["checkpoint_ms"] = sum(checkpoint_ms) / len(checkpoint_ms)
+    timings["restore_ms"] = restore_ms
+
+    lines = [
+        f"Durable store — {N_VERSIONS} versions of a "
+        f"{payload_bytes:,d}-byte payload, {N_BATCHES}-batch stream",
+        f"{'operation':<22s} {'ms':>10s}",
+    ]
+    for name, value in timings.items():
+        lines.append(f"{name:<22s} {value:>10.2f}")
+    lines.append(
+        f"compact reclaimed {size_before - size_after:,d} bytes "
+        f"({size_before:,d} -> {size_after:,d})"
+    )
+    lines.append(f"checkpoint state: {state_bytes:,d} bytes")
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("store.txt", artifact)
+
+    append_run(
+        TRAJECTORY_PATH,
+        "store",
+        "store_roundtrip",
+        base_record(
+            payload_bytes=payload_bytes,
+            n_versions=N_VERSIONS,
+            n_batches=N_BATCHES,
+            **{name: round(value, 3) for name, value in timings.items()},
+            compact_reclaimed_bytes=size_before - size_after,
+            checkpoint_state_bytes=state_bytes,
+        ),
+    )
+
+    # The durability tax must stay well under mining cost: a checkpoint
+    # round trip is a few dozen ms at this scale, not seconds.
+    assert timings["checkpoint_ms"] < 1000.0
+    assert timings["sqlite_load_ms"] < 1000.0

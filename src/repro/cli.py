@@ -14,7 +14,11 @@ Installed as the ``mediar`` console script; also runnable as
   over the :mod:`repro.serve` JSON HTTP API;
 - ``run``      — full pipeline then JSON export in one step; with
   ``--workers N`` the mining stage shards across N processes
-  (byte-identical output, see :mod:`repro.parallel`).
+  (byte-identical output, see :mod:`repro.parallel`);
+- ``watch``    — stream a quarter in batches through incremental
+  surveillance; ``--store sqlite:///path.db`` checkpoints after each
+  batch so a killed watch resumes mid-stream with identical output;
+- ``runs``     — list/show/prune the runs in a durable store.
 
 ``mine``, ``render``, ``validate`` and ``stats`` accept either
 ``--synthetic QUARTER`` (e.g. 2014Q1) or ``--demo/--drug/--reac`` file
@@ -147,6 +151,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the full pipeline per batch instead of the "
         "incremental engine (for comparison)",
     )
+    watch.add_argument(
+        "--store",
+        default=None,
+        metavar="URI",
+        help="checkpoint into a durable store (sqlite:///path.db) after "
+        "each batch; a killed watch resumes where it stopped",
+    )
+    watch.add_argument(
+        "--run",
+        default=None,
+        metavar="NAME",
+        help="run name in the store (default: the dataset's quarter)",
+    )
+    watch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="commit a checkpoint every N batches (default 1; the final "
+        "batch always checkpoints)",
+    )
+    watch.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the final result as a JSON export",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve mined results over a JSON HTTP API"
@@ -163,17 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--load",
-        type=Path,
         default=None,
         metavar="DIR",
         help="serve snapshots from a store directory instead of mining",
     )
     serve.add_argument(
-        "--save",
-        type=Path,
+        "--store",
         default=None,
-        metavar="DIR",
-        help="also write the store to DIR for warm restarts",
+        metavar="URI",
+        help="serve snapshots from a durable store URI "
+        "(dir:///path or sqlite:///path.db) instead of mining",
+    )
+    serve.add_argument(
+        "--save",
+        default=None,
+        metavar="STORE",
+        help="also write the runs to a store (directory path or URI) "
+        "for warm restarts",
     )
     serve.add_argument(
         "--cache-size",
@@ -216,6 +254,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         metavar="SECONDS",
         help="graceful-shutdown drain deadline on SIGTERM/SIGINT",
+    )
+
+    runs = subparsers.add_parser(
+        "runs", help="inspect and maintain a durable run store"
+    )
+    runs.add_argument(
+        "--store",
+        required=True,
+        metavar="URI",
+        help="store to operate on (dir:///path or sqlite:///path.db)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="list every run version in the store")
+    show = runs_sub.add_parser("show", help="show one run's catalog row")
+    show.add_argument("name", help="run name")
+    show.add_argument(
+        "--version",
+        type=int,
+        default=None,
+        help="pin a version (default: latest)",
+    )
+    show.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full snapshot payload as JSON",
+    )
+    prune = runs_sub.add_parser(
+        "prune", help="apply retention: drop old versions per run"
+    )
+    prune.add_argument(
+        "--keep",
+        type=int,
+        default=1,
+        metavar="N",
+        help="versions to keep per run (default 1)",
+    )
+    prune.add_argument(
+        "--compact",
+        action="store_true",
+        help="also drop superseded payload bodies and VACUUM "
+        "(catalog rows stay listable)",
     )
     return parser
 
@@ -461,11 +540,34 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_kill_hook(variable: str, batch_index: int) -> None:
+    """Crash-injection hook for the durability test harness.
+
+    When the named environment variable holds ``batch_index``, the
+    process SIGKILLs itself — no cleanup, no atexit, exactly the
+    failure mode the checkpoint/journal transaction must survive.
+    """
+    import os
+    import signal
+
+    if os.environ.get(variable, "") == str(batch_index):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 def cmd_watch(args: argparse.Namespace) -> int:
     from repro.core.incremental import SurveillanceMonitor
 
     if args.batches < 1:
         raise ConfigError(f"--batches must be >= 1, got {args.batches}")
+    if args.checkpoint_every < 1:
+        raise ConfigError(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.store and args.full_rescan:
+        raise ConfigError(
+            "--store checkpointing requires the incremental engine; "
+            "drop --full-rescan"
+        )
     dataset = load_dataset(args)
     reports = dataset.reports
     config = MarasConfig(
@@ -478,13 +580,45 @@ def cmd_watch(args: argparse.Namespace) -> int:
     )
     registry = build_registry(args)
     size = max(1, -(-len(reports) // args.batches))
+    batches = [
+        list(reports[start : start + size])
+        for start in range(0, len(reports), size)
+    ]
     mode = "full-rescan" if args.full_rescan else "incremental"
     print(
         f"watching {len(reports)} reports as {args.batches} batches ({mode})"
     )
-    with SurveillanceMonitor(config, registry=registry) as monitor:
-        for start in range(0, len(reports), size):
-            delta = monitor.ingest(reports[start : start + size])
+
+    backend = None
+    monitor = None
+    start_batch = 0
+    if args.store:
+        from repro.store import (
+            JournalEntry,
+            config_fingerprint,
+            checkpoint_monitor,
+            open_backend,
+            restore_monitor,
+            verify_journal,
+        )
+
+        backend = open_backend(args.store)
+        run_name = args.run or dataset.quarter or "watch"
+        fingerprint = config_fingerprint(config)
+        monitor = restore_monitor(backend, run_name, config, registry=registry)
+        if monitor is not None:
+            start_batch = monitor.n_batches
+            verify_journal(backend, run_name, batches, start_batch)
+            print(
+                f"resumed run {run_name!r} from its checkpoint: "
+                f"{start_batch}/{len(batches)} batches already ingested"
+            )
+    if monitor is None:
+        monitor = SurveillanceMonitor(config, registry=registry)
+    try:
+        pending = []
+        for index in range(start_batch, len(batches)):
+            delta = monitor.ingest(batches[index])
             line = (
                 f"batch {delta.batch_index}: {delta.n_reports_total} reports, "
                 f"+{len(delta.newly_surfaced)} surfaced, "
@@ -503,14 +637,95 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 )
                 if stats.get("rebuild_reason"):
                     line += f" [rebuild: {stats['rebuild_reason']}]"
-            print(line)
-        print(f"\ntop {args.top} after {monitor.history[-1].batch_index} batches:")
+            print(line, flush=True)
+            if backend is not None:
+                pending.append(
+                    JournalEntry(
+                        index, [report.case_id for report in batches[index]]
+                    )
+                )
+                _watch_kill_hook("MEDIAR_WATCH_KILL_BEFORE_CHECKPOINT", index)
+                due = (index + 1 - start_batch) % args.checkpoint_every == 0
+                if due or index == len(batches) - 1:
+                    checkpoint_monitor(
+                        backend,
+                        run_name,
+                        monitor,
+                        fingerprint=fingerprint,
+                        journal=pending,
+                    )
+                    pending = []
+                _watch_kill_hook("MEDIAR_WATCH_KILL_AFTER_CHECKPOINT", index)
+        print(f"\ntop {args.top} after {monitor.n_batches} batches:")
         for key, rank in monitor.watchlist(top_k=args.top):
             drugs, adrs = key
             print(f"  #{rank:<3d} {' + '.join(drugs)} => {', '.join(adrs)}")
+        if backend is not None:
+            from repro.core.export import export_result
+
+            record = backend.save_run(run_name, export_result(monitor.result))
+            print(f"published {record.location}")
+        if args.out is not None:
+            from repro.core.export import write_export
+
+            print(f"wrote {write_export(monitor.result, args.out)}")
+    finally:
+        monitor.close()
+        if backend is not None:
+            backend.close()
     if registry.enabled:
         print(monitor.result.metrics.format_table(), file=sys.stderr)
         registry.close()
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import open_backend
+
+    with open_backend(args.store) as backend:
+        if args.runs_command == "list":
+            records = backend.list_runs()
+            if not records:
+                print(f"no runs in {backend.uri}")
+                return 0
+            print(
+                f"{'name':<24s} {'ver':>4s} {'clusters':>8s} "
+                f"{'quarter':>8s}  created"
+            )
+            for record in records:
+                clusters = (
+                    "-" if record.compacted else str(record.n_clusters)
+                )
+                note = "  (compacted)" if record.compacted else ""
+                print(
+                    f"{record.name:<24s} {record.version:>4d} "
+                    f"{clusters:>8s} {record.quarter or '-':>8s}  "
+                    f"{record.created_at}{note}"
+                )
+            return 0
+        if args.runs_command == "show":
+            payload = backend.load_run(args.name, args.version)
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            records = [
+                record
+                for record in backend.list_runs()
+                if record.name == args.name
+                and (args.version is None or record.version == args.version)
+            ]
+            record = records[-1]
+            for key, value in record.describe().items():
+                print(f"{key}: {value}")
+            return 0
+        # prune
+        deleted = backend.prune(keep=args.keep)
+        line = f"pruned {deleted} version(s) beyond the newest {args.keep}"
+        if args.compact:
+            line += f"; compacted {backend.compact()} payload(s)"
+        print(line)
     return 0
 
 
@@ -534,8 +749,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "--sync serves from one threaded process; "
             "use the async transport for --workers > 1"
         )
-    if args.load:
-        store = ResultStore.load(args.load)
+    if args.load and args.store:
+        raise ReproError("--load and --store are aliases; pass one")
+    source = args.store or args.load
+    if source:
+        store = ResultStore.load(source)
     else:
         result = run_pipeline(args)
         name = args.name or result.dataset.quarter or "run"
@@ -607,6 +825,7 @@ COMMANDS = {
     "run": cmd_run,
     "watch": cmd_watch,
     "serve": cmd_serve,
+    "runs": cmd_runs,
 }
 
 

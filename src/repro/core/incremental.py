@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import Maras, MarasConfig, MarasResult
 from repro.core.ranking import RankingMethod
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StoreError
 from repro.faers.dataset import ReportDataset
 from repro.faers.schema import CaseReport
 from repro.incremental.engine import IncrementalEngine
@@ -149,7 +149,11 @@ class SurveillanceMonitor:
         self.method = method
         self.riser_threshold = riser_threshold
         self.registry = registry if registry is not None else NULL_REGISTRY
+        # Raw kept rows, accumulated only in re-run-everything mode —
+        # the engine carries its own state, so holding the raw stream
+        # there would double memory and bloat checkpoints for nothing.
         self._reports: list[CaseReport] = []
+        self._n_reports = 0
         # Case ids seen so far, live in *both* clean modes: the no-clean
         # path dedups against it, and both paths use it to report how
         # many rows of a batch were genuinely new versus follow-ups.
@@ -195,7 +199,12 @@ class SurveillanceMonitor:
         return dict(self._engine.last_batch_stats) if self._engine else {}
 
     def __len__(self) -> int:
-        return len(self._reports)
+        return self._n_reports
+
+    @property
+    def n_batches(self) -> int:
+        """Batches ingested so far (including pre-restore ones)."""
+        return self._batch_index
 
     def ingest(self, batch: Iterable[CaseReport]) -> BatchDelta:
         """Append one batch, re-mine, and return the change feed.
@@ -232,7 +241,9 @@ class SurveillanceMonitor:
         self._seen_case_ids.update(r.case_id for r in new_rows)
         if not kept and self._last_result is None:
             raise ConfigError("first batch contained no new reports")
-        self._reports.extend(kept)
+        if self._engine is None:
+            self._reports.extend(kept)
+        self._n_reports += len(kept)
         self._batch_index += 1
 
         registry = self.registry
@@ -267,7 +278,7 @@ class SurveillanceMonitor:
         )
         delta = BatchDelta(
             batch_index=self._batch_index,
-            n_reports_total=len(self._reports),
+            n_reports_total=self._n_reports,
             newly_surfaced=newly_surfaced,
             dropped=dropped,
             risers=risers,
@@ -281,7 +292,7 @@ class SurveillanceMonitor:
         registry.emit(
             "surveillance.batch",
             batch_index=self._batch_index,
-            n_reports_total=len(self._reports),
+            n_reports_total=self._n_reports,
             n_fresh=len(new_rows),
             n_case_updates=n_updates,
             n_workers=self.config.n_workers,
@@ -295,6 +306,74 @@ class SurveillanceMonitor:
         self._last_ranks = new_ranks
         self._history.append(delta)
         return delta
+
+    # -- durable-store checkpoint support ------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """The restorable stream state, for the durable store.
+
+        Only available in incremental mode: the re-run-everything path
+        would have to persist the entire raw history, which is exactly
+        the cost model checkpointing exists to avoid. The returned dict
+        still holds :class:`~repro.faers.schema.CaseReport` objects —
+        :mod:`repro.store.checkpoint` converts to and from JSON.
+        """
+        if self._engine is None:
+            raise StoreError(
+                "checkpoints require MarasConfig(incremental=True); the "
+                "full-rescan monitor carries no restorable delta state"
+            )
+        return {
+            "batch_index": self._batch_index,
+            "n_reports": self._n_reports,
+            "seen_case_ids": sorted(self._seen_case_ids),
+            "engine": self._engine.checkpoint_state(),
+        }
+
+    @classmethod
+    def from_checkpoint_state(
+        cls,
+        config: MarasConfig,
+        state: dict,
+        *,
+        method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+        riser_threshold: int = 5,
+        registry: MetricsRegistry | NullRegistry | None = None,
+    ) -> "SurveillanceMonitor":
+        """Rebuild a monitor whose next :meth:`ingest` continues the stream.
+
+        ``history`` starts empty (it narrates only post-restore batches)
+        but the ranking baseline is recomputed from the restored result,
+        so the first post-restore delta's risers/surfaced/dropped sets
+        and rank correlation match an uninterrupted monitor's.
+        """
+        if not config.incremental:
+            raise StoreError(
+                "checkpoints require MarasConfig(incremental=True)"
+            )
+        monitor = cls(
+            config,
+            method=method,
+            riser_threshold=riser_threshold,
+            registry=registry,
+        )
+        stale = monitor._engine
+        monitor._engine = IncrementalEngine.from_state(
+            config, state["engine"], registry=monitor.registry
+        )
+        if stale is not None:
+            stale.close()
+        monitor._batch_index = int(state["batch_index"])
+        monitor._n_reports = int(state["n_reports"])
+        monitor._seen_case_ids = set(state["seen_case_ids"])
+        result = monitor._engine.result
+        assert result is not None  # from_state always recomputes it
+        monitor._last_result = result
+        monitor._last_ranks = {
+            cluster_key(result, entry.cluster): entry.rank
+            for entry in result.rank(monitor.method)
+        }
+        return monitor
 
     def watchlist(self, top_k: int = 20) -> list[tuple[ClusterKey, int]]:
         """The current top-k ranked clusters as (key, rank) pairs."""

@@ -72,6 +72,16 @@ class ValidationError(ReproError):
     """A data record violated a schema-level invariant."""
 
 
+class StoreError(ReproError):
+    """A durable run store could not be opened, read, or written.
+
+    Raised by the :mod:`repro.store` backends for unknown URIs, corrupt
+    or missing payloads, invalid run names, and checkpoint/resume
+    mismatches. The CLI maps it (like every :class:`ReproError`) to a
+    one-line message and a nonzero exit status.
+    """
+
+
 class QueryError(ReproError):
     """A serving-layer query could not be answered.
 

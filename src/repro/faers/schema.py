@@ -144,6 +144,43 @@ class CaseReport:
         """Content signature used for exact-duplicate detection."""
         return (self.drugs, self.adrs)
 
+    def to_json(self) -> dict:
+        """JSON-compatible record; :meth:`from_json` round-trips exactly.
+
+        The durable store serializes carried surveillance state (merged
+        case reports) through this; default-valued optional fields are
+        omitted to keep checkpoints compact.
+        """
+        record: dict = {
+            "case_id": self.case_id,
+            "drugs": list(self.drugs),
+            "adrs": list(self.adrs),
+        }
+        if self.report_type is not ReportType.EXPEDITED:
+            record["report_type"] = self.report_type.value
+        if self.quarter:
+            record["quarter"] = self.quarter
+        for field_name in ("age", "sex", "country", "event_date"):
+            value = getattr(self, field_name)
+            if value is not None:
+                record[field_name] = value
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "CaseReport":
+        """Rebuild a report written by :meth:`to_json` (validated)."""
+        return cls.build(
+            record["case_id"],
+            record["drugs"],
+            record["adrs"],
+            report_type=ReportType(record.get("report_type", "EXP")),
+            quarter=record.get("quarter", ""),
+            age=record.get("age"),
+            sex=record.get("sex"),
+            country=record.get("country"),
+            event_date=record.get("event_date"),
+        )
+
 
 def _validate_iso_date(case_id: str, value: str) -> None:
     import datetime

@@ -246,6 +246,49 @@ class IncrementalCleaner:
             if self._is_kept(case_id)
         ]
 
+    # -- durable-store checkpoint support ------------------------------
+
+    def merge_state(self) -> dict:
+        """The carried merge state, restorable by :meth:`from_merge_state`.
+
+        The signature groups and positions are *derived* state — every
+        merged report carries its own signature, and positions are the
+        list order — so only the merged reports (first-appearance order)
+        and the pure counters need persisting. Spelling vocabularies are
+        not captured: the incremental engine always runs the cleaner
+        without them, and correction counts are carried as counters.
+        """
+        return {
+            "reports": [self._merged[case_id] for case_id in self._order],
+            "rows_in": self._rows_in,
+            "cases_merged": self._cases_merged,
+            "empty_dropped": self._empty_dropped,
+            "drug_names_corrected": self._correction_stats.drug_names_corrected,
+            "adr_terms_corrected": self._correction_stats.adr_terms_corrected,
+        }
+
+    @classmethod
+    def from_merge_state(cls, state: dict) -> "IncrementalCleaner":
+        """Rebuild a cleaner whose next :meth:`ingest` continues the fold."""
+        cleaner = cls()
+        for report in state["reports"]:
+            case_id = report.case_id
+            position = len(cleaner._order)
+            cleaner._order.append(case_id)
+            cleaner._position[case_id] = position
+            cleaner._merged[case_id] = report
+            signature = report.signature()
+            cleaner._sig_of[case_id] = signature
+            cleaner._groups.setdefault(signature, set()).add(position)
+        cleaner._rows_in = int(state["rows_in"])
+        cleaner._cases_merged = int(state["cases_merged"])
+        cleaner._empty_dropped = int(state["empty_dropped"])
+        cleaner._correction_stats = CleaningStats(
+            drug_names_corrected=int(state["drug_names_corrected"]),
+            adr_terms_corrected=int(state["adr_terms_corrected"]),
+        )
+        return cleaner
+
     def stats(self) -> CleaningStats:
         """Cumulative counters, matching one clean() over the whole stream."""
         return CleaningStats(

@@ -58,7 +58,7 @@ from repro.core.association import (
 )
 from repro.core.context import MCAC, build_cluster
 from repro.core.pipeline import MarasConfig, MarasResult
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StoreError
 from repro.faers.dataset import (
     ADR_KIND,
     DRUG_KIND,
@@ -147,6 +147,93 @@ class IncrementalEngine:
     def result(self) -> MarasResult | None:
         """The result of the latest batch (None before the first)."""
         return self._result
+
+    # -- durable-store checkpoint support ------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """The carried stream state, restorable by :meth:`from_state`.
+
+        Deliberately minimal: the encoder (catalog + growable bitmask
+        database) is *derived* state — the in-place-maintenance
+        invariant guarantees it equals a fresh
+        :meth:`~repro.incremental.encoding.IncrementalEncoder.rebuild`
+        over the kept reports, so only the cleaner's merge state (or
+        the raw kept rows in no-clean mode) and the carried closed set
+        persist. The support oracle, per-itemset artifacts and the
+        result are recomputed on restore; by the engine's own reuse
+        invariants those recomputations are byte-identical to the
+        values an uninterrupted process carries.
+        """
+        if self._result is None:
+            raise StoreError("cannot checkpoint before the first batch")
+        state: dict = {
+            "n_batches": self.n_batches,
+            "clean": self._cleaner is not None,
+            "n_rows": len(self._encoder.database),
+            "closed": [
+                [sorted(fi.items), fi.support] for fi in self._closed
+            ],
+        }
+        if self._cleaner is not None:
+            state["cleaner"] = self._cleaner.merge_state()
+        else:
+            state["rows"] = list(self._encoder.row_reports)
+        return state
+
+    @classmethod
+    def from_state(
+        cls, config: MarasConfig, state: dict, *, registry=None
+    ) -> "IncrementalEngine":
+        """Rebuild an engine whose next :meth:`ingest` continues the stream.
+
+        The resumed engine is observably identical to the one that wrote
+        the checkpoint: same encoding (via the rebuild ≡ in-place
+        invariant), same carried closed set, and downstream artifacts
+        recomputed through the exact code path that produced them.
+        """
+        engine = cls(config, registry=registry)
+        if bool(state["clean"]) != (engine._cleaner is not None):
+            mode = "clean" if state["clean"] else "no-clean"
+            raise StoreError(
+                f"checkpoint was written in {mode} mode but the config "
+                "requests the opposite; refusing to mix streams"
+            )
+        if engine._cleaner is not None:
+            engine._cleaner = IncrementalCleaner.from_merge_state(
+                state["cleaner"]
+            )
+            kept = engine._cleaner.kept_reports()
+        else:
+            kept = list(state["rows"])
+            engine._seen_case_ids = {report.case_id for report in kept}
+        engine._encoder.rebuild(kept)
+        database = engine._encoder.database
+        if len(database) != int(state["n_rows"]):
+            raise StoreError(
+                f"checkpoint claims {state['n_rows']} encoded rows but the "
+                f"restored stream encodes {len(database)}; the stored state "
+                "is inconsistent"
+            )
+        closed = [
+            FrequentItemset(frozenset(items), int(support))
+            for items, support in state["closed"]
+        ]
+        engine.n_batches = int(state["n_batches"])
+        oracle = SupportOracle(BitsetIndex(database))
+        for fi in closed:
+            oracle.warm(fi.items, fi.support)
+        # Recompute rules/associations/clusters and the result through
+        # the normal downstream pass (no reuse): it also reinstates
+        # _closed/_oracle/_artifacts/_support_types/_n_rows_prev.
+        engine._downstream(
+            closed,
+            oracle,
+            carried_keys=frozenset(),
+            reuse_artifacts=False,
+            registry=NULL_REGISTRY,
+            stats={},
+        )
+        return engine
 
     # -- ingest --------------------------------------------------------
 

@@ -18,7 +18,6 @@ exact same records, so the responses are byte-identical.
 from __future__ import annotations
 
 import json
-import re
 import threading
 from itertools import count
 from pathlib import Path
@@ -27,19 +26,18 @@ from typing import Any
 from repro.core.export import FORMAT_VERSION, export_result
 from repro.core.ids import cluster_id
 from repro.core.pipeline import MarasResult
-from repro.errors import ConfigError, NotFoundError, ValidationError
+from repro.errors import ConfigError, NotFoundError, StoreError, ValidationError
 from repro.serve.indexes import RunIndexes
-
-_RUN_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+from repro.store import open_backend, validate_run_name
 
 
 def _validated_name(name: str) -> str:
-    if not _RUN_NAME.match(name):
-        raise ConfigError(
-            "run names must be alphanumeric with ._- separators "
-            f"(they become file names and URL values), got {name!r}"
-        )
-    return name
+    # One source of truth for the name grammar (repro.store), surfaced
+    # as the serving layer's ConfigError.
+    try:
+        return validate_run_name(name)
+    except StoreError as error:
+        raise ConfigError(str(error)) from None
 
 
 class RunSnapshot:
@@ -215,29 +213,37 @@ class ResultStore:
             f"multiple runs available, pass run=<name>: {sorted(runs)}"
         )
 
-    def save(self, directory: str | Path) -> list[Path]:
-        """Write every snapshot as ``<name>.json``; returns the paths."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        paths = []
-        for name in self.names():
-            snapshot = self._runs[name]
-            path = directory / f"{name}.json"
-            path.write_text(
-                json.dumps(snapshot.payload, indent=2, sort_keys=True),
-                encoding="utf-8",
-            )
-            paths.append(path)
-        return paths
+    def save(self, target: str | Path) -> list[Any]:
+        """Persist every snapshot to the store at ``target``.
+
+        ``target`` is a store URI (``dir:///path``, ``sqlite:///db``)
+        or a bare directory path — the historical calling convention.
+        Returns each saved run's location: the ``<name>.json`` file
+        :class:`~pathlib.Path` for directory stores (written atomically
+        via a temp file + ``os.replace``), a ``sqlite://…#name@vN``
+        string for SQLite catalogs.
+        """
+        with open_backend(target) as backend:
+            return [
+                backend.save_run(name, self._runs[name].payload).location
+                for name in self.names()
+            ]
 
     @classmethod
-    def load(cls, directory: str | Path) -> "ResultStore":
-        """Rebuild a store from a :meth:`save` directory (warm restart)."""
-        directory = Path(directory)
-        paths = sorted(directory.glob("*.json"))
-        if not paths:
-            raise NotFoundError(f"no run snapshots (*.json) under {directory}")
-        store = cls()
-        for path in paths:
-            store.add_export(path.stem, path)
+    def load(cls, target: str | Path) -> "ResultStore":
+        """Rebuild a store from a :meth:`save` target (warm restart).
+
+        Raises :class:`NotFoundError` when the store holds no runs and
+        :class:`~repro.errors.StoreError` when a stored payload is
+        unreadable or corrupt — both one-line diagnoses, so a serving
+        process started against a bad store fails fast and explains
+        itself.
+        """
+        with open_backend(target) as backend:
+            names = sorted({record.name for record in backend.list_runs()})
+            if not names:
+                raise NotFoundError(f"no run snapshots in {backend.uri}")
+            store = cls()
+            for name in names:
+                store.add_snapshot(RunSnapshot(name, backend.load_run(name)))
         return store

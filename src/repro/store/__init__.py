@@ -1,0 +1,50 @@
+"""Durable persistence: URI-addressed run stores and stream checkpoints.
+
+Public surface of the storage subsystem:
+
+- :func:`~repro.store.backend.open_backend` resolves ``dir:///path``,
+  ``sqlite:///path.db`` or a bare directory path to a
+  :class:`~repro.store.backend.Backend`;
+- :class:`~repro.store.directory.DirectoryBackend` — the historical
+  one-JSON-file-per-run layout, now with atomic writes;
+- :class:`~repro.store.sqlite.SQLiteBackend` — versioned run catalog
+  with retention/compaction plus crash-resumable surveillance
+  checkpoints, all in one WAL-mode SQLite file;
+- :mod:`~repro.store.checkpoint` — serialize/restore a
+  :class:`~repro.core.incremental.SurveillanceMonitor` through a
+  backend, with config fingerprinting and journal verification.
+"""
+
+from repro.store.backend import (
+    Backend,
+    Checkpoint,
+    JournalEntry,
+    RunRecord,
+    open_backend,
+    validate_run_name,
+)
+from repro.store.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_monitor,
+    config_fingerprint,
+    restore_monitor,
+    verify_journal,
+)
+from repro.store.directory import DirectoryBackend
+from repro.store.sqlite import SQLiteBackend
+
+__all__ = [
+    "Backend",
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
+    "DirectoryBackend",
+    "JournalEntry",
+    "RunRecord",
+    "SQLiteBackend",
+    "checkpoint_monitor",
+    "config_fingerprint",
+    "open_backend",
+    "restore_monitor",
+    "validate_run_name",
+    "verify_journal",
+]

@@ -1,0 +1,203 @@
+"""Checkpoint/restore of a surveillance stream through a backend.
+
+This module is the bridge between the in-memory carried state of
+:class:`~repro.core.incremental.SurveillanceMonitor` /
+:class:`~repro.incremental.engine.IncrementalEngine` and its durable
+JSON form in a :class:`~repro.store.backend.Backend`:
+
+- :func:`config_fingerprint` hashes the *output-affecting* fields of a
+  :class:`~repro.core.pipeline.MarasConfig`. Resume refuses a
+  checkpoint written under a different fingerprint — silently mixing,
+  say, two ``min_support`` values would produce a stream that matches
+  *neither* config's one-shot run. ``n_workers`` and
+  ``shard_strategy`` are deliberately excluded: the engine's output is
+  byte-identical across worker counts (the differential harness in
+  ``tests/parallel`` enforces it), so a stream checkpointed at
+  ``--workers 4`` may resume at ``--workers 1`` and vice versa.
+- :func:`checkpoint_monitor` / :func:`restore_monitor` convert the
+  monitor's state dict (which carries live
+  :class:`~repro.faers.schema.CaseReport` objects) to and from the
+  JSON payload a backend stores, and pair it with the batch journal
+  entries that make the resume verifiable against the input stream.
+
+The correctness contract — a SIGKILL'd, resumed stream exports the
+same bytes as an uninterrupted one — rests on two invariants the rest
+of the codebase already enforces: the encoder's in-place state equals a
+fresh rebuild over the kept reports, and every downstream cache
+(support oracle, artifacts, support types) affects speed only, never
+values. ``tests/store`` asserts the contract end to end, including
+kills inside a batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.core.incremental import SurveillanceMonitor
+from repro.core.pipeline import MarasConfig
+from repro.core.ranking import RankingMethod
+from repro.errors import StoreError
+from repro.faers.schema import CaseReport
+from repro.store.backend import Backend, JournalEntry
+
+#: Bump when the checkpoint payload layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+# MarasConfig fields that change the exported bytes. Excluded on
+# purpose: n_workers / shard_strategy (byte-identical across values),
+# incremental / incremental_rebuild_fraction (select *how* the result
+# is computed, not what it is), use_bitsets / count_rule_space (the
+# engine already pins them).
+_FINGERPRINT_FIELDS = (
+    "min_support",
+    "max_itemset_len",
+    "max_drugs",
+    "min_confidence",
+    "clean",
+    "theta",
+    "decay",
+)
+
+
+def config_fingerprint(config: MarasConfig) -> str:
+    """Hash of the config fields that determine the stream's output."""
+    payload = {name: getattr(config, name) for name in _FINGERPRINT_FIELDS}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _engine_state_to_json(state: dict[str, Any]) -> dict[str, Any]:
+    payload = dict(state)
+    if "cleaner" in payload:
+        cleaner = dict(payload["cleaner"])
+        cleaner["reports"] = [r.to_json() for r in cleaner["reports"]]
+        payload["cleaner"] = cleaner
+    else:
+        payload["rows"] = [r.to_json() for r in payload["rows"]]
+    return payload
+
+
+def _engine_state_from_json(payload: dict[str, Any]) -> dict[str, Any]:
+    state = dict(payload)
+    if "cleaner" in state:
+        cleaner = dict(state["cleaner"])
+        cleaner["reports"] = [
+            CaseReport.from_json(r) for r in cleaner["reports"]
+        ]
+        state["cleaner"] = cleaner
+    else:
+        state["rows"] = [CaseReport.from_json(r) for r in state["rows"]]
+    return state
+
+
+def checkpoint_monitor(
+    backend: Backend,
+    run: str,
+    monitor: SurveillanceMonitor,
+    *,
+    fingerprint: str,
+    journal: list[JournalEntry] = (),
+) -> None:
+    """Atomically persist the monitor's state + the batches' journal rows.
+
+    Called after each ingested batch; ``journal`` carries the entries
+    of the batches this checkpoint newly covers. A kill before the
+    commit leaves the previous checkpoint (the batch replays on
+    resume); a kill after it leaves this one — never a torn mix.
+    """
+    state = monitor.checkpoint_state()
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "batch_index": state["batch_index"],
+        "n_reports": state["n_reports"],
+        "seen_case_ids": state["seen_case_ids"],
+        "engine": _engine_state_to_json(state["engine"]),
+    }
+    backend.save_checkpoint(
+        run,
+        payload,
+        n_batches=state["batch_index"],
+        fingerprint=fingerprint,
+        journal=journal,
+    )
+
+
+def restore_monitor(
+    backend: Backend,
+    run: str,
+    config: MarasConfig,
+    *,
+    method: RankingMethod = RankingMethod.EXCLUSIVENESS_CONFIDENCE,
+    riser_threshold: int = 5,
+    registry=None,
+) -> SurveillanceMonitor | None:
+    """Rebuild the checkpointed monitor of ``run``; None when absent.
+
+    Raises :class:`~repro.errors.StoreError` when the stored
+    fingerprint disagrees with ``config`` — resuming under different
+    mining parameters would yield a stream matching neither run.
+    """
+    checkpoint = backend.load_checkpoint(run)
+    if checkpoint is None:
+        return None
+    stored_version = checkpoint.state.get("version")
+    if stored_version != CHECKPOINT_VERSION:
+        raise StoreError(
+            f"checkpoint of run {run!r} has layout version "
+            f"{stored_version!r}; this build reads {CHECKPOINT_VERSION}"
+        )
+    expected = config_fingerprint(config)
+    if checkpoint.fingerprint != expected:
+        raise StoreError(
+            f"checkpoint of run {run!r} was written under a different "
+            "mining config (fingerprint "
+            f"{checkpoint.fingerprint[:12]}… != {expected[:12]}…); "
+            "resume with the original parameters or clear the checkpoint"
+        )
+    state = {
+        "batch_index": checkpoint.state["batch_index"],
+        "n_reports": checkpoint.state["n_reports"],
+        "seen_case_ids": checkpoint.state["seen_case_ids"],
+        "engine": _engine_state_from_json(checkpoint.state["engine"]),
+    }
+    return SurveillanceMonitor.from_checkpoint_state(
+        config,
+        state,
+        method=method,
+        riser_threshold=riser_threshold,
+        registry=registry,
+    )
+
+
+def verify_journal(
+    backend: Backend,
+    run: str,
+    batches: list[list[CaseReport]],
+    n_done: int,
+) -> None:
+    """Check the journaled prefix matches the re-derived input batches.
+
+    The journal records the case ids each already-ingested batch
+    contained. On resume the caller re-derives the batch split from its
+    input; if the first ``n_done`` batches disagree with the journal,
+    the input stream changed since the checkpoint and continuing would
+    silently corrupt the run.
+    """
+    for index in range(n_done):
+        journaled = backend.journal_case_ids(run, index)
+        if journaled is None:
+            raise StoreError(
+                f"checkpoint of run {run!r} covers {n_done} batches but "
+                f"batch {index} has no journal row; the store is "
+                "inconsistent — clear the checkpoint to start over"
+            )
+        actual = [report.case_id for report in batches[index]]
+        if journaled != actual:
+            raise StoreError(
+                f"batch {index} of the input stream does not match the "
+                f"journal of run {run!r} ({len(actual)} vs "
+                f"{len(journaled)} case ids); the input changed since "
+                "the checkpoint — clear it to start over"
+            )

@@ -1,0 +1,153 @@
+"""The one-JSON-file-per-run directory layout, behind :class:`Backend`.
+
+This is the original ``ResultStore.save``/``load`` format — a directory
+of ``<name>.json`` export payloads — refactored behind the backend
+interface so it stays fully interchangeable with the SQLite catalog for
+serving. Two durability fixes over the original:
+
+- **atomic writes**: each snapshot is written to a temp file in the
+  same directory and :func:`os.replace`'d into place, so a crash
+  mid-save can never leave a torn ``<name>.json`` that poisons the next
+  ``--load``;
+- **diagnosable reads**: an unreadable or non-JSON file raises a
+  one-line :class:`~repro.errors.StoreError` naming the file instead of
+  a raw traceback.
+
+The layout has no version axis — saving a run replaces its file — so
+catalog rows always report version 1, :meth:`prune` and :meth:`compact`
+are no-ops, and checkpoints are unsupported (they need the SQLite
+backend's atomic multi-table commit).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StoreError
+from repro.store.backend import (
+    Backend,
+    RunRecord,
+    utc_timestamp,
+    validate_run_name,
+)
+
+
+class DirectoryBackend(Backend):
+    """Run snapshots as ``<name>.json`` files in one directory."""
+
+    supports_checkpoints = False
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.uri = f"dir://{self.directory}"
+
+    # -- run catalog ---------------------------------------------------
+
+    def _path(self, name: str) -> Path:
+        return self.directory / f"{validate_run_name(name)}.json"
+
+    def save_run(self, name: str, payload: dict[str, Any]) -> RunRecord:
+        path = self._path(name)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Temp file in the same directory so os.replace is a same-
+        # filesystem rename: readers see the old bytes or the new bytes,
+        # never a prefix.
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{name}.", suffix=".json.tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return self._record(name, payload, path)
+
+    def load_run(self, name: str, version: int | None = None) -> dict[str, Any]:
+        if version not in (None, 1):
+            raise StoreError(
+                f"the directory store keeps only the latest version of "
+                f"{name!r}; cannot load version {version}"
+            )
+        path = self._path(name)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise StoreError(
+                f"no run named {name!r} under {self.directory}"
+            ) from None
+        except OSError as error:
+            raise StoreError(f"cannot read {path}: {error}") from None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{path} is not valid JSON ({error}); the snapshot is "
+                "corrupt — re-save the run or remove the file"
+            ) from None
+
+    def list_runs(self) -> list[RunRecord]:
+        if not self.directory.is_dir():
+            return []
+        records = []
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name.startswith("."):
+                continue  # in-flight temp files
+            try:
+                payload = self.load_run(path.stem)
+            except StoreError:
+                # An unreadable file stays visible in the catalog (so
+                # `mediar runs list` surfaces it) but is marked
+                # unloadable rather than aborting the whole listing.
+                records.append(
+                    RunRecord(
+                        name=path.stem,
+                        version=1,
+                        created_at="",
+                        supersedes=None,
+                        n_clusters=-1,
+                        quarter="",
+                        compacted=True,
+                        location=path,
+                    )
+                )
+                continue
+            records.append(self._record(path.stem, payload, path))
+        return records
+
+    def _record(self, name: str, payload: dict[str, Any], path: Path) -> RunRecord:
+        try:
+            modified = path.stat().st_mtime
+        except OSError:
+            modified = None
+        return RunRecord(
+            name=name,
+            version=1,
+            created_at=(
+                utc_timestamp()
+                if modified is None
+                else time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(modified))
+            ),
+            supersedes=None,
+            n_clusters=len(payload.get("clusters", ())),
+            quarter=str(payload.get("quarter", "")),
+            compacted=False,
+            location=path,
+        )
+
+    def prune(self, keep: int = 1) -> int:
+        if keep < 1:
+            raise StoreError(f"prune keep must be >= 1, got {keep}")
+        return 0  # one version per run by construction
+
+    def compact(self) -> int:
+        return 0  # nothing superseded is retained

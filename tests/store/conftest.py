@@ -1,0 +1,13 @@
+"""Fixtures for the durable-store suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.export import export_result
+
+
+@pytest.fixture(scope="module")
+def payload(mined_quarter) -> dict:
+    """One run snapshot payload in the export wire format."""
+    return export_result(mined_quarter)

@@ -1,0 +1,188 @@
+"""Checkpoint/restore byte-identity and resume guards (in process).
+
+The differential contract: a monitor checkpointed into SQLite after any
+prefix of a batch schedule, restored from the stored JSON, and fed the
+remaining batches must export byte-for-byte what an uninterrupted
+monitor exports. The grid runs both clean modes over the same follow-up
+laden streams the incremental harness uses, cutting at every batch
+boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import SurveillanceMonitor
+from repro.core.pipeline import MarasConfig
+from repro.errors import StoreError
+from repro.store import (
+    CHECKPOINT_VERSION,
+    SQLiteBackend,
+    checkpoint_monitor,
+    config_fingerprint,
+    restore_monitor,
+    verify_journal,
+)
+from repro.store.backend import JournalEntry
+from tests.incremental.streams import export_bytes, make_stream, split_schedule
+
+MIN_SUPPORT = 3
+SCHEDULES = {
+    "coarse": (0.5, 1.0),
+    "fine": (0.2, 0.35, 0.5, 0.65, 0.8, 1.0),
+}
+
+
+def _config(clean: bool) -> MarasConfig:
+    return MarasConfig(min_support=MIN_SUPPORT, clean=clean, incremental=True)
+
+
+def _run_through_store(backend, config, batches, cut):
+    """Ingest ``cut`` batches, checkpoint, restore, finish the stream."""
+    fingerprint = config_fingerprint(config)
+    with SurveillanceMonitor(config) as monitor:
+        for index in range(cut):
+            monitor.ingest(batches[index])
+            checkpoint_monitor(
+                backend,
+                "run",
+                monitor,
+                fingerprint=fingerprint,
+                journal=[
+                    JournalEntry(
+                        index, [r.case_id for r in batches[index]]
+                    )
+                ],
+            )
+    resumed = restore_monitor(backend, "run", config)
+    assert resumed is not None
+    assert resumed.n_batches == cut
+    verify_journal(backend, "run", batches, cut)
+    with resumed:
+        for batch in batches[cut:]:
+            resumed.ingest(batch)
+        return export_bytes(resumed.result)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("clean", [False, True], ids=["noclean", "clean"])
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+    @pytest.mark.parametrize("seed", [11, 47])
+    def test_resumed_stream_matches_uninterrupted(
+        self, tmp_path, seed, schedule, clean
+    ):
+        stream = make_stream(seed)
+        batches = split_schedule(stream, SCHEDULES[schedule])
+        config = _config(clean)
+        with SurveillanceMonitor(config) as reference:
+            for batch in batches:
+                reference.ingest(batch)
+            expected = export_bytes(reference.result)
+        for cut in range(1, len(batches)):
+            with SQLiteBackend(tmp_path / f"cut{cut}.db") as backend:
+                assert (
+                    _run_through_store(backend, config, batches, cut)
+                    == expected
+                ), f"seed={seed} schedule={schedule} clean={clean} cut={cut}"
+
+
+class TestResumeGuards:
+    @pytest.fixture
+    def backend(self, tmp_path):
+        with SQLiteBackend(tmp_path / "guards.db") as backend:
+            yield backend
+
+    @pytest.fixture
+    def checkpointed(self, backend):
+        config = _config(False)
+        batches = split_schedule(make_stream(11), SCHEDULES["coarse"])
+        with SurveillanceMonitor(config) as monitor:
+            monitor.ingest(batches[0])
+            checkpoint_monitor(
+                backend,
+                "run",
+                monitor,
+                fingerprint=config_fingerprint(config),
+                journal=[
+                    JournalEntry(0, [r.case_id for r in batches[0]])
+                ],
+            )
+        return config, batches
+
+    def test_absent_checkpoint_restores_none(self, backend):
+        assert restore_monitor(backend, "run", _config(False)) is None
+
+    def test_config_drift_is_refused(self, backend, checkpointed):
+        drifted = MarasConfig(
+            min_support=MIN_SUPPORT + 1, clean=False, incremental=True
+        )
+        with pytest.raises(StoreError, match="different\\s+mining config"):
+            restore_monitor(backend, "run", drifted)
+
+    def test_worker_count_is_not_config_drift(self, checkpointed):
+        config, _ = checkpointed
+        parallel = MarasConfig(
+            min_support=MIN_SUPPORT,
+            clean=False,
+            incremental=True,
+            n_workers=4,
+        )
+        assert config_fingerprint(parallel) == config_fingerprint(config)
+
+    def test_clean_mode_mismatch_is_refused(self, backend, checkpointed):
+        # clean is an output-affecting field, so the fingerprint guard
+        # catches the mismatch before the engine even loads.
+        with pytest.raises(StoreError, match="different\\s+mining config"):
+            restore_monitor(backend, "run", _config(True))
+
+    def test_engine_refuses_opposite_clean_mode(self, checkpointed):
+        from repro.incremental.engine import IncrementalEngine
+
+        config, batches = checkpointed
+        with SurveillanceMonitor(config) as monitor:
+            monitor.ingest(batches[0])
+            engine_state = monitor.checkpoint_state()["engine"]
+        with pytest.raises(StoreError, match="refusing to mix"):
+            IncrementalEngine.from_state(_config(True), engine_state)
+
+    def test_layout_version_is_checked(self, backend, checkpointed):
+        config, _ = checkpointed
+        checkpoint = backend.load_checkpoint("run")
+        backend.save_checkpoint(
+            "run",
+            {**checkpoint.state, "version": CHECKPOINT_VERSION + 1},
+            n_batches=checkpoint.n_batches,
+            fingerprint=checkpoint.fingerprint,
+        )
+        with pytest.raises(StoreError, match="layout version"):
+            restore_monitor(backend, "run", config)
+
+    def test_changed_input_fails_journal_verification(
+        self, backend, checkpointed
+    ):
+        _, batches = checkpointed
+        drifted = [list(batches[0][:-1])] + [list(b) for b in batches[1:]]
+        with pytest.raises(StoreError, match="does not match the journal"):
+            verify_journal(backend, "run", drifted, 1)
+
+    def test_missing_journal_row_is_inconsistent(self, backend, checkpointed):
+        _, batches = checkpointed
+        with pytest.raises(StoreError, match="no journal row"):
+            verify_journal(backend, "run", batches, 2)
+
+    def test_full_rescan_monitor_cannot_checkpoint(self):
+        config = MarasConfig(
+            min_support=MIN_SUPPORT, clean=True, incremental=False
+        )
+        batches = split_schedule(make_stream(11), SCHEDULES["coarse"])
+        with SurveillanceMonitor(config) as monitor:
+            monitor.ingest(batches[0])
+            with pytest.raises(StoreError, match="incremental"):
+                monitor.checkpoint_state()
+
+    def test_engine_cannot_checkpoint_before_first_batch(self):
+        from repro.incremental.engine import IncrementalEngine
+
+        with IncrementalEngine(_config(False)) as engine:
+            with pytest.raises(StoreError, match="before the first batch"):
+                engine.checkpoint_state()
