@@ -1,0 +1,288 @@
+"""Million-report capacity: streaming ingest throughput and memory honesty.
+
+The paper's motivating regime (§1.1) is a database growing by thousands
+of reports a day — a year of real FAERS is north of a million cases. The
+rest of the benchmark suite measures *quality* at small scale; this one
+measures *capacity*: can the streaming tier
+(:meth:`~repro.faers.synthetic.SyntheticFAERSGenerator.iter_reports` →
+:func:`~repro.faers.ingest.encode_stream` → :func:`~repro.mining.fpclose
+.fpclose`) push a million synthetic reports through parse → clean →
+encode → mine on one CPU without ever holding the raw stream?
+
+Per tier the run records reports/sec per stage and the stage-attributed
+peak RSS (:class:`~repro.obs.memory.MemorySampler`; stages interleave
+chunk-by-chunk, so "parse" and "ingest" are sampled at chunk
+granularity, and clean/encode wall time is split out of the ingest
+timers). Memory honesty is asserted, not just reported: the transient
+overhead of the ingest pass — peak RSS while streaming minus RSS once
+the retained database is built — must stay under
+:data:`TRANSIENT_RSS_LIMIT` (256 MiB). A silently materialized raw
+list costs ~380 MiB at the million tier and trips this immediately; the
+retained encoded state itself (≈1.3 KiB/report) is *supposed* to grow
+and is reported, not capped. ``tests/faers/test_streaming_memory.py``
+enforces the same bound at the 200k test tier on every CI run.
+
+Tiers: 100k always (the CI ``capacity-smoke`` job); 500k and 1M only
+under ``BENCH_CAPACITY_FULL=1`` (minutes, not seconds — run locally
+when touching the ingest path). Each tier also gates against the
+committed trajectory: reports/sec per stage must stay ≥
+:data:`REGRESSION_FLOOR` × the most recent committed baseline run
+(records carrying ``"baseline": true``, written with
+``BENCH_CAPACITY_BASELINE=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.faers.ingest import StreamEncoder, iter_chunks
+from repro.faers.synthetic import SyntheticConfig, SyntheticFAERSGenerator
+from repro.mining.fpclose import fpclose
+from repro.obs import MetricsRegistry, MemorySampler, use_registry
+
+from benchmarks._trajectory import REPO_ROOT, append_run, base_record
+from benchmarks.conftest import write_artifact
+
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_capacity.json"
+SUITE = "capacity-perf"
+BENCHMARK_ID = "capacity/streaming-ingest"
+
+#: Transient ingest overhead cap (bytes): peak RSS while streaming minus
+#: RSS after the pass, i.e. memory that is NOT the retained database.
+#: O(chunk) cleaning state plus allocator slack fits in a tenth of this;
+#: a materialized 1M-report raw list (~380 MiB) cannot.
+TRANSIENT_RSS_LIMIT = 256 * 2**20
+
+#: A stage regressing below this fraction of its committed baseline
+#: reports/sec fails the run.
+REGRESSION_FLOOR = 0.8
+
+CHUNK_SIZE = 4096
+
+#: Report counts per tier; the drug/ADR universe is held at real-FAERS
+#: scale so per-report cost stays comparable across tiers.
+SMOKE_TIERS = (100_000,)
+FULL_TIERS = (100_000, 500_000, 1_000_000)
+N_DRUGS = 4000
+N_ADRS = 600
+SEED = 20140
+
+
+def _tiers() -> tuple[int, ...]:
+    return FULL_TIERS if os.environ.get("BENCH_CAPACITY_FULL") == "1" else SMOKE_TIERS
+
+
+def _mine_support(n_reports: int) -> int:
+    # Scales with the tier so the closed-itemset output stays comparable
+    # in size; at 1M this is 0.05% — the paper's regime is rare signals.
+    return max(50, n_reports // 2000)
+
+
+def run_tier(n_reports: int) -> dict:
+    """Stream one tier through parse → clean → encode → mine, measured."""
+    config = SyntheticConfig(
+        n_reports=n_reports,
+        n_drugs=N_DRUGS,
+        n_adrs=N_ADRS,
+        seed=SEED,
+        quarter="2014Q1",
+    )
+    generator = SyntheticFAERSGenerator(config)
+    registry = MetricsRegistry()
+    encoder = StreamEncoder()
+    sampler = MemorySampler(interval=0.05)
+
+    parse_seconds = 0.0
+    with sampler, use_registry(registry):
+        stream = generator.iter_reports()
+        sampler.stage("parse")
+        start = time.perf_counter()
+        chunks = iter_chunks(stream, CHUNK_SIZE)
+        while True:
+            # Pulling a chunk runs the generator (the parse stand-in);
+            # ingesting it runs clean + encode. Stage labels flip at
+            # chunk boundaries so RSS samples land on the right stage.
+            begin = time.perf_counter()
+            chunk = next(chunks, None)
+            parse_seconds += time.perf_counter() - begin
+            if chunk is None:
+                break
+            sampler.stage("ingest")
+            encoder.ingest_chunk(chunk)
+            sampler.stage("parse")
+        ingest_wall = time.perf_counter() - start - parse_seconds
+        result = encoder.finish()
+        rss_after_ingest = _current_rss()
+
+        sampler.stage("mine")
+        min_support = _mine_support(n_reports)
+        begin = time.perf_counter()
+        itemsets = fpclose(result.database, min_support)
+        mine_seconds = time.perf_counter() - begin
+
+    snapshot = registry.snapshot()
+    clean_seconds = snapshot.timer_seconds("ingest.clean")
+    encode_seconds = snapshot.timer_seconds("ingest.encode")
+    peaks = sampler.stage_peaks()
+    ingest_peak = max(peaks.get("parse", 0), peaks.get("ingest", 0))
+    transient = (
+        max(0, ingest_peak - rss_after_ingest)
+        if rss_after_ingest is not None and ingest_peak
+        else None
+    )
+
+    def stage(name: str, seconds: float, rss_key: str | None) -> dict:
+        return {
+            "stage": name,
+            "seconds": round(seconds, 3),
+            "reports_per_sec": round(n_reports / seconds) if seconds > 0 else None,
+            "peak_rss_bytes": peaks.get(rss_key) if rss_key else None,
+        }
+
+    return {
+        "n_reports": n_reports,
+        "n_kept": result.cleaning_stats.reports_out,
+        "chunk_size": CHUNK_SIZE,
+        "min_support": min_support,
+        "n_closed_itemsets": len(itemsets),
+        "stages": [
+            stage("parse", parse_seconds, "parse"),
+            # Clean and encode interleave inside one chunk pass: wall
+            # time splits cleanly via the ingest timers, RSS is shared.
+            stage("clean", clean_seconds, "ingest"),
+            stage("encode", encode_seconds, "ingest"),
+            stage("mine", mine_seconds, "mine"),
+        ],
+        "ingest_wall_seconds": round(ingest_wall, 3),
+        "rss_after_ingest_bytes": rss_after_ingest,
+        "transient_ingest_rss_bytes": transient,
+        "peak_rss_bytes": sampler.peak_bytes(),
+    }
+
+
+def _current_rss() -> int | None:
+    from repro.obs import current_rss_bytes
+
+    return current_rss_bytes()
+
+
+def _baseline_rates(n_reports: int) -> dict[str, float] | None:
+    """Per-stage reports/sec of the latest committed baseline for a tier."""
+    if not TRAJECTORY_PATH.exists():
+        return None
+    trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    for run in reversed(trajectory.get("runs", [])):
+        if (
+            run.get("benchmark") == BENCHMARK_ID
+            and run.get("baseline") is True
+            and any(t.get("n_reports") == n_reports for t in run.get("tiers", []))
+        ):
+            tier = next(t for t in run["tiers"] if t["n_reports"] == n_reports)
+            return {
+                s["stage"]: s["reports_per_sec"]
+                for s in tier["stages"]
+                if s.get("reports_per_sec")
+            }
+    return None
+
+
+def test_capacity_streaming_ingest():
+    tiers = [run_tier(n) for n in _tiers()]
+
+    lines = ["Capacity — streaming parse → clean → encode → mine (synthetic FAERS)"]
+    lines.append(
+        f"{'reports':>10s} {'stage':>7s} {'seconds':>9s} {'rep/s':>9s} "
+        f"{'peakRSS MiB':>12s}"
+    )
+    for tier in tiers:
+        for s in tier["stages"]:
+            rss = "" if s["peak_rss_bytes"] is None else f"{s['peak_rss_bytes'] / 2**20:.0f}"
+            lines.append(
+                f"{tier['n_reports']:>10,d} {s['stage']:>7s} {s['seconds']:>9.2f} "
+                f"{s['reports_per_sec'] or 0:>9,d} {rss:>12s}"
+            )
+        transient = tier["transient_ingest_rss_bytes"]
+        lines.append(
+            f"{'':>10s} transient ingest RSS: "
+            + ("n/a" if transient is None else f"{transient / 2**20:.0f} MiB")
+            + f" (limit {TRANSIENT_RSS_LIMIT / 2**20:.0f} MiB), "
+            f"{tier['n_closed_itemsets']} closed itemsets @ support "
+            f"{tier['min_support']}"
+        )
+    artifact = "\n".join(lines)
+    print("\n" + artifact)
+    write_artifact("capacity.txt", artifact)
+
+    record = base_record(
+        chunk_size=CHUNK_SIZE,
+        n_drugs=N_DRUGS,
+        n_adrs=N_ADRS,
+        transient_rss_limit_bytes=TRANSIENT_RSS_LIMIT,
+        tiers=tiers,
+    )
+    if os.environ.get("BENCH_CAPACITY_BASELINE") == "1":
+        record["baseline"] = True
+    append_run(TRAJECTORY_PATH, SUITE, BENCHMARK_ID, record)
+
+    # Memory honesty: the streaming pass must not hide a materialized
+    # copy of the stream. (None = no procfs; nothing to assert.)
+    for tier in tiers:
+        transient = tier["transient_ingest_rss_bytes"]
+        if transient is not None:
+            assert transient <= TRANSIENT_RSS_LIMIT, (
+                f"{tier['n_reports']:,}-report ingest held "
+                f"{transient / 2**20:.0f} MiB of transient memory "
+                f"(limit {TRANSIENT_RSS_LIMIT / 2**20:.0f} MiB) — is the "
+                "stream being materialized?"
+            )
+
+    # Throughput regression gate against the committed baseline.
+    for tier in tiers:
+        baseline = _baseline_rates(tier["n_reports"])
+        if baseline is None:
+            continue
+        for s in tier["stages"]:
+            rate, floor = s["reports_per_sec"], baseline.get(s["stage"])
+            if rate is None or floor is None:
+                continue
+            assert rate >= REGRESSION_FLOOR * floor, (
+                f"{tier['n_reports']:,}-report {s['stage']} stage at "
+                f"{rate:,} reports/s, below {REGRESSION_FLOOR:.0%} of the "
+                f"committed baseline {floor:,.0f} reports/s"
+            )
+
+
+def test_capacity_stream_never_materialized():
+    """The tier driver consumes the generator lazily, chunk by chunk.
+
+    Cheap structural guard next to the RSS assertion: wrap the stream in
+    a counter and check the driver never pulled more than one chunk
+    ahead of what it encoded.
+    """
+    config = SyntheticConfig(
+        n_reports=10_000, n_drugs=300, n_adrs=80, seed=SEED, quarter="2014Q1"
+    )
+    generator = SyntheticFAERSGenerator(config)
+    pulled = 0
+
+    def counting_stream():
+        nonlocal pulled
+        for report in generator.iter_reports():
+            pulled += 1
+            yield report
+
+    encoder = StreamEncoder()
+    high_water = 0
+    for chunk in iter_chunks(counting_stream(), CHUNK_SIZE):
+        encoder.ingest_chunk(chunk)
+        high_water = max(high_water, pulled - encoder.stats.rows_in)
+    assert high_water == 0, "driver pulled ahead of the encoder"
+    assert encoder.stats.rows_in == config.n_reports
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v", "--override-ini=addopts="]))

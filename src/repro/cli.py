@@ -47,7 +47,7 @@ from repro.faers import (
 )
 from repro.faers.schema import ReportType
 from repro.knowledge import default_reference, default_severity_index
-from repro.obs import NULL_REGISTRY, JsonlSink, MetricsRegistry, use_registry
+from repro.obs import NULL_REGISTRY, JsonlSink, MetricsRegistry, peak_rss_bytes, use_registry
 from repro.userstudy import UserStudy, build_questions
 from repro.viz import render_panorama, render_zoom_view
 
@@ -360,6 +360,21 @@ def build_registry(args: argparse.Namespace):
     return MetricsRegistry(sink=sink)
 
 
+def report_peak_rss(registry) -> None:
+    """Print the process peak RSS under ``--profile``.
+
+    The metrics snapshot inside a result is frozen before the run
+    returns, so the lifetime high-water mark gets its own line (and a
+    live gauge for trace consumers). Silently absent on platforms
+    without procfs/getrusage.
+    """
+    peak = peak_rss_bytes()
+    if peak is None:
+        return
+    registry.gauge("process.peak_rss_bytes").set(peak)
+    print(f"peak RSS: {peak / 2**20:.1f} MiB", file=sys.stderr)
+
+
 def run_pipeline(args: argparse.Namespace) -> MarasResult:
     config = MarasConfig(
         min_support=args.min_support,
@@ -376,6 +391,7 @@ def run_pipeline(args: argparse.Namespace) -> MarasResult:
         result = Maras(config, registry=registry).run(dataset)
     if registry.enabled:
         print(result.metrics.format_table(), file=sys.stderr)
+        report_peak_rss(registry)
         registry.close()
         if args.trace:
             print(f"wrote trace {args.trace}", file=sys.stderr)
@@ -675,6 +691,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
             backend.close()
     if registry.enabled:
         print(monitor.result.metrics.format_table(), file=sys.stderr)
+        report_peak_rss(registry)
         registry.close()
     return 0
 

@@ -26,8 +26,9 @@ streaming cost.
 
 from __future__ import annotations
 
+import itertools
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.core.pipeline import Maras, MarasConfig, MarasResult
@@ -306,6 +307,26 @@ class SurveillanceMonitor:
         self._last_ranks = new_ranks
         self._history.append(delta)
         return delta
+
+    def ingest_stream(
+        self, reports: Iterable[CaseReport], *, batch_size: int = 4096
+    ) -> Iterator[BatchDelta]:
+        """Feed a report stream through :meth:`ingest` in fixed-size batches.
+
+        The capacity-tier entry point: ``reports`` may be an unbounded
+        generator (the streaming synthetic source, a chained
+        :func:`~repro.faers.synthetic.quarter_sequence`) — it is consumed
+        one batch at a time and never materialized, so the transient
+        footprint on top of the monitor's own state is O(batch_size).
+        Yields the :class:`BatchDelta` of each batch as it is mined;
+        results are identical to calling :meth:`ingest` with the same
+        pre-split batches.
+        """
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        iterator = iter(reports)
+        while batch := list(itertools.islice(iterator, batch_size)):
+            yield self.ingest(batch)
 
     # -- durable-store checkpoint support ------------------------------
 

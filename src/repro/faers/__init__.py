@@ -19,6 +19,9 @@ abstraction:
 - :mod:`repro.faers.synthetic` — a generator of synthetic FAERS quarters
   with *planted* drug-drug-interaction ground truth, standing in for the
   real 2014 extracts (see DESIGN.md, substitutions).
+- :mod:`repro.faers.ingest` — the streaming tier: chunked, bounded-memory
+  clean + encode of any report iterable (the million-report capacity
+  path; byte-identical to the one-shot chain for single-version streams).
 - :mod:`repro.faers.vocab` — drug/ADR vocabularies seeded with the names
   appearing in the paper.
 """
@@ -30,13 +33,16 @@ from repro.faers.dedup import (
     resolve_near_duplicates,
 )
 from repro.faers.dataset import DatasetStats, ReportDataset
-from repro.faers.parser import parse_quarter, read_delimited
+from repro.faers.ingest import StreamedIngest, StreamEncoder, encode_stream, iter_chunks
+from repro.faers.parser import iter_quarter, parse_quarter, read_delimited
 from repro.faers.schema import CaseReport, ReportType
 from repro.faers.synthetic import (
     InteractionSpec,
     SyntheticConfig,
     SyntheticFAERSGenerator,
+    iter_year,
     quarter_config,
+    quarter_sequence,
 )
 from repro.faers.vocab import ADR_VOCABULARY, DRUG_VOCABULARY
 from repro.faers.writer import QuarterFiles, write_quarter_files
@@ -52,14 +58,21 @@ __all__ = [
     "ReportCleaner",
     "ReportDataset",
     "ReportType",
+    "StreamEncoder",
+    "StreamedIngest",
     "SyntheticConfig",
     "SyntheticFAERSGenerator",
+    "encode_stream",
     "find_near_duplicates",
+    "iter_chunks",
+    "iter_quarter",
+    "iter_year",
     "normalize_adr_term",
     "normalize_drug_name",
     "resolve_near_duplicates",
     "parse_quarter",
     "quarter_config",
+    "quarter_sequence",
     "QuarterFiles",
     "read_delimited",
     "write_quarter_files",

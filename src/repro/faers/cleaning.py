@@ -20,7 +20,7 @@ Three layers:
 from __future__ import annotations
 
 import re
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -166,7 +166,7 @@ class ReportCleaner:
         )
 
     def clean(
-        self, reports: Sequence[CaseReport]
+        self, reports: Iterable[CaseReport]
     ) -> tuple[list[CaseReport], CleaningStats]:
         """Normalize, correct, merge and de-duplicate ``reports``.
 
@@ -175,18 +175,31 @@ class ReportCleaner:
         into one report whose drug/ADR sets are the unions; after
         merging, reports with identical (drugs, adrs) content beyond the
         first are dropped as FAERS follow-up duplicates.
+
+        ``reports`` may be any iterable, including a one-shot generator
+        (the streaming synthetic source, :func:`~repro.faers.parser.
+        iter_quarter`); the input is consumed in a single pass and never
+        materialized. **Ordering contract under streaming:** output
+        order is the order each kept case id was *first seen* while
+        consuming the input — a case claims its output slot with its
+        first row whose normalized content is non-empty, later follow-up
+        rows merge into that slot in place, and the post-merge
+        duplicate drop never reorders survivors. A list and a generator
+        over the same rows therefore produce identical output
+        (``tests/faers/test_streaming.py`` pins this down).
         """
         registry = get_registry()
         with registry.timer("faers.clean"):
             return self._clean(reports, registry)
 
     def _clean(
-        self, reports: Sequence[CaseReport], registry
+        self, reports: Iterable[CaseReport], registry
     ) -> tuple[list[CaseReport], CleaningStats]:
-        stats = CleaningStats(rows_in=len(reports))
+        stats = CleaningStats()
         merged: dict[str, CaseReport] = {}
         order: list[str] = []
         for report in reports:
+            stats.rows_in += 1
             drugs = self._clean_terms(
                 report.drugs, normalize_drug_name, self._drug_corrector, stats, "drug"
             )

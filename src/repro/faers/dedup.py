@@ -17,7 +17,7 @@ merges the flagged pairs.
 from __future__ import annotations
 
 import enum
-from collections.abc import Sequence
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -43,13 +43,20 @@ def jaccard_similarity(left: frozenset[str], right: frozenset[str]) -> float:
 
 
 def find_near_duplicates(
-    reports: Sequence[CaseReport],
+    reports: Iterable[CaseReport],
     *,
     threshold: float = 0.8,
     max_block_size: int = 200,
     min_items: int = 4,
 ) -> list[DuplicatePair]:
     """Report pairs with item-set Jaccard ≥ ``threshold``.
+
+    ``reports`` may be any iterable (one single pass is taken; pair
+    indices refer to stream positions), but near-duplicate detection is
+    inherently a whole-dataset decision — the rarity blocking below
+    needs global item frequencies — so unlike the exact-dedup pass in
+    :mod:`repro.faers.ingest` it cannot run in O(chunk) memory: the
+    item sets of the full input are held for pairwise comparison.
 
     Blocking: each report is indexed under its three *rarest* items
     (fewest occurrences across the dataset, ties by name); only reports
@@ -120,7 +127,7 @@ class NearDuplicatePolicy(enum.Enum):
 
 
 def resolve_near_duplicates(
-    reports: Sequence[CaseReport],
+    reports: Iterable[CaseReport],
     *,
     threshold: float = 0.8,
     min_items: int = 4,
@@ -129,8 +136,14 @@ def resolve_near_duplicates(
     """Apply a policy to every flagged pair; returns (kept reports, pairs).
 
     Pair resolution is transitive through the kept representative: if
-    A~B and B~C, both B and C resolve into A.
+    A~B and B~C, both B and C resolve into A. Kept reports come back in
+    input order (the loser of each pair is always the later stream
+    position, so survivors never move). ``reports`` may be a one-shot
+    generator; it is materialized here — resolution needs random access
+    to the keeper/loser rows, and the pairs it resolves already require
+    whole-dataset visibility (see :func:`find_near_duplicates`).
     """
+    reports = list(reports)
     pairs = find_near_duplicates(reports, threshold=threshold, min_items=min_items)
     representative: dict[int, int] = {}
 

@@ -112,30 +112,34 @@ class ParseStats:
     reports: int = 0
 
 
-def parse_quarter(
+def iter_quarter(
     demo_path: str | os.PathLike[str],
     drug_path: str | os.PathLike[str],
     reac_path: str | os.PathLike[str],
     *,
     quarter: str = "",
     report_types: frozenset[ReportType] | None = None,
-) -> tuple[list[CaseReport], ParseStats]:
-    """Join one quarter's DEMO/DRUG/REAC files into case reports.
+    stats: ParseStats | None = None,
+) -> Iterator[CaseReport]:
+    """Stream one quarter's joined case reports without materializing them.
 
-    Parameters
-    ----------
-    quarter:
-        Label stamped onto every report (e.g. ``"2014Q1"``).
-    report_types:
-        Keep only these provenance types; ``None`` keeps everything. The
-        paper keeps :attr:`ReportType.EXPEDITED` only.
+    The generator behind :func:`parse_quarter`: reports are yielded in
+    **first-seen DEMO-row order** (the order a key's first DEMO row
+    appears in the file — later versions of a case supersede the row
+    content but never move the case's position), one at a time, so the
+    caller decides whether a list ever exists. Pass a *fresh*
+    :class:`ParseStats` to receive row accounting; it is complete only
+    once the generator is exhausted.
 
-    Returns
-    -------
-    (reports, stats)
-        Reports in DEMO-file order, plus row accounting.
+    Memory: the three-file join inherently indexes the quarter's DEMO
+    rows and per-case item sets by key before emission can start (a
+    case's last DRUG row may be the file's last line), so peak memory is
+    O(cases in the quarter) — but the emitted ``CaseReport`` stream is
+    not retained, and each case's joined state is released as it is
+    yielded. Feeding a multi-quarter sequence through this keeps peak
+    memory at one quarter's index, not the whole stream.
     """
-    stats = ParseStats()
+    stats = stats if stats is not None else ParseStats()
 
     demographics: dict[str, dict[str, str]] = {}
     order: list[str] = []
@@ -174,11 +178,12 @@ def parse_quarter(
         if term:
             reactions.setdefault(key, set()).add(term)
 
-    reports: list[CaseReport] = []
     for key in order:
-        row = demographics[key]
-        case_drugs = drugs.get(key)
-        case_reactions = reactions.get(key)
+        # Joined state is released as each case is emitted, so memory
+        # sheds while the stream drains.
+        row = demographics.pop(key)
+        case_drugs = drugs.pop(key, None)
+        case_reactions = reactions.pop(key, None)
         if not case_drugs:
             stats.cases_without_drugs += 1
             continue
@@ -188,21 +193,19 @@ def parse_quarter(
         report_type = _parse_report_type(row)
         if report_types is not None and report_type not in report_types:
             continue
-        reports.append(
-            CaseReport.build(
-                case_id=key,
-                drugs=case_drugs,
-                adrs=case_reactions,
-                report_type=report_type,
-                quarter=quarter,
-                age=_parse_age(row),
-                sex=row.get("sex", row.get("gndr_cod", "")).strip() or None,
-                country=row.get("occr_country", row.get("reporter_country", "")).strip()
-                or None,
-                event_date=_parse_event_date(row),
-            )
+        stats.reports += 1
+        yield CaseReport.build(
+            case_id=key,
+            drugs=case_drugs,
+            adrs=case_reactions,
+            report_type=report_type,
+            quarter=quarter,
+            age=_parse_age(row),
+            sex=row.get("sex", row.get("gndr_cod", "")).strip() or None,
+            country=row.get("occr_country", row.get("reporter_country", "")).strip()
+            or None,
+            event_date=_parse_event_date(row),
         )
-    stats.reports = len(reports)
     registry = get_registry()
     if registry.enabled:
         registry.counter("faers.parse.demo_rows").inc(stats.demo_rows)
@@ -215,6 +218,47 @@ def parse_quarter(
             stats.cases_without_drugs + stats.cases_without_reactions
         )
         registry.counter("faers.parse.reports").inc(stats.reports)
+
+
+def parse_quarter(
+    demo_path: str | os.PathLike[str],
+    drug_path: str | os.PathLike[str],
+    reac_path: str | os.PathLike[str],
+    *,
+    quarter: str = "",
+    report_types: frozenset[ReportType] | None = None,
+) -> tuple[list[CaseReport], ParseStats]:
+    """Join one quarter's DEMO/DRUG/REAC files into case reports.
+
+    A thin ``list()`` wrapper over :func:`iter_quarter` — callers that
+    can consume a stream (the chunked ingest tier,
+    :func:`repro.faers.ingest.encode_stream`) should use the generator
+    directly and skip the materialization.
+
+    Parameters
+    ----------
+    quarter:
+        Label stamped onto every report (e.g. ``"2014Q1"``).
+    report_types:
+        Keep only these provenance types; ``None`` keeps everything. The
+        paper keeps :attr:`ReportType.EXPEDITED` only.
+
+    Returns
+    -------
+    (reports, stats)
+        Reports in first-seen DEMO-row order, plus row accounting.
+    """
+    stats = ParseStats()
+    reports = list(
+        iter_quarter(
+            demo_path,
+            drug_path,
+            reac_path,
+            quarter=quarter,
+            report_types=report_types,
+            stats=stats,
+        )
+    )
     return reports, stats
 
 

@@ -24,11 +24,24 @@ rather than only eyeballing case studies.
 
 Determinism: everything is driven by one :class:`random.Random` seeded
 from the config, so a quarter is a pure function of its configuration.
+Sampling is *restartable*: the post-construction RNG state is snapshotted
+once, and every :meth:`SyntheticFAERSGenerator.iter_reports` /
+:meth:`SyntheticFAERSGenerator.generate` call replays from that
+snapshot — two calls on one generator produce identical reports, and the
+lazy stream is byte-identical to the materialized list.
+
+Scale: :meth:`SyntheticFAERSGenerator.iter_reports` yields one report at
+a time, so multi-million-report streams (:func:`iter_year`,
+:func:`quarter_sequence`) run in O(1) report memory — the capacity
+testbed (``benchmarks/bench_capacity.py``) feeds them straight into the
+streaming ingest tier (:mod:`repro.faers.ingest`) without ever holding
+the report list.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -299,6 +312,12 @@ class SyntheticFAERSGenerator:
         self._spec_adr_index = self._build_spec_adr_index()
         self._therapy_classes = self._build_therapy_classes()
         self._verbatim_counter = 0
+        # Post-construction RNG snapshot: model construction (shuffle,
+        # profiles) consumed part of the seeded stream; every sampling
+        # pass replays from here, so generate()/iter_reports() are pure
+        # functions of the configuration no matter how often or how
+        # lazily they are consumed.
+        self._sampling_state = self._rng.getstate()
 
     # ------------------------------------------------------------------
     # model construction
@@ -367,15 +386,15 @@ class SyntheticFAERSGenerator:
     # sampling
     # ------------------------------------------------------------------
 
-    def _sample_background_drug(self) -> str:
-        roll = self._rng.random()
+    def _sample_background_drug(self, rng: random.Random) -> str:
+        roll = rng.random()
         if roll < self.config.verbatim_tail_rate:
             # The long verbatim tail: a rare drug string, as FAERS
             # verbatim data produces. Drawn uniformly from the unpopular
             # half of the universe.
-            index = self._rng.randrange(len(self._popularity) // 2, len(self._popularity))
+            index = rng.randrange(len(self._popularity) // 2, len(self._popularity))
             return self._popularity[index]
-        position = self._rng.random()
+        position = rng.random()
         return self._popularity[self._bisect_cdf(position)]
 
     def _bisect_cdf(self, position: float) -> int:
@@ -388,8 +407,7 @@ class SyntheticFAERSGenerator:
                 high = mid
         return low
 
-    def _sample_report(self, index: int) -> CaseReport:
-        rng = self._rng
+    def _sample_report(self, index: int, rng: random.Random) -> CaseReport:
         drugs: set[str] = set()
         full_exposures: list[InteractionSpec] = []
 
@@ -415,7 +433,7 @@ class SyntheticFAERSGenerator:
                 if classmates and len(classmates) > 1:
                     drugs.add(classmates[rng.randrange(len(classmates))])
                     continue
-            drugs.add(self._sample_background_drug())
+            drugs.add(self._sample_background_drug(rng))
 
         adrs: set[str] = set()
         # Planted effects: trigger probability for full exposures,
@@ -481,9 +499,24 @@ class SyntheticFAERSGenerator:
         day = date_rng.randrange(1, 29)  # 1-28: valid in every month
         return f"{year:04d}-{month:02d}-{day:02d}"
 
+    def iter_reports(self) -> Iterator[CaseReport]:
+        """Yield the quarter's reports one at a time, deterministically.
+
+        The stream is a pure function of the configuration: every call
+        replays the sampling RNG from the post-construction snapshot, so
+        repeated or interleaved iterations (each call carries its own
+        RNG instance) all produce the same reports, byte-identical to
+        :meth:`generate`. Nothing is materialized — a 1M-report quarter
+        costs O(1) report memory to consume.
+        """
+        rng = random.Random()
+        rng.setstate(self._sampling_state)
+        for index in range(self.config.n_reports):
+            yield self._sample_report(index + 1, rng)
+
     def generate(self) -> list[CaseReport]:
-        """Generate the quarter's reports, deterministically."""
-        return [self._sample_report(i + 1) for i in range(self.config.n_reports)]
+        """Generate the quarter's reports as a list (see :meth:`iter_reports`)."""
+        return list(self.iter_reports())
 
     # ------------------------------------------------------------------
     # ground truth
@@ -525,3 +558,55 @@ def generate_year(
         ).generate()
         for quarter in sorted(PAPER_QUARTER_REPORTS)
     }
+
+
+def iter_year(
+    *, scale: float = 0.04, seed_base: int = 2014
+) -> Iterator[CaseReport]:
+    """Stream all four 2014 quarters in order without materializing any.
+
+    The concatenation of the per-quarter streams, quarter labels in
+    sorted order — byte-identical to chaining :func:`generate_year`'s
+    lists, at O(1) report memory. At ``scale=1.0`` this is the paper's
+    full ~508k-report year; the capacity benchmark drives multi-year
+    sequences through it via :func:`quarter_sequence`.
+    """
+    for quarter in sorted(PAPER_QUARTER_REPORTS):
+        generator = SyntheticFAERSGenerator(
+            quarter_config(quarter, scale=scale, seed_base=seed_base)
+        )
+        yield from generator.iter_reports()
+
+
+def quarter_sequence(
+    n_quarters: int,
+    *,
+    start_year: int = 2014,
+    reports_per_quarter: int = 5000,
+    n_drugs: int = 4000,
+    n_adrs: int = 600,
+    seed_base: int = 2014,
+) -> Iterator[tuple[str, SyntheticFAERSGenerator]]:
+    """Lazily yield ``(quarter label, generator)`` for a multi-year stream.
+
+    Labels run ``"2014Q1", "2014Q2", …`` rolling over year boundaries,
+    so a 50-quarter surveillance schedule — the long-stream soak the
+    incremental engine is tested against — is one call. Each quarter
+    gets its own seed (``seed_base * 10 + index``) and shares one item
+    universe, mirroring how real FAERS quarters share the drug/ADR
+    namespace. Generators are constructed lazily: consuming the sequence
+    one quarter at a time holds one model in memory, never ``n_quarters``.
+    """
+    if n_quarters < 1:
+        raise ConfigError(f"n_quarters must be >= 1, got {n_quarters}")
+    for index in range(n_quarters):
+        year = start_year + index // 4
+        quarter = f"{year:04d}Q{index % 4 + 1}"
+        config = SyntheticConfig(
+            n_reports=reports_per_quarter,
+            n_drugs=n_drugs,
+            n_adrs=n_adrs,
+            seed=seed_base * 10 + index,
+            quarter=quarter,
+        )
+        yield quarter, SyntheticFAERSGenerator(config)

@@ -98,6 +98,39 @@ class ItemCatalog:
         self._kinds.append(kind)
         return item_id
 
+    def rename_label(self, item_id: int, new_label: str) -> None:
+        """Re-label an existing item in place, keeping its id and kind.
+
+        The streaming encoder's collision repair
+        (:mod:`repro.faers.ingest`) uses this: when a drug label arrives
+        that collides with an already-encoded *unsuffixed* ADR label,
+        the one-shot encoding — which sees all drugs before encoding any
+        row — would have suffixed that ADR from the start. Renaming the
+        ADR item restores byte-identity without re-encoding history
+        (ids are first-seen-row ordered, and the rename does not change
+        which row first contained the item). Renaming *to* an existing
+        label raises :class:`~repro.errors.MiningError`: two items may
+        never share one label.
+        """
+        if not isinstance(new_label, str) or not new_label:
+            raise ConfigError(
+                f"item label must be a non-empty string, got {new_label!r}"
+            )
+        try:
+            old_label = self._labels[item_id]
+        except IndexError:
+            raise UnknownItemError(item_id) from None
+        if new_label == old_label:
+            return
+        if new_label in self._id_by_label:
+            raise MiningError(
+                f"cannot rename item {item_id} ({old_label!r}) to "
+                f"{new_label!r}: label already registered"
+            )
+        del self._id_by_label[old_label]
+        self._id_by_label[new_label] = item_id
+        self._labels[item_id] = new_label
+
     def id(self, label: str) -> int:
         """Return the id of ``label``, raising :class:`UnknownItemError` if absent."""
         try:

@@ -14,6 +14,10 @@ monitoring hooks answer those without touching the numbers when off.
 - :mod:`repro.obs.events` — the structured-event records and sinks
   (:class:`InMemorySink` for tests, :class:`JsonlSink` for production
   traces).
+- :mod:`repro.obs.memory` — stdlib-only process-memory gauges
+  (:func:`current_rss_bytes`, :func:`peak_rss_bytes`) and the
+  per-stage :class:`MemorySampler` behind the capacity benchmark's
+  memory-honesty numbers.
 
 Usage::
 
@@ -33,6 +37,7 @@ from repro.obs.events import (
     NullSink,
     read_jsonl,
 )
+from repro.obs.memory import MemorySampler, current_rss_bytes, peak_rss_bytes
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -55,14 +60,17 @@ __all__ = [
     "Gauge",
     "InMemorySink",
     "JsonlSink",
+    "MemorySampler",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullRegistry",
     "NullSink",
     "TimerReading",
     "TimerStat",
+    "current_rss_bytes",
     "get_registry",
     "merge_metric_dicts",
+    "peak_rss_bytes",
     "read_jsonl",
     "use_registry",
 ]

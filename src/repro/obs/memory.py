@@ -1,0 +1,179 @@
+"""Process-memory gauges: RSS now, RSS high-water mark, stage sampling.
+
+The capacity testbed's honesty depends on measuring what the process
+*actually* holds, not what Python thinks it allocated — a hidden
+``list()`` of a million reports shows up in resident set size whether or
+not tracemalloc is watching. Everything here is stdlib-only (the
+container has no psutil) and degrades gracefully:
+
+- :func:`current_rss_bytes` — ``VmRSS`` from ``/proc/self/status``
+  (Linux); ``None`` where procfs is unavailable.
+- :func:`peak_rss_bytes` — ``VmHWM`` from procfs, falling back to
+  ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on Linux)
+  so macOS/BSD still report a high-water mark.
+- :class:`MemorySampler` — a daemon thread polling
+  :func:`current_rss_bytes`, attributing each sample to the currently
+  declared stage so a single-process, interleaved pipeline (parse →
+  clean → encode chunk by chunk) still yields per-stage peaks.
+
+The sampler exists because ``VmHWM`` is process-global and monotonic: by
+the time the encode stage runs, the parse stage's peak is baked in.
+Sampling with stage labels recovers "which stage was live when RSS was
+highest", which is the number the capacity benchmark records per stage.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+_PROC_STATUS = Path("/proc/self/status")
+
+#: /proc/self/status reports VmRSS/VmHWM in kibibytes.
+_KIB = 1024
+
+
+def _read_proc_field(field: str) -> int | None:
+    """Read one ``kB`` field from ``/proc/self/status``, or ``None``."""
+    try:
+        text = _PROC_STATUS.read_text()
+    except OSError:
+        return None
+    needle = field + ":"
+    for line in text.splitlines():
+        if line.startswith(needle):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1].isdigit():
+                return int(parts[1]) * _KIB
+    return None
+
+
+def current_rss_bytes() -> int | None:
+    """Resident set size of this process right now, in bytes.
+
+    ``None`` when ``/proc/self/status`` is unavailable (non-Linux);
+    callers treat that as "memory observation unsupported", never as 0.
+    """
+    return _read_proc_field("VmRSS")
+
+
+def peak_rss_bytes() -> int | None:
+    """Lifetime high-water-mark RSS of this process, in bytes.
+
+    Prefers procfs ``VmHWM``; falls back to ``getrusage`` ``ru_maxrss``
+    (reported in kilobytes on Linux — the fallback matters only off
+    Linux, where the BSD convention is also kilobytes... except macOS,
+    which reports bytes; the heuristic below treats implausibly large
+    values as already-bytes). ``None`` if neither source exists.
+    """
+    peak = _read_proc_field("VmHWM")
+    if peak is not None:
+        return peak
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if ru_maxrss <= 0:
+        return None
+    # macOS reports bytes; everything else kilobytes. A real RSS below
+    # 1 MiB is implausible for a running CPython, so a huge raw value
+    # means the platform already gave us bytes.
+    if ru_maxrss > 1 << 32:
+        return ru_maxrss
+    return ru_maxrss * _KIB
+
+
+class MemorySampler:
+    """Background RSS sampler with per-stage peak attribution.
+
+    Usage::
+
+        sampler = MemorySampler(interval=0.05)
+        with sampler:
+            sampler.stage("parse")
+            ...
+            sampler.stage("encode")
+            ...
+        peaks = sampler.stage_peaks()   # {"parse": ..., "encode": ...}
+        overall = sampler.peak_bytes()
+
+    The thread is a daemon polling :func:`current_rss_bytes` every
+    ``interval`` seconds and folding each reading into the max for the
+    stage that was current when the sample was taken. One synchronous
+    sample is taken at every stage transition (and at start/stop), so
+    even a stage shorter than the interval gets at least one reading.
+    On platforms without procfs the sampler runs but records nothing and
+    :meth:`peak_bytes` returns ``None`` — capacity assertions gate on
+    that rather than failing spuriously.
+    """
+
+    def __init__(self, interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be > 0, got {interval}")
+        self.interval = interval
+        self._stage = "startup"
+        self._peaks: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _sample(self) -> None:
+        rss = current_rss_bytes()
+        if rss is None:
+            return
+        with self._lock:
+            stage = self._stage
+            if rss > self._peaks.get(stage, 0):
+                self._peaks[stage] = rss
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample()
+
+    def start(self) -> "MemorySampler":
+        if self._thread is not None:
+            raise ConfigError("MemorySampler already started")
+        self._stop.clear()
+        self._sample()
+        self._thread = threading.Thread(
+            target=self._run, name="mediar-memory-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._sample()
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "MemorySampler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stage(self, name: str) -> None:
+        """Declare the stage subsequent samples belong to."""
+        if not name:
+            raise ConfigError("stage name must be non-empty")
+        self._sample()  # close out the previous stage with a fresh reading
+        with self._lock:
+            self._stage = name
+        self._sample()
+
+    def stage_peaks(self) -> dict[str, int]:
+        """Peak observed RSS per declared stage, in bytes."""
+        with self._lock:
+            return dict(self._peaks)
+
+    def peak_bytes(self) -> int | None:
+        """Highest RSS observed across all stages, or ``None`` (no procfs)."""
+        with self._lock:
+            return max(self._peaks.values()) if self._peaks else None
