@@ -53,6 +53,13 @@ from repro.viz import render_panorama, render_zoom_view
 
 RANKING_BY_NAME = {method.value: method for method in RankingMethod}
 
+#: Upper bound on serving worker processes (`mediar serve --workers`).
+#: Each worker is a forked process sharing the listening socket; values
+#: beyond this are configuration mistakes, rejected with one line
+#: instead of a fork storm. Mining workers are bounded separately by
+#: :data:`repro.parallel.miner.MAX_WORKERS`.
+MAX_SERVE_WORKERS = 128
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -761,6 +768,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise ReproError("--workers must be at least 1")
+    if args.workers > MAX_SERVE_WORKERS:
+        raise ReproError(
+            f"--workers must be <= {MAX_SERVE_WORKERS}, got {args.workers}"
+        )
     if not args.async_transport and args.workers > 1:
         raise ReproError(
             "--sync serves from one threaded process; "

@@ -170,7 +170,15 @@ class SurveillanceMonitor:
         )
 
     def close(self) -> None:
-        """Release engine resources (normalization pool); idempotent."""
+        """Release engine resources; idempotent.
+
+        Shuts down the engine's persistent
+        :class:`~repro.parallel.pool.MiningPool` (shared by batch
+        normalization and sharded re-mining). The pool is what makes
+        repeated batches *warm* — workers keep the accumulated shard
+        rows resident between mines — so close only when the stream is
+        done, not between batches.
+        """
         if self._engine is not None:
             self._engine.close()
 

@@ -48,7 +48,7 @@ from repro.mining.rules import (
 from repro.mining.transactions import canonical_itemset_order, resolve_min_support
 from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsSnapshot, NullRegistry
 from repro.obs.metrics import use_registry
-from repro.parallel.miner import fpclose_sharded, resolve_workers
+from repro.parallel.miner import MAX_WORKERS, fpclose_sharded, resolve_workers
 from repro.parallel.sharding import SHARD_STRATEGIES, plan_shards
 
 
@@ -162,6 +162,11 @@ class MarasConfig:
         if self.n_workers < 0:
             raise ConfigError(
                 f"n_workers must be >= 0 (0 = one per core), got {self.n_workers}"
+            )
+        if self.n_workers > MAX_WORKERS:
+            raise ConfigError(
+                f"n_workers must be <= {MAX_WORKERS}, got {self.n_workers} "
+                "(use 0 for one worker per core)"
             )
         if self.shard_strategy not in SHARD_STRATEGIES:
             raise ConfigError(

@@ -49,7 +49,6 @@ follow-up injections and worker counts.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.association import (
     DrugADRAssociation,
@@ -82,6 +81,7 @@ from repro.mining.transactions import (
 from repro.obs import NULL_REGISTRY, use_registry
 from repro.parallel.cleaning import normalize_batch
 from repro.parallel.miner import fpclose_sharded, resolve_workers
+from repro.parallel.pool import MiningPool
 from repro.parallel.sharding import plan_shards
 
 # Below this batch size the process-pool round trip costs more than the
@@ -123,7 +123,7 @@ class IncrementalEngine:
         self._support_types: dict[Itemset, SupportType] = {}
         self._n_rows_prev = 0
         self._result: MarasResult | None = None
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool: MiningPool | None = None
         self.n_batches = 0
         #: Reuse/delta accounting of the most recent batch (also emitted
         #: as the ``incremental.batch`` event).
@@ -132,7 +132,7 @@ class IncrementalEngine:
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the normalization pool (idempotent)."""
+        """Shut down the mining/normalization pool (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -297,9 +297,16 @@ class IncrementalEngine:
             )
         return self._cleaner.ingest(rows, normalized=normalized)
 
-    def _ensure_pool(self, n_workers: int) -> ProcessPoolExecutor:
+    def _ensure_pool(self, n_workers: int) -> MiningPool:
+        """The engine's long-lived pool, shared by cleaning and mining.
+
+        A :class:`~repro.parallel.pool.MiningPool`, so workers keep
+        shard rows resident between batches: each delta re-mine of the
+        grown database ships per-leaf appends/updates instead of the
+        accumulated history.
+        """
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=n_workers)
+            self._pool = MiningPool(n_workers)
         return self._pool
 
     def _rebuild_reason(
@@ -428,6 +435,7 @@ class IncrementalEngine:
                     plan=plan_shards(dataset, n_workers, config.shard_strategy),
                     pool=self._ensure_pool(n_workers),
                     touched_mask=effect.touched_mask,
+                    updated_tids=effect.updated_tids,
                 )
             else:
                 mined = fpclose(

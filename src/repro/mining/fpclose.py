@@ -46,6 +46,28 @@ from repro.mining.transactions import (
 from repro.obs import get_registry
 
 
+def touched_universe(
+    database: TransactionDatabase, touched_mask: int
+) -> frozenset[int]:
+    """Union of the touched rows' items — the delta re-mine's universe.
+
+    Every closed itemset whose tidset intersects ``touched_mask`` is
+    contained in some touched row, hence in this union, so projecting
+    rows onto it preserves every support the delta contract needs.
+    This is the shared pushdown hook of the sharded miner
+    (:mod:`repro.parallel.miner`): the parent ships the universe to the
+    workers, which project their *resident* rows onto it instead of
+    receiving re-projected rows.
+    """
+    items: set[int] = set()
+    remaining = touched_mask
+    while remaining:
+        low = remaining & -remaining
+        items |= database[low.bit_length() - 1]
+        remaining ^= low
+    return frozenset(items)
+
+
 def fpclose(
     database: TransactionDatabase,
     min_support: int | float = 1,

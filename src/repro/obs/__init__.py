@@ -19,6 +19,13 @@ monitoring hooks answer those without touching the numbers when off.
   per-stage :class:`MemorySampler` behind the capacity benchmark's
   memory-honesty numbers.
 
+The parallel miner's dataflow scheduler is the densest emitter: one
+``parallel.node`` event per merge-tree node (kind, queue depth at
+submit, submit/done offsets, worker seconds — the realized schedule),
+plus ``parallel.pool.*`` counters (``reuse`` / ``cold_start`` /
+``delta_ships`` / ``residency_misses`` / ``worker_replacements``)
+accounting the persistent pool's shard residency across mines.
+
 Usage::
 
     from repro.obs import JsonlSink, MetricsRegistry

@@ -3,22 +3,27 @@
 Partition a dataset into shards (:mod:`~repro.parallel.sharding`), mine
 all locally frequent itemsets per shard in worker processes
 (:mod:`~repro.parallel.worker`), and merge them *tree-wise* into the
-exact global closed set (:mod:`~repro.parallel.merge`): sibling shards
-pair-merge at region thresholds inside the workers (or coalesce into
-directly-mined regions when the pool is narrower than the leaf count),
-and only region survivors reach the parent's root merge over chunked
-tidset masks. The top-level entry point is
+exact global closed set (:mod:`~repro.parallel.merge`). Scheduling is
+dependency-driven dataflow (:mod:`~repro.parallel.miner`): each merge
+node is submitted the moment its inputs complete, and for full mines
+the root's closure/dedup pass runs inside the top tree node. Workers
+keep shard rows resident across mines in a persistent
+:class:`~repro.parallel.pool.MiningPool`, keyed by a database
+fingerprint, so repeated mines (watch batches, serving refreshes) ship
+thresholds and deltas instead of rows. The top-level entry point is
 :func:`~repro.parallel.miner.fpclose_sharded`, threaded through
 ``Maras.run`` via ``MarasConfig(n_workers=...)`` — and through the
 incremental engine's delta re-mining via ``touched_mask``.
 """
 
 from repro.parallel.merge import merge_pair, merge_shard_itemsets
-from repro.parallel.miner import fpclose_sharded, resolve_workers
+from repro.parallel.miner import MAX_WORKERS, fpclose_sharded, resolve_workers
+from repro.parallel.pool import MiningPool, database_fingerprint, reset_residency
 from repro.parallel.sharding import (
     HASH_STRATEGY,
     QUARTER_STRATEGY,
     SHARD_STRATEGIES,
+    plan_digest,
     plan_shards,
     round_robin_shards,
     shard_of_case,
@@ -28,14 +33,19 @@ from repro.parallel.worker import local_threshold, mine_shard
 
 __all__ = [
     "HASH_STRATEGY",
+    "MAX_WORKERS",
+    "MiningPool",
     "QUARTER_STRATEGY",
     "SHARD_STRATEGIES",
+    "database_fingerprint",
     "fpclose_sharded",
     "local_threshold",
     "merge_pair",
     "merge_shard_itemsets",
     "mine_shard",
+    "plan_digest",
     "plan_shards",
+    "reset_residency",
     "resolve_workers",
     "round_robin_shards",
     "shard_of_case",

@@ -8,47 +8,68 @@ each shard in a worker process, and merges the results exactly
 the single-process miner's output after canonical ordering — the
 differential harness in ``tests/parallel`` enforces this.
 
-The merge is a tree, not a single parent-side pass: when the pool can
-run every leaf concurrently, sibling shards' outputs are pair-merged at
-pigeonhole-scaled *region* thresholds inside the workers
-(:func:`repro.parallel.merge.merge_pair`, dispatched as its own
-level-synchronous round), and only region survivors — with exact
-region supports — reach the parent's root merge. On narrower pools the
-tree is *coalesced* instead: decomposing further than the pool can run
-concurrently weakens the leaf pigeonhole thresholds (more locally
-frequent noise) without buying parallelism — the root cause of the old
-4-worker regression — so sibling shards are grouped into
-``max(2, pool_size)`` regions, each mined directly at its region
-threshold (a shallower instance of the same tree, so the completeness
-chain argument is untouched). Either shape, and any scheduling jitter
-inside it, yields the same bytes: results are collected with
-``executor.map`` (submission order), and the merges are
-order-insensitive.
+Scheduling is **dependency-driven dataflow**, not level-synchronous
+rounds: every merge-tree node is submitted the moment its inputs exist
+(futures plus completion callbacks feeding an event queue), so a slow
+shard delays only its own ancestors while the rest of the tree keeps
+mining. On pools that can run at least two tasks at once the tree runs
+all the way to a single top node for full mines, and that node also
+performs the root's closure/dedup pass (the exact
+:func:`~repro.parallel.merge.merge_shard_itemsets` code over the
+worker's cached full database), so the parent merely receives the
+already-closed, canonically ordered list. Narrow pools still coalesce
+sibling shards into ``max(2, pool_size)`` directly-mined regions —
+decomposing further than the pool can run concurrently weakens the
+pigeonhole thresholds without buying parallelism (the root cause of
+the old 4-worker regression) — and a serial pool keeps the classic
+parent-side root merge. Every shape, every completion order, and warm
+vs cold pools yield the same bytes; the adversarial executor stub in
+``tests/parallel/test_dataflow.py`` drives worst-case orders.
 
-Passing ``touched_mask`` runs the *delta* contract instead — only
+Rows reach workers through :class:`repro.parallel.pool.MiningPool`
+residency: cold mines ship rows once, repeated mines of the same
+database fingerprint ship only thresholds (plus the touched-item
+universe for deltas, which workers apply to their *resident* rows via
+a vertical index), and grown databases ship per-leaf append/update
+deltas. Passing ``touched_mask`` runs the *delta* contract — only
 closed itemsets whose tidset intersects the mask are returned, exactly
-like ``fpclose(touched_mask=...)``. Shard rows are projected onto the
-union of the touched rows' items (every delta-affected closed itemset
-is contained in some touched row, hence in that union), which leaves
-all relevant supports intact while shrinking the mined databases to
-the delta's neighbourhood; thresholds still come from *full* shard
-sizes, so the pigeonhole guarantee is untouched.
+like ``fpclose(touched_mask=...)``; rows are projected onto the union
+of the touched rows' items while thresholds still come from *full*
+shard sizes, so the pigeonhole guarantee is untouched. The delta path
+keeps the parent-side root merge: closures over projected rows would
+be wrong for the real database, so closure pushdown applies to full
+mines only (both paths compute the same mathematical set).
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import time
+from collections.abc import Collection, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from collections.abc import Sequence
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, MiningError
 from repro.mining.bitsets import SupportOracle
+from repro.mining.fpclose import touched_universe
 from repro.mining.transactions import FrequentItemset, TransactionDatabase
 from repro.obs.metrics import get_registry
 from repro.parallel.merge import merge_pair, merge_shard_itemsets
+from repro.parallel.pool import MISS, MiningPool, database_fingerprint, run_node
 from repro.parallel.sharding import ShardPlan, round_robin_shards, validate_plan
 from repro.parallel.worker import local_threshold, mine_shard
+
+#: Hard ceiling on a worker request. The process count is capped at the
+#: core count anyway; values beyond this are configuration mistakes
+#: (they would explode the shard plan and the cleaning pool), reported
+#: as a one-line ConfigError instead of an absurd fork storm.
+MAX_WORKERS = 512
+
+#: Seconds the dataflow driver waits for *any* task completion before
+#: declaring the pool stalled. Generous: a single node is one shard
+#: mine or one pair merge, orders of magnitude below this.
+_STALL_TIMEOUT = 600.0
 
 
 def resolve_workers(n_workers: int) -> int:
@@ -59,10 +80,16 @@ def resolve_workers(n_workers: int) -> int:
     strategy) so the same invocation means the same shards on every
     machine. Only the process-pool size is capped by the cores, inside
     :func:`fpclose_sharded` — the merged result is independent of how
-    shards map onto processes.
+    shards map onto processes. Requests outside ``[0, MAX_WORKERS]``
+    are rejected with a one-line :class:`~repro.errors.ConfigError`.
     """
     if n_workers < 0:
         raise ConfigError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers > MAX_WORKERS:
+        raise ConfigError(
+            f"n_workers must be <= {MAX_WORKERS}, got {n_workers} "
+            "(use 0 for one worker per core)"
+        )
     return n_workers if n_workers else (os.cpu_count() or 1)
 
 
@@ -74,20 +101,23 @@ def fpclose_sharded(
     n_workers: int,
     plan: Sequence[Sequence[int]] | None = None,
     oracle: SupportOracle | None = None,
-    pool: ProcessPoolExecutor | None = None,
+    pool: MiningPool | ProcessPoolExecutor | None = None,
     touched_mask: int | None = None,
+    updated_tids: Collection[int] | None = None,
 ) -> list[FrequentItemset]:
     """Mine the global closed frequent itemsets via sharded workers.
 
     ``plan`` is a covering, disjoint partition of tids (see
     :func:`repro.parallel.sharding.plan_shards`); when omitted, a
-    round-robin partition into ``n_workers`` shards is used. Shards are
-    mined at pigeonhole-scaled local thresholds, pair-merged at region
-    thresholds inside the workers, and root-merged over the full
-    chunked bitmask table. A caller-owned ``pool`` (e.g. the
-    incremental engine's long-lived executor) is used as-is and never
-    shut down here; ``touched_mask`` switches to the delta contract
-    described in the module docstring.
+    round-robin partition into ``n_workers`` shards is used. A
+    caller-owned ``pool`` (a :class:`~repro.parallel.pool.MiningPool`,
+    or a raw executor for back-compat) is used as-is and never shut
+    down here; only a ``MiningPool`` carries residency across calls,
+    so repeated mines of the same-fingerprint database skip shipping
+    rows. ``touched_mask`` switches to the delta contract described in
+    the module docstring, and ``updated_tids`` (rows whose *content*
+    changed since this pool's previous mine; appends are inferred)
+    lets a grown database ship per-leaf deltas instead of full rows.
     """
     registry = get_registry()
     n_transactions = len(database)
@@ -97,146 +127,110 @@ def fpclose_sharded(
         shards: ShardPlan = round_robin_shards(n_transactions, n_workers)
     else:
         shards = validate_plan(plan, n_transactions)
-    transactions = list(database)
+    leaves = [(index, tuple(shard)) for index, shard in enumerate(shards) if shard]
+    if not leaves:
+        return []
 
+    if n_workers <= 1 or len(leaves) == 1:
+        return _mine_serial(
+            database,
+            min_support,
+            max_len,
+            oracle,
+            touched_mask,
+            leaves,
+            registry,
+        )
+
+    universe: tuple[int, ...] | None = None
+    if touched_mask is not None:
+        universe = tuple(sorted(touched_universe(database, touched_mask)))
+    registry.counter("parallel.shards").inc(len(leaves))
+
+    owned = pool is None
+    if pool is None:
+        pool_size = max(1, min(n_workers, len(leaves), os.cpu_count() or 1))
+        pool = MiningPool(pool_size, width=pool_size)
+    else:
+        if not isinstance(pool, MiningPool):
+            pool = MiningPool.adopt(pool)
+        pool_size = max(1, min(n_workers, len(leaves), pool.width))
+    try:
+        run = _ShardedMine(
+            database=database,
+            min_support=min_support,
+            max_len=max_len,
+            oracle=oracle,
+            touched_mask=touched_mask,
+            universe=universe,
+            leaves=leaves,
+            pool=pool,
+            pool_size=pool_size,
+            registry=registry,
+        )
+        run.build_graph(updated_tids)
+        return run.execute()
+    finally:
+        if owned:
+            pool.shutdown()
+
+
+def _mine_serial(
+    database, min_support, max_len, oracle, touched_mask, leaves, registry
+):
+    """The in-process path (``n_workers <= 1`` or a single shard)."""
+    n_transactions = len(database)
     universe: frozenset[int] | None = None
     if touched_mask is not None:
-        touched_items: set[int] = set()
-        remaining = touched_mask
-        while remaining:
-            low = remaining & -remaining
-            touched_items |= transactions[low.bit_length() - 1]
-            remaining ^= low
-        universe = frozenset(touched_items)
-
-    # (original shard index, full shard size, threshold, mined rows).
-    # Shards with no (projected) rows contribute zero support to every
-    # candidate and are dropped; under projection, thresholds still come
-    # from the *full* shard size so the pigeonhole argument is over the
-    # true partition.
-    leaves = []
-    for index, shard in enumerate(shards):
+        universe = touched_universe(database, touched_mask)
+    transactions = list(database)
+    mined = []
+    for index, shard in leaves:
         if universe is None:
-            rows = tuple(
-                tuple(sorted(transactions[tid])) for tid in shard
-            )
+            rows = tuple(tuple(sorted(transactions[tid])) for tid in shard)
         else:
             rows = tuple(
                 projected
                 for tid in shard
-                if (
-                    projected := tuple(
-                        sorted(transactions[tid] & universe)
-                    )
-                )
+                if (projected := tuple(sorted(transactions[tid] & universe)))
             )
         if not rows:
             continue
         threshold = local_threshold(min_support, len(shard), n_transactions)
-        leaves.append((index, len(shard), threshold, rows))
-    if not leaves:
+        mined.append((index, threshold, rows))
+    if not mined:
         return []
-    registry.counter("parallel.shards").inc(len(leaves))
+    registry.counter("parallel.shards").inc(len(mined))
     n_items = len(database.catalog)
-
-    pool_size = max(1, min(n_workers, len(leaves), os.cpu_count() or 1))
-    if n_workers <= 1 or len(leaves) == 1:
-        with registry.timer("parallel.local_mine"):
-            shard_results = [
-                mine_shard(index, rows, n_items, threshold, max_len)
-                for index, _size, threshold, rows in leaves
-            ]
-        region_outputs = [result[4] for result in shard_results]
-        _emit_shards(registry, shard_results)
-    elif len(leaves) < 4 or pool_size >= len(leaves):
-        # Every leaf can run concurrently: mine leaves as their own
-        # round, then (for 4+ shards) pair-merge in a second round.
-        tasks = [
-            (index, rows, n_items, threshold, max_len)
-            for index, _size, threshold, rows in leaves
+    with registry.timer("parallel.local_mine"):
+        shard_results = [
+            mine_shard(index, rows, n_items, threshold, max_len)
+            for index, threshold, rows in mined
         ]
-        with registry.timer("parallel.local_mine"):
-            shard_results = _map_tasks(_run_shard, tasks, pool, pool_size)
-        _emit_shards(registry, shard_results)
-        if len(leaves) < 4:
-            region_outputs = [result[4] for result in shard_results]
-        else:
-            pair_tasks = []
-            passthrough = []
-            for k in range(0, len(leaves) - 1, 2):
-                left, right = leaves[k], leaves[k + 1]
-                region_threshold = local_threshold(
-                    min_support, left[1] + right[1], n_transactions
-                )
-                pair_tasks.append((
-                    shard_results[k][4],
-                    shard_results[k + 1][4],
-                    left[3],
-                    right[3],
-                    left[2],
-                    right[2],
-                    region_threshold,
-                ))
-            if len(leaves) % 2:
-                passthrough.append(shard_results[-1][4])
-            with registry.timer("parallel.tree_merge"):
-                pair_results = _map_tasks(
-                    _run_pair, pair_tasks, pool, pool_size
-                )
-            region_outputs = []
-            for pair_index, (survivors, stats) in enumerate(pair_results):
-                region_outputs.append(survivors)
-                _emit_region(registry, pair_index, stats, len(survivors))
-            region_outputs.extend(passthrough)
-    else:
-        # Narrow pool: the tree would decompose further than the pool
-        # can run concurrently, and every extra leaf level weakens the
-        # pigeonhole thresholds (more locally frequent noise) without
-        # buying any parallelism — the root cause of the 4-worker
-        # regression. Coalesce sibling shards into ``max(2, pool_size)``
-        # regions and mine each region *directly* at its region
-        # threshold: a shallower instance of the same tree, so the
-        # completeness chain argument is untouched.
-        n_regions = max(2, pool_size)
-        group_size = -(-len(leaves) // n_regions)
-        region_tasks = []
-        region_shards = []
-        for start in range(0, len(leaves), group_size):
-            group = leaves[start:start + group_size]
-            region_rows = tuple(
-                row for _i, _s, _t, rows in group for row in rows
-            )
-            region_threshold = local_threshold(
-                min_support,
-                sum(size for _i, size, _t, _r in group),
-                n_transactions,
-            )
-            region_shards.append([index for index, _s, _t, _r in group])
-            region_tasks.append((
-                len(region_tasks),
-                region_rows,
-                n_items,
-                region_threshold,
-                max_len,
-            ))
-        with registry.timer("parallel.local_mine"):
-            region_results = _map_tasks(
-                _run_shard, region_tasks, pool, pool_size
-            )
-        region_outputs = []
-        for region_index, size, threshold, seconds, payload in region_results:
-            region_outputs.append(payload)
-            registry.counter("parallel.local_itemsets").inc(len(payload))
-            registry.emit(
-                "parallel.region",
-                region=region_index,
-                shards=region_shards[region_index],
-                n_transactions=size,
-                region_threshold=threshold,
-                n_survivors=len(payload),
-                seconds=round(seconds, 6),
-            )
+    _emit_shards(registry, shard_results)
+    region_outputs = [result[4] for result in shard_results]
+    return _root_merge(
+        region_outputs,
+        database,
+        min_support,
+        max_len,
+        oracle,
+        touched_mask,
+        len(mined),
+        registry,
+    )
 
+
+def _root_merge(
+    region_outputs,
+    database,
+    min_support,
+    max_len,
+    oracle,
+    touched_mask,
+    n_shards,
+    registry,
+):
     with registry.timer("parallel.merge"):
         started = time.perf_counter()
         merged = merge_shard_itemsets(
@@ -249,7 +243,7 @@ def fpclose_sharded(
         )
         registry.emit(
             "parallel.merge",
-            n_shards=len(leaves),
+            n_shards=n_shards,
             n_regions=len(region_outputs),
             n_closed=len(merged),
             seconds=round(time.perf_counter() - started, 6),
@@ -257,12 +251,409 @@ def fpclose_sharded(
     return merged
 
 
-def _map_tasks(fn, tasks, pool: ProcessPoolExecutor | None, pool_size: int):
-    """Run tasks through a caller-owned or ephemeral pool, in order."""
-    if pool is not None:
-        return list(pool.map(fn, tasks))
-    with ProcessPoolExecutor(max_workers=pool_size) as ephemeral:
-        return list(ephemeral.map(fn, tasks))
+class _Node:
+    """One merge-tree node: a region mine, a pair merge, or the finalize."""
+
+    __slots__ = (
+        "nid",
+        "kind",
+        "groups",
+        "index",
+        "size",
+        "threshold",
+        "left",
+        "right",
+        "parent",
+        "pending",
+        "region_payload",
+        "result",
+        "label",
+        "attempts",
+        "queue_depth",
+        "submitted_at",
+        "worker_seconds",
+    )
+
+    def __init__(self, nid, kind, groups, index, size, threshold, label):
+        self.nid = nid
+        self.kind = kind
+        self.groups = groups
+        self.index = index
+        self.size = size
+        self.threshold = threshold
+        self.left = None
+        self.right = None
+        self.parent = None
+        self.pending = 0
+        self.region_payload = None
+        self.result = None
+        self.label = label
+        self.attempts = 0
+        self.queue_depth = 0
+        self.submitted_at = 0.0
+        self.worker_seconds = 0.0
+
+
+class _ShardedMine:
+    """One dataflow-scheduled sharded mine over a :class:`MiningPool`."""
+
+    def __init__(
+        self,
+        *,
+        database,
+        min_support,
+        max_len,
+        oracle,
+        touched_mask,
+        universe,
+        leaves,
+        pool,
+        pool_size,
+        registry,
+    ):
+        self.database = database
+        self.min_support = min_support
+        self.max_len = max_len
+        self.oracle = oracle
+        self.touched_mask = touched_mask
+        self.universe = universe
+        self.leaves = leaves
+        self.pool = pool
+        self.pool_size = pool_size
+        self.registry = registry
+        self.n_items = len(database.catalog)
+        self.n_transactions = len(database)
+        self.fingerprint = database_fingerprint(
+            database, [tids for _index, tids in leaves]
+        )
+        self.plans: dict[int, tuple] = {}
+        self.nodes: list[_Node] = []
+        self.mine_nodes: list[_Node] = []
+        self.roots: list[_Node] = []
+        self.final_node: _Node | None = None
+        self.events: queue.SimpleQueue = queue.SimpleQueue()
+        self.inflight = 0
+        self.unfinished = 0
+        self.started_at = 0.0
+        self._rows_cache: dict[int, tuple] = {}
+        self._delta_cache: dict[int, tuple] = {}
+        # Snapshot before build_graph's plan_shipments bumps anything:
+        # the registry receives this mine's counter deltas only.
+        self._counters_before = dict(pool.counters)
+        self._tids_by_key = {index: tids for index, tids in leaves}
+
+    # -- graph construction -------------------------------------------
+
+    def build_graph(self, updated_tids) -> None:
+        self.plans = self.pool.plan_shipments(
+            self.fingerprint, self._tids_by_key, updated_tids
+        )
+        leaves = self.leaves
+        if self.pool_size >= len(leaves) or len(leaves) < 4:
+            groups = [[pos] for pos in range(len(leaves))]
+        else:
+            # Narrow pool: coalesce siblings into directly-mined
+            # regions so leaf thresholds are not weakened beyond what
+            # the pool can exploit concurrently.
+            n_regions = max(2, self.pool_size)
+            group_size = -(-len(leaves) // n_regions)
+            groups = [
+                list(range(start, min(start + group_size, len(leaves))))
+                for start in range(0, len(leaves), group_size)
+            ]
+
+        def spans(positions):
+            first = self.leaves[positions[0]][0]
+            last = self.leaves[positions[-1]][0]
+            return f"{first}-{last}"
+
+        current: list[_Node] = []
+        for ordinal, positions in enumerate(groups):
+            size = sum(len(self.leaves[pos][1]) for pos in positions)
+            node = _Node(
+                nid=len(self.nodes),
+                kind="mine",
+                groups=(tuple(positions),),
+                index=ordinal,
+                size=size,
+                threshold=local_threshold(
+                    self.min_support, size, self.n_transactions
+                ),
+                label=f"mine:{spans(positions)}",
+            )
+            self.nodes.append(node)
+            self.mine_nodes.append(node)
+            current.append(node)
+
+        # Full mines collapse to a single finalize node (closure
+        # pushdown); delta mines stop at two regions because the
+        # parent-side root merge must close over the *unprojected*
+        # database.
+        stop_at = 1 if self.universe is None else 2
+        if self.pool_size >= 2:
+            while len(current) > stop_at:
+                merged_level: list[_Node] = []
+                for k in range(0, len(current) - 1, 2):
+                    left, right = current[k], current[k + 1]
+                    positions = tuple(left.groups[-1] + right.groups[-1])
+                    size = left.size + right.size
+                    kind = (
+                        "finalize"
+                        if stop_at == 1 and len(current) == 2
+                        else "pair"
+                    )
+                    threshold = (
+                        self.min_support
+                        if kind == "finalize"
+                        else local_threshold(
+                            self.min_support, size, self.n_transactions
+                        )
+                    )
+                    left_positions = tuple(
+                        pos for group in left.groups for pos in group
+                    )
+                    right_positions = tuple(
+                        pos for group in right.groups for pos in group
+                    )
+                    node = _Node(
+                        nid=len(self.nodes),
+                        kind=kind,
+                        groups=(left_positions, right_positions),
+                        index=len(self.nodes),
+                        size=size,
+                        threshold=threshold,
+                        label=f"{kind}:{spans(left_positions + right_positions)}",
+                    )
+                    node.left = left
+                    node.right = right
+                    node.pending = 2
+                    left.parent = node
+                    right.parent = node
+                    self.nodes.append(node)
+                    merged_level.append(node)
+                if len(current) % 2:
+                    merged_level.append(current[-1])
+                current = merged_level
+        self.roots = current
+        if len(self.roots) == 1 and self.roots[0].kind == "finalize":
+            self.final_node = self.roots[0]
+        self.unfinished = len(self.nodes)
+
+    # -- shipment construction ----------------------------------------
+
+    def _row(self, tid: int) -> tuple[int, ...]:
+        return tuple(sorted(self.database[tid]))
+
+    def _rows(self, key: int) -> tuple:
+        rows = self._rows_cache.get(key)
+        if rows is None:
+            rows = tuple(self._row(tid) for tid in self._tids_by_key[key])
+            self._rows_cache[key] = rows
+        return rows
+
+    def _shipment(self, key: int, force: bool) -> tuple:
+        if not force:
+            plan = self.plans.get(key, ("full",))
+            if plan[0] == "delta":
+                # Keep shipping the (small) delta even after this
+                # leaf's first node completed: another worker may hold
+                # the previous rows and can patch them forward, where a
+                # bare ("ref",) would force a full-row miss round-trip.
+                shipment = self._delta_cache.get(key)
+                if shipment is None:
+                    _kind, base_fp, n_prev, positions = plan
+                    tids = self._tids_by_key[key]
+                    appended = tuple(self._row(tid) for tid in tids[n_prev:])
+                    updates = {pos: self._row(tids[pos]) for pos in positions}
+                    shipment = ("delta", base_fp, appended, updates)
+                    self._delta_cache[key] = shipment
+                return shipment
+            state = self.pool.leaf_state(key)
+            if state is not None and state[0] == self.fingerprint:
+                return ("ref",)
+            if plan[0] == "ref":
+                return ("ref",)
+        return ("rows", self._rows(key))
+
+    def _build_task(self, node: _Node, force: set[int]) -> dict:
+        groups = []
+        for positions in node.groups:
+            entries = []
+            for pos in positions:
+                key = self.leaves[pos][0]
+                entries.append((key, self._shipment(key, key in force)))
+            groups.append(tuple(entries))
+        task = {
+            "kind": node.kind,
+            "fp": self.fingerprint,
+            "label": node.label,
+            "groups": tuple(groups),
+            "n_items": self.n_items,
+            "max_len": self.max_len,
+            "universe": self.universe,
+            "threshold": node.threshold,
+            "index": node.index,
+        }
+        if node.kind != "mine":
+            task["left_payload"] = node.left.region_payload
+            task["right_payload"] = node.right.region_payload
+            task["left_threshold"] = node.left.threshold
+            task["right_threshold"] = node.right.threshold
+        return task
+
+    # -- driver --------------------------------------------------------
+
+    def _submit(self, node: _Node, force: set[int]) -> None:
+        node.attempts += 1
+        node.queue_depth = self.inflight
+        node.submitted_at = time.perf_counter()
+        task = self._build_task(node, force)
+        future = self.pool.submit(run_node, task)
+        self.inflight += 1
+        future.add_done_callback(
+            lambda f, nid=node.nid: self.events.put((nid, f))
+        )
+
+    def execute(self) -> list[FrequentItemset]:
+        registry = self.registry
+        counters_before = self._counters_before
+        self.started_at = time.perf_counter()
+        with registry.timer("parallel.dataflow"):
+            for node in self.mine_nodes:
+                self._submit(node, set())
+            while self.unfinished:
+                try:
+                    nid, future = self.pool.wait_event(
+                        self.events, timeout=_STALL_TIMEOUT
+                    )
+                except queue.Empty:
+                    raise MiningError(
+                        "mining pool stalled: no task completed within "
+                        f"{_STALL_TIMEOUT:.0f}s"
+                    ) from None
+                self.inflight -= 1
+                node = self.nodes[nid]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    # A dead worker broke the whole pool; every
+                    # in-flight future fails with this. Rebuild once
+                    # (generation-guarded) and resubmit each failed
+                    # node with rows attached — tasks are pure.
+                    self.pool.recover(
+                        getattr(future, "generation", self.pool.generation)
+                    )
+                    self._submit(node, self._node_keys(node))
+                    continue
+                if outcome[0] == MISS:
+                    # The worker that picked this up does not hold a
+                    # referenced leaf (multi-worker pools route tasks
+                    # arbitrarily); reship rows for exactly those keys.
+                    self.pool.note_miss(len(outcome[1]))
+                    self._submit(node, set(outcome[1]))
+                    continue
+                self._complete(node, outcome[1])
+        for name, value in self.pool.counters.items():
+            delta = value - counters_before.get(name, 0)
+            if delta:
+                registry.counter(f"parallel.pool.{name}").inc(delta)
+        return self._assemble()
+
+    def _node_keys(self, node: _Node) -> set[int]:
+        return {
+            self.leaves[pos][0] for group in node.groups for pos in group
+        }
+
+    def _complete(self, node: _Node, payload) -> None:
+        registry = self.registry
+        for key in self._node_keys(node):
+            self.pool.mark_resident(
+                key, self.fingerprint, self._tids_by_key[key]
+            )
+        if node.kind == "mine":
+            _index, size, threshold, seconds, itemsets = payload
+            node.region_payload = itemsets
+            node.worker_seconds = seconds
+            n_out = len(itemsets)
+            registry.counter("parallel.local_itemsets").inc(n_out)
+            if len(node.groups[0]) == 1:
+                registry.emit(
+                    "parallel.shard",
+                    shard=self.leaves[node.groups[0][0]][0],
+                    n_transactions=size,
+                    local_threshold=threshold,
+                    n_local_itemsets=n_out,
+                    seconds=round(seconds, 6),
+                )
+            else:
+                registry.emit(
+                    "parallel.region",
+                    region=node.index,
+                    shards=[self.leaves[pos][0] for pos in node.groups[0]],
+                    n_transactions=size,
+                    region_threshold=threshold,
+                    n_survivors=n_out,
+                    seconds=round(seconds, 6),
+                )
+        elif node.kind == "pair":
+            survivors, stats, seconds = payload
+            node.region_payload = survivors
+            node.worker_seconds = seconds
+            n_out = len(survivors)
+            _emit_region(registry, node.index, stats, n_out, seconds=seconds)
+        else:
+            closed, warm_entries, stats, merge_counters, seconds = payload
+            node.result = (closed, warm_entries)
+            node.worker_seconds = seconds
+            n_out = len(closed)
+            _emit_region(registry, node.index, stats, stats["survivors"])
+            for name, value in merge_counters.items():
+                registry.counter(name).inc(value)
+            registry.emit(
+                "parallel.merge",
+                n_shards=len(self.leaves),
+                n_regions=2,
+                n_closed=n_out,
+                seconds=round(seconds, 6),
+            )
+        now = time.perf_counter()
+        registry.emit(
+            "parallel.node",
+            node=node.label,
+            kind=node.kind,
+            queue_depth=node.queue_depth,
+            attempts=node.attempts,
+            t_submit=round(node.submitted_at - self.started_at, 6),
+            t_done=round(now - self.started_at, 6),
+            wait_seconds=round(now - node.submitted_at, 6),
+            seconds=round(node.worker_seconds, 6),
+            n_out=n_out,
+        )
+        self.unfinished -= 1
+        parent = node.parent
+        if parent is not None:
+            parent.pending -= 1
+            if parent.pending == 0:
+                self._submit(parent, set())
+
+    def _assemble(self) -> list[FrequentItemset]:
+        if self.final_node is not None:
+            closed, warm_entries = self.final_node.result
+            if self.oracle is not None:
+                for items, support in warm_entries:
+                    self.oracle.warm(frozenset(items), support)
+            return closed
+        region_outputs = [node.region_payload for node in self.roots]
+        return _root_merge(
+            region_outputs,
+            self.database,
+            self.min_support,
+            self.max_len,
+            self.oracle,
+            self.touched_mask,
+            len(self.leaves),
+            self.registry,
+        )
 
 
 def _emit_shards(registry, shard_results) -> None:

@@ -184,6 +184,29 @@ class ResultStore:
             )
         return self.add_result(name, result, include_case_ids=include_case_ids)
 
+    def refresh_from(
+        self,
+        name: str,
+        monitor,
+        *,
+        include_case_ids: bool = True,
+    ) -> RunSnapshot:
+        """Refresh ``name`` from a surveillance monitor's latest result.
+
+        The warm-refresh wiring for a serving process that also ingests:
+        keep ONE long-lived ``SurveillanceMonitor`` next to the store
+        and call this after each ``monitor.ingest(batch)``. The
+        monitor's incremental engine owns a persistent
+        :class:`~repro.parallel.pool.MiningPool`, so each re-mine
+        behind the refresh ships only the batch's delta to workers that
+        already hold the accumulated shard rows — not the history.
+        Constructing a fresh monitor per refresh works but forfeits
+        exactly that residency (every mine is a cold start).
+        """
+        return self.refresh(
+            name, monitor.result, include_case_ids=include_case_ids
+        )
+
     def get(self, name: str) -> RunSnapshot:
         """The snapshot named ``name``; :class:`NotFoundError` if absent."""
         snapshot = self._runs.get(name)

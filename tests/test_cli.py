@@ -260,6 +260,40 @@ class TestRun:
         assert "n_workers" in err
 
 
+class TestWorkerValidation:
+    """run/watch/serve reject bad --workers with one line, no traceback."""
+
+    def test_run_absurd_workers_one_line(self, capsys):
+        code, _, err = run(capsys, "run", *SYNTH, "--workers", "1000000")
+        assert code == 2
+        assert "n_workers must be <= 512" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_watch_negative_workers_one_line(self, capsys):
+        code, _, err = run(capsys, "watch", *SYNTH, "--workers", "-3")
+        assert code == 2
+        assert err.startswith("error:") and "n_workers" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_watch_absurd_workers_one_line(self, capsys):
+        code, _, err = run(capsys, "watch", *SYNTH, "--workers", "99999")
+        assert code == 2
+        assert "n_workers must be <= 512" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_zero_workers_one_line(self, capsys):
+        code, _, err = run(capsys, "serve", *SYNTH, "--workers", "0")
+        assert code == 2
+        assert err.startswith("error:") and "--workers" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_absurd_workers_one_line(self, capsys):
+        code, _, err = run(capsys, "serve", *SYNTH, "--workers", "4096")
+        assert code == 2
+        assert "--workers must be <= 128" in err
+        assert len(err.strip().splitlines()) == 1
+
+
 class TestDashboard:
     def test_dashboard_written(self, capsys, tmp_path):
         code, out, _ = run(
